@@ -1,0 +1,164 @@
+//! Graph WaveNet-lite (Wu et al., IJCAI 2019): the archetype the paper's
+//! GDCC and DGCN operators come from — stacked gated dilated causal
+//! convolutions interleaved with diffusion graph convolutions over both the
+//! predefined and a self-adaptive adjacency, with skip connections summed
+//! into the output module (the origin of the paper's output mode `U = 1`).
+
+use octs_data::Adjacency;
+use octs_model::layers::linear;
+use octs_model::operators::adaptive_adjacency;
+use octs_model::{CtsForecastModel, ModelDims};
+use octs_tensor::{Graph, Init, ParamStore, Tensor, Var};
+
+/// The Graph WaveNet-style baseline.
+pub struct GraphWaveNetLite {
+    /// Shape contract.
+    pub dims: ModelDims,
+    /// Hidden width.
+    pub h: usize,
+    /// Number of gated-TCN + GCN layers (dilation doubles per layer).
+    pub layers: usize,
+    /// Output-module width.
+    pub i: usize,
+    /// Parameters.
+    pub ps: ParamStore,
+    adj_fwd: Tensor,
+    adj_bwd: Tensor,
+    training: bool,
+}
+
+impl GraphWaveNetLite {
+    /// Builds the baseline over a predefined adjacency (a learned adaptive
+    /// adjacency is mixed in as in the original).
+    pub fn new(dims: ModelDims, h: usize, layers: usize, i: usize, adjacency: &Adjacency, seed: u64) -> Self {
+        assert_eq!(adjacency.n(), dims.n);
+        Self {
+            dims,
+            h,
+            layers,
+            i,
+            ps: ParamStore::new(seed),
+            adj_fwd: adjacency.transition(),
+            adj_bwd: adjacency.transition_reverse(),
+            training: true,
+        }
+    }
+
+    fn diffusion(&mut self, g: &Graph, name: &str, x: &Var, adp: &Var) -> Var {
+        // x: [B*L, N, H]; one hop over P_fwd, P_bwd and the adaptive matrix
+        let h = self.h;
+        let pf = g.constant(self.adj_fwd.clone());
+        let pb = g.constant(self.adj_bwd.clone());
+        let x0 = linear(&mut self.ps, g, &format!("{name}/w0"), x, h, h);
+        let xf = linear(&mut self.ps, g, &format!("{name}/wf"), &pf.matmul(x), h, h);
+        let xb = linear(&mut self.ps, g, &format!("{name}/wb"), &pb.matmul(x), h, h);
+        let xa = linear(&mut self.ps, g, &format!("{name}/wa"), &adp.matmul(x), h, h);
+        x0.add(&xf).add(&xb).add(&xa).relu()
+    }
+}
+
+impl CtsForecastModel for GraphWaveNetLite {
+    fn forward(&mut self, x: &Tensor) -> (Graph, Var) {
+        let s = x.shape().to_vec();
+        let (b, f, n, p) = (s[0], s[1], s[2], s[3]);
+        assert_eq!((f, n, p), (self.dims.f, self.dims.n, self.dims.p));
+        let h = self.h;
+        let g = Graph::new();
+        let xin = g.constant(x.clone());
+        let mut cur =
+            octs_model::operators::channel_projection(&mut self.ps, &g, "input", &xin, f, h);
+        let adp = adaptive_adjacency(&mut self.ps, &g, "adapt", n, 4);
+
+        // skip-connection accumulator over the last-step representations
+        let mut skip: Option<Var> = None;
+        for l in 0..self.layers {
+            let dilation = 1usize << (l % 3);
+            // gated TCN per node
+            let xr = cur.permute(&[0, 2, 1, 3]).reshape([b * n, h, p]);
+            let wf = self.ps.var(&g, &format!("l{l}/wf"), &[h, h, 2], Init::Xavier);
+            let wg = self.ps.var(&g, &format!("l{l}/wg"), &[h, h, 2], Init::Xavier);
+            let gate = xr.conv1d(&wf, None, dilation).tanh().mul(&xr.conv1d(&wg, None, dilation).sigmoid());
+            let temporal = gate.reshape([b, n, h, p]).permute(&[0, 2, 1, 3]);
+            // diffusion GCN over nodes
+            let xg = temporal.permute(&[0, 3, 2, 1]).reshape([b * p, n, h]);
+            let spatial = self.diffusion(&g, &format!("l{l}/gcn"), &xg, &adp);
+            let spatial = spatial.reshape([b, p, n, h]).permute(&[0, 3, 2, 1]);
+            cur = cur.add(&spatial);
+            // skip path from the layer's last step
+            let last = spatial.slice_axis(3, p - 1, 1).reshape([b, h, n]);
+            skip = Some(match skip {
+                Some(acc) => acc.add(&last),
+                None => last,
+            });
+        }
+        let skip = skip.expect("layers >= 1").permute(&[0, 2, 1]).relu(); // [B, N, H]
+        let o1 = linear(&mut self.ps, &g, "out/fc1", &skip, h, self.i).relu();
+        let o2 = linear(&mut self.ps, &g, "out/fc2", &o1, self.i, self.dims.out_steps);
+        (g, o2.permute(&[0, 2, 1]))
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn is_training(&self) -> bool {
+        self.training
+    }
+
+    fn name(&self) -> String {
+        "GraphWaveNet".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+    use octs_model::{train_forecaster, TrainConfig};
+
+    fn path_adjacency(n: usize) -> Adjacency {
+        let mut adj = Adjacency::identity(n);
+        for i in 0..n - 1 {
+            *adj.weight_mut(i, i + 1) = 1.0;
+            *adj.weight_mut(i + 1, i) = 1.0;
+        }
+        adj
+    }
+
+    #[test]
+    fn forward_shape() {
+        let dims = ModelDims { n: 4, f: 1, p: 8, out_steps: 3 };
+        let mut m = GraphWaveNetLite::new(dims, 6, 2, 8, &path_adjacency(4), 0);
+        let x = Tensor::new([2, 1, 4, 8], (0..64).map(|i| (i % 5) as f32 * 0.1).collect());
+        let (_, pred) = m.forward(&x);
+        assert_eq!(pred.shape(), vec![2, 3, 4]);
+        assert!(pred.value().all_finite());
+    }
+
+    #[test]
+    fn skip_connections_aggregate_all_layers() {
+        // Three layers must register three gcn parameter groups.
+        let dims = ModelDims { n: 3, f: 1, p: 8, out_steps: 2 };
+        let mut m = GraphWaveNetLite::new(dims, 4, 3, 8, &path_adjacency(3), 0);
+        let x = Tensor::zeros([1, 1, 3, 8]);
+        m.forward(&x);
+        for l in 0..3 {
+            assert!(m.ps.get(&format!("l{l}/gcn/w0/w")).is_some(), "layer {l} missing");
+        }
+    }
+
+    #[test]
+    fn trains_on_synthetic_task() {
+        let p = DatasetProfile::custom("gw", Domain::Traffic, 4, 240, 24, 0.4, 0.1, 50.0, 8);
+        let task = ForecastTask::new(p.generate(0), ForecastSetting::multi(8, 3), 0.6, 0.2, 2);
+        let dims = ModelDims { n: 4, f: 1, p: 8, out_steps: 3 };
+        let mut m = GraphWaveNetLite::new(dims, 6, 2, 8, &task.data.adjacency, 0);
+        let before = octs_model::val_mae_scaled(&mut m, &task, 8);
+        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        assert!(report.best_val_mae < before, "{before} -> {}", report.best_val_mae);
+    }
+}

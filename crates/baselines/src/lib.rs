@@ -1,0 +1,30 @@
+//! # octs-baselines
+//!
+//! Manually-designed CTS forecasting baselines the paper compares against
+//! (Section 4.1.3), re-implemented faithfully-in-spirit on the shared
+//! substrate: MTGNN (mix-hop GCN + dilated inception), AGCRN (adaptive-graph
+//! GRU), Autoformer / FEDformer (decomposition transformers), PDFormer
+//! (graph-masked spatial attention) — plus the fixed *transferred*
+//! arch-hypers standing in for the previously-searched AutoSTG+/AutoCTS/
+//! AutoCTS+ optimal models used in the zero-shot comparison.
+//!
+//! Every model implements [`octs_model::CtsForecastModel`], so the same
+//! trainer and metrics apply across the board.
+
+#![warn(missing_docs)]
+
+pub mod agcrn;
+pub mod gwnet;
+pub mod mtgnn;
+pub mod pdformer;
+pub mod stgcn;
+pub mod transferred;
+pub mod transformers;
+
+pub use agcrn::AgcrnLite;
+pub use gwnet::GraphWaveNetLite;
+pub use stgcn::StgcnLite;
+pub use mtgnn::MtgnnLite;
+pub use pdformer::PdformerLite;
+pub use transferred::{all_transferred, autocts, autocts_plus, autostg_plus};
+pub use transformers::{DecompTransformerLite, DecompVariant};

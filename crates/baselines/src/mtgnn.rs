@@ -1,0 +1,125 @@
+//! MTGNN-lite: mix-hop graph convolution + dilated inception convolution
+//! (Wu et al., KDD 2020), reduced to CPU scale.
+
+use octs_model::layers::linear;
+use octs_model::operators::adaptive_adjacency;
+use octs_model::{CtsForecastModel, ModelDims};
+use octs_tensor::{Graph, Init, ParamStore, Tensor, Var};
+
+/// The MTGNN-style baseline: each layer applies a gated dilated "inception"
+/// temporal convolution (two kernels at different dilations) followed by a
+/// two-hop mix-hop graph convolution over a *learned* adaptive adjacency.
+pub struct MtgnnLite {
+    /// Shape contract.
+    pub dims: ModelDims,
+    /// Hidden width.
+    pub h: usize,
+    /// Number of ST layers.
+    pub layers: usize,
+    /// Output-module width.
+    pub i: usize,
+    /// Parameters.
+    pub ps: ParamStore,
+    training: bool,
+}
+
+impl MtgnnLite {
+    /// Builds the baseline (adjacency is learned, so none is taken).
+    pub fn new(dims: ModelDims, h: usize, layers: usize, i: usize, seed: u64) -> Self {
+        Self { dims, h, layers, i, ps: ParamStore::new(seed), training: true }
+    }
+
+    fn mix_hop(&mut self, g: &Graph, name: &str, x: &Var, adj: &Var) -> Var {
+        // x: [B*L, N, H]; z = x·W0 + (A·x)·W1 + (A²·x)·W2
+        let h = self.h;
+        let w0 = linear(&mut self.ps, g, &format!("{name}/w0"), x, h, h);
+        let x1 = adj.matmul(x);
+        let w1 = linear(&mut self.ps, g, &format!("{name}/w1"), &x1, h, h);
+        let x2 = adj.matmul(&x1);
+        let w2 = linear(&mut self.ps, g, &format!("{name}/w2"), &x2, h, h);
+        w0.add(&w1).add(&w2).relu()
+    }
+}
+
+impl CtsForecastModel for MtgnnLite {
+    fn forward(&mut self, x: &Tensor) -> (Graph, Var) {
+        let s = x.shape().to_vec();
+        let (b, f, n, p) = (s[0], s[1], s[2], s[3]);
+        assert_eq!((f, n, p), (self.dims.f, self.dims.n, self.dims.p));
+        let h = self.h;
+        let g = Graph::new();
+        let xin = g.constant(x.clone());
+        let mut cur =
+            octs_model::operators::channel_projection(&mut self.ps, &g, "input", &xin, f, h);
+        let adj = adaptive_adjacency(&mut self.ps, &g, "adapt", n, 4);
+        for l in 0..self.layers {
+            // dilated inception: kernel-2 convs at dilation 1 and 2, gated
+            let xr = cur.permute(&[0, 2, 1, 3]).reshape([b * n, h, p]);
+            let w1 = self.ps.var(&g, &format!("l{l}/tc1"), &[h, h, 2], Init::Xavier);
+            let w2 = self.ps.var(&g, &format!("l{l}/tc2"), &[h, h, 2], Init::Xavier);
+            let filt = xr.conv1d(&w1, None, 1).tanh();
+            let gate = xr.conv1d(&w2, None, 1 + l % 2).sigmoid();
+            let temporal = filt.mul(&gate).reshape([b, n, h, p]).permute(&[0, 2, 1, 3]);
+            // mix-hop GCN over nodes
+            let xg = temporal.permute(&[0, 3, 2, 1]).reshape([b * p, n, h]);
+            let spatial = self.mix_hop(&g, &format!("l{l}/gcn"), &xg, &adj);
+            let spatial = spatial.reshape([b, p, n, h]).permute(&[0, 3, 2, 1]);
+            cur = cur.add(&spatial);
+        }
+        let last = cur.slice_axis(3, p - 1, 1).reshape([b, h, n]).permute(&[0, 2, 1]).relu();
+        let o1 = linear(&mut self.ps, &g, "out/fc1", &last, h, self.i).relu();
+        let o2 = linear(&mut self.ps, &g, "out/fc2", &o1, self.i, self.dims.out_steps);
+        (g, o2.permute(&[0, 2, 1]))
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn is_training(&self) -> bool {
+        self.training
+    }
+
+    fn name(&self) -> String {
+        "MTGNN".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+    use octs_model::{train_forecaster, TrainConfig};
+
+    fn dims() -> ModelDims {
+        ModelDims { n: 4, f: 1, p: 6, out_steps: 3 }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut m = MtgnnLite::new(dims(), 6, 2, 8, 0);
+        let x = Tensor::new([2, 1, 4, 6], (0..48).map(|i| (i % 5) as f32 * 0.1).collect());
+        let (_, pred) = m.forward(&x);
+        assert_eq!(pred.shape(), vec![2, 3, 4]);
+        assert!(pred.value().all_finite());
+    }
+
+    #[test]
+    fn trains_on_synthetic_task() {
+        let p = DatasetProfile::custom("mt", Domain::Traffic, 4, 200, 24, 0.3, 0.1, 10.0, 5);
+        let task = ForecastTask::new(p.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2);
+        let mut m = MtgnnLite::new(dims(), 6, 1, 8, 0);
+        let before = octs_model::val_mae_scaled(&mut m, &task, 8);
+        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        assert!(report.best_val_mae < before, "{before} -> {}", report.best_val_mae);
+    }
+
+    #[test]
+    fn name_for_tables() {
+        assert_eq!(MtgnnLite::new(dims(), 4, 1, 8, 0).name(), "MTGNN");
+    }
+}

@@ -1,0 +1,183 @@
+//! STGCN-lite (Yu et al., IJCAI 2018): the "sandwich" spatio-temporal block
+//! — gated temporal convolution, Chebyshev-style graph convolution, gated
+//! temporal convolution — that established the ST-block pattern the paper's
+//! search space generalizes. Also the source of the PEMSD7(M) benchmark.
+
+use octs_data::Adjacency;
+use octs_model::layers::linear;
+use octs_model::{CtsForecastModel, ModelDims};
+use octs_tensor::{Graph, Init, ParamStore, Tensor, Var};
+
+/// The STGCN-style baseline.
+pub struct StgcnLite {
+    /// Shape contract.
+    pub dims: ModelDims,
+    /// Hidden width.
+    pub h: usize,
+    /// Number of sandwich blocks.
+    pub blocks: usize,
+    /// Output-module width.
+    pub i: usize,
+    /// Parameters.
+    pub ps: ParamStore,
+    /// Scaled-Laplacian-style propagation matrix (symmetric normalization).
+    prop: Tensor,
+    training: bool,
+}
+
+impl StgcnLite {
+    /// Builds the baseline over a predefined adjacency.
+    pub fn new(dims: ModelDims, h: usize, blocks: usize, i: usize, adjacency: &Adjacency, seed: u64) -> Self {
+        assert_eq!(adjacency.n(), dims.n);
+        Self {
+            dims,
+            h,
+            blocks,
+            i,
+            ps: ParamStore::new(seed),
+            prop: symmetric_normalized(adjacency),
+            training: true,
+        }
+    }
+
+    /// Gated temporal conv (GLU-style): `conv(x) ⊙ sigmoid(conv(x))`.
+    fn temporal(&mut self, g: &Graph, name: &str, x: &Var, b: usize, n: usize, p: usize) -> Var {
+        let h = self.h;
+        let xr = x.permute(&[0, 2, 1, 3]).reshape([b * n, h, p]);
+        let w1 = self.ps.var(g, &format!("{name}/w1"), &[h, h, 3], Init::Xavier);
+        let w2 = self.ps.var(g, &format!("{name}/w2"), &[h, h, 3], Init::Xavier);
+        let y = xr.conv1d(&w1, None, 1).mul(&xr.conv1d(&w2, None, 1).sigmoid());
+        y.reshape([b, n, h, p]).permute(&[0, 2, 1, 3])
+    }
+
+    /// First-order Chebyshev graph conv: `relu(W₀x + W₁·(L̃ x))`.
+    fn spatial(&mut self, g: &Graph, name: &str, x: &Var, b: usize, n: usize, p: usize) -> Var {
+        let h = self.h;
+        let xr = x.permute(&[0, 3, 2, 1]).reshape([b * p, n, h]);
+        let lap = g.constant(self.prop.clone());
+        let x0 = linear(&mut self.ps, g, &format!("{name}/w0"), &xr, h, h);
+        let x1 = linear(&mut self.ps, g, &format!("{name}/w1"), &lap.matmul(&xr), h, h);
+        x0.add(&x1).relu().reshape([b, p, n, h]).permute(&[0, 3, 2, 1])
+    }
+}
+
+/// Symmetric normalization `D^{-1/2} A D^{-1/2}` of an adjacency.
+fn symmetric_normalized(adj: &Adjacency) -> Tensor {
+    let n = adj.n();
+    let mut deg = vec![0.0f32; n];
+    for i in 0..n {
+        for j in 0..n {
+            deg[i] += adj.weight(i, j);
+        }
+    }
+    let mut out = Tensor::zeros([n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            let d = (deg[i] * deg[j]).sqrt();
+            if d > 0.0 {
+                *out.at_mut(&[i, j]) = adj.weight(i, j) / d;
+            }
+        }
+    }
+    out
+}
+
+impl CtsForecastModel for StgcnLite {
+    fn forward(&mut self, x: &Tensor) -> (Graph, Var) {
+        let s = x.shape().to_vec();
+        let (b, f, n, p) = (s[0], s[1], s[2], s[3]);
+        assert_eq!((f, n, p), (self.dims.f, self.dims.n, self.dims.p));
+        let h = self.h;
+        let g = Graph::new();
+        let xin = g.constant(x.clone());
+        let mut cur =
+            octs_model::operators::channel_projection(&mut self.ps, &g, "input", &xin, f, h);
+        for blk in 0..self.blocks {
+            // sandwich: T -> S -> T with a residual around the block
+            let t1 = self.temporal(&g, &format!("b{blk}/t1"), &cur, b, n, p);
+            let sp = self.spatial(&g, &format!("b{blk}/s"), &t1, b, n, p);
+            let t2 = self.temporal(&g, &format!("b{blk}/t2"), &sp, b, n, p);
+            cur = cur.add(&t2);
+        }
+        let last = cur.slice_axis(3, p - 1, 1).reshape([b, h, n]).permute(&[0, 2, 1]).relu();
+        let o1 = linear(&mut self.ps, &g, "out/fc1", &last, h, self.i).relu();
+        let o2 = linear(&mut self.ps, &g, "out/fc2", &o1, self.i, self.dims.out_steps);
+        (g, o2.permute(&[0, 2, 1]))
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn is_training(&self) -> bool {
+        self.training
+    }
+
+    fn name(&self) -> String {
+        "STGCN".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+    use octs_model::{train_forecaster, TrainConfig};
+
+    fn ring_adjacency(n: usize) -> Adjacency {
+        let mut adj = Adjacency::identity(n);
+        for i in 0..n {
+            *adj.weight_mut(i, (i + 1) % n) = 1.0;
+            *adj.weight_mut((i + 1) % n, i) = 1.0;
+        }
+        adj
+    }
+
+    #[test]
+    fn symmetric_normalization_is_symmetric_for_symmetric_input() {
+        let adj = ring_adjacency(5);
+        let p = symmetric_normalized(&adj);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((p.at(&[i, j]) - p.at(&[j, i])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let dims = ModelDims { n: 4, f: 1, p: 8, out_steps: 3 };
+        let mut m = StgcnLite::new(dims, 6, 2, 8, &ring_adjacency(4), 0);
+        let x = Tensor::new([2, 1, 4, 8], (0..64).map(|i| (i % 7) as f32 * 0.1).collect());
+        let (_, pred) = m.forward(&x);
+        assert_eq!(pred.shape(), vec![2, 3, 4]);
+        assert!(pred.value().all_finite());
+    }
+
+    #[test]
+    fn sandwich_registers_three_sublayers_per_block() {
+        let dims = ModelDims { n: 3, f: 1, p: 6, out_steps: 2 };
+        let mut m = StgcnLite::new(dims, 4, 2, 8, &ring_adjacency(3), 0);
+        m.forward(&Tensor::zeros([1, 1, 3, 6]));
+        for blk in 0..2 {
+            assert!(m.ps.get(&format!("b{blk}/t1/w1")).is_some());
+            assert!(m.ps.get(&format!("b{blk}/s/w0/w")).is_some());
+            assert!(m.ps.get(&format!("b{blk}/t2/w1")).is_some());
+        }
+    }
+
+    #[test]
+    fn trains_on_synthetic_task() {
+        let p = DatasetProfile::custom("sg", Domain::Traffic, 4, 240, 24, 0.4, 0.1, 50.0, 12);
+        let task = ForecastTask::new(p.generate(0), ForecastSetting::multi(8, 3), 0.6, 0.2, 2);
+        let dims = ModelDims { n: 4, f: 1, p: 8, out_steps: 3 };
+        let mut m = StgcnLite::new(dims, 6, 1, 8, &task.data.adjacency, 0);
+        let before = octs_model::val_mae_scaled(&mut m, &task, 8);
+        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        assert!(report.best_val_mae < before, "{before} -> {}", report.best_val_mae);
+    }
+}

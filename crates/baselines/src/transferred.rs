@@ -1,0 +1,112 @@
+//! Fixed transferred arch-hypers standing in for the automated baselines.
+//!
+//! In the zero-shot comparison the paper reuses *previously searched* optimal
+//! models: AutoSTG+'s model found on METR-LA (P-12/Q-12), AutoCTS's model
+//! found on PEMS03 (P-12/Q-12) and AutoCTS+'s model found on PEMS08
+//! (P-48/Q-48). These functions reconstruct representative versions of those
+//! ST-blocks (following the operator mixes reported in the papers' case
+//! studies) at this repository's scaled hyperparameter values.
+
+use octs_space::{ArchDag, ArchHyper, Edge, HyperParams, OpKind};
+
+fn edge(from: usize, to: usize, op: OpKind) -> Edge {
+    Edge { from, to, op }
+}
+
+/// AutoSTG+ searched on METR-LA with P-12/Q-12: its space only contains
+/// DGCN and 1-D convolutions, so the block alternates those.
+pub fn autostg_plus() -> ArchHyper {
+    let arch = ArchDag::new(
+        5,
+        vec![
+            edge(0, 1, OpKind::Gdcc),
+            edge(0, 2, OpKind::Dgcn),
+            edge(1, 2, OpKind::Gdcc),
+            edge(1, 3, OpKind::Dgcn),
+            edge(2, 3, OpKind::Gdcc),
+            edge(2, 4, OpKind::Dgcn),
+            edge(3, 4, OpKind::Gdcc),
+        ],
+    )
+    .expect("static arch is valid");
+    ArchHyper::new(arch, HyperParams { b: 2, c: 5, h: 12, i: 32, u: 0, delta: 0 })
+}
+
+/// AutoCTS searched on PEMS03 with P-12/Q-12 (case study of the AutoCTS
+/// paper): a heterogeneous block mixing GDCC, DGCN and Informer operators.
+pub fn autocts() -> ArchHyper {
+    let arch = ArchDag::new(
+        5,
+        vec![
+            edge(0, 1, OpKind::Gdcc),
+            edge(0, 2, OpKind::InfT),
+            edge(1, 2, OpKind::Dgcn),
+            edge(1, 3, OpKind::Gdcc),
+            edge(2, 3, OpKind::Dgcn),
+            edge(0, 4, OpKind::Identity),
+            edge(3, 4, OpKind::InfS),
+        ],
+    )
+    .expect("static arch is valid");
+    ArchHyper::new(arch, HyperParams { b: 2, c: 5, h: 12, i: 32, u: 0, delta: 0 })
+}
+
+/// AutoCTS+ searched on PEMS08 with P-48/Q-48 (case study of the AutoCTS+
+/// paper), including its jointly-searched hyperparameters.
+pub fn autocts_plus() -> ArchHyper {
+    let arch = ArchDag::new(
+        7,
+        vec![
+            edge(0, 1, OpKind::Gdcc),
+            edge(0, 2, OpKind::Dgcn),
+            edge(1, 2, OpKind::InfT),
+            edge(1, 3, OpKind::Gdcc),
+            edge(2, 4, OpKind::Dgcn),
+            edge(3, 4, OpKind::Identity),
+            edge(3, 5, OpKind::InfS),
+            edge(4, 5, OpKind::Gdcc),
+            edge(4, 6, OpKind::Dgcn),
+            edge(5, 6, OpKind::Gdcc),
+        ],
+    )
+    .expect("static arch is valid");
+    ArchHyper::new(arch, HyperParams { b: 3, c: 7, h: 16, i: 48, u: 1, delta: 1 })
+}
+
+/// All transferred baselines with their table names.
+pub fn all_transferred() -> Vec<(&'static str, ArchHyper)> {
+    vec![("AutoSTG+", autostg_plus()), ("AutoCTS", autocts()), ("AutoCTS+", autocts_plus())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_space::HyperSpace;
+
+    #[test]
+    fn transferred_models_are_valid_and_admissible() {
+        for (name, ah) in all_transferred() {
+            assert_eq!(ah.arch.c(), ah.hyper.c, "{name}");
+            assert!(ah.arch.has_both_st() || name == "AutoSTG+", "{name}");
+            // encodable within the padded dual graph
+            let enc = ah.encode(&HyperSpace::scaled());
+            assert!(enc.num_active() <= octs_space::MAX_ENC_NODES, "{name}");
+        }
+    }
+
+    #[test]
+    fn hypers_live_in_scaled_space() {
+        let space = HyperSpace::scaled();
+        for (name, ah) in all_transferred() {
+            assert!(space.contains(&ah.hyper), "{name}: {:?}", ah.hyper);
+        }
+    }
+
+    #[test]
+    fn autocts_plus_uses_larger_capacity() {
+        // The P-48/Q-48-searched model should be the largest, mirroring the
+        // case-study observation that long horizons favor more capacity.
+        assert!(autocts_plus().hyper.h > autocts().hyper.h);
+        assert!(autocts_plus().hyper.b > autocts().hyper.b);
+    }
+}

@@ -1,0 +1,165 @@
+//! Decomposition-Transformer baselines: Autoformer-lite and FEDformer-lite.
+//!
+//! Both share the series-decomposition backbone (moving-average trend +
+//! seasonal residual) the original papers use; FEDformer-lite additionally
+//! runs its attention on a 2× average-pooled sequence, a CPU-scale stand-in
+//! for its frequency-domain (low-pass) attention.
+
+use octs_model::layers::{linear, self_attention};
+use octs_model::{CtsForecastModel, ModelDims};
+use octs_tensor::{Graph, ParamStore, Tensor, Var};
+
+/// Which decomposition-transformer variant to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompVariant {
+    /// Attention at full temporal resolution (Autoformer stand-in).
+    Autoformer,
+    /// Attention on the 2× average-pooled sequence (FEDformer stand-in).
+    Fedformer,
+}
+
+/// The decomposition-transformer baseline.
+pub struct DecompTransformerLite {
+    /// Shape contract.
+    pub dims: ModelDims,
+    /// Attention width.
+    pub h: usize,
+    /// Output-module width.
+    pub i: usize,
+    /// Variant.
+    pub variant: DecompVariant,
+    /// Moving-average window for the trend.
+    pub ma_window: usize,
+    /// Parameters.
+    pub ps: ParamStore,
+    training: bool,
+}
+
+impl DecompTransformerLite {
+    /// Builds the baseline.
+    pub fn new(dims: ModelDims, h: usize, i: usize, variant: DecompVariant, seed: u64) -> Self {
+        Self { dims, h, i, variant, ma_window: 5, ps: ParamStore::new(seed), training: true }
+    }
+}
+
+/// Causal moving average along the last axis of `[B, C, L]` via a constant
+/// uniform conv kernel.
+fn moving_average(g: &Graph, x: &Var, c: usize, window: usize) -> Var {
+    let mut w = Tensor::zeros([c, c, window]);
+    for ch in 0..c {
+        for k in 0..window {
+            *w.at_mut(&[ch, ch, k]) = 1.0 / window as f32;
+        }
+    }
+    let w = g.constant(w);
+    x.conv1d(&w, None, 1)
+}
+
+impl CtsForecastModel for DecompTransformerLite {
+    fn forward(&mut self, x: &Tensor) -> (Graph, Var) {
+        let s = x.shape().to_vec();
+        let (b, f, n, p) = (s[0], s[1], s[2], s[3]);
+        assert_eq!((f, n, p), (self.dims.f, self.dims.n, self.dims.p));
+        let h = self.h;
+        let g = Graph::new();
+        let xin = g.constant(x.clone());
+
+        // Decompose per node/feature: trend = moving average, seasonal = rest.
+        let flat = xin.permute(&[0, 2, 1, 3]).reshape([b * n, f, p]); // [B*N, F, L]
+        let trend = moving_average(&g, &flat, f, self.ma_window.min(p));
+        let seasonal = flat.sub(&trend);
+
+        // Seasonal pathway: project to H and attend over time.
+        let seq = seasonal.permute(&[0, 2, 1]); // [B*N, L, F]
+        let mut hseq = linear(&mut self.ps, &g, "embed", &seq, f, h);
+        if self.variant == DecompVariant::Fedformer && p >= 2 {
+            // 2× average pooling along time (frequency low-pass proxy)
+            let half = p / 2;
+            let a = hseq.slice_axis(1, 0, half * 2);
+            let even = a.reshape([b * n, half, 2, h]).mean_axis(2); // [B*N, L/2, H]
+            hseq = even;
+        }
+        let att1 = self_attention(&mut self.ps, &g, "att1", &hseq, h);
+        let att2 = self_attention(&mut self.ps, &g, "att2", &att1, h);
+        let l_att = att2.shape()[1];
+        let season_last = att2.slice_axis(1, l_att - 1, 1).reshape([b * n, h]);
+
+        // Trend pathway: last trend value of the target feature, linearly
+        // extrapolated by the output module.
+        let trend_last = trend.slice_axis(2, p - 1, 1).reshape([b * n, f]);
+        let fused = Var::concat(&[&season_last, &trend_last], 1);
+
+        let o1 = linear(&mut self.ps, &g, "out/fc1", &fused, h + f, self.i).relu();
+        let o2 = linear(&mut self.ps, &g, "out/fc2", &o1, self.i, self.dims.out_steps);
+        // [B*N, out] -> [B, N, out] -> [B, out, N]
+        (g, o2.reshape([b, n, self.dims.out_steps]).permute(&[0, 2, 1]))
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn is_training(&self) -> bool {
+        self.training
+    }
+
+    fn name(&self) -> String {
+        match self.variant {
+            DecompVariant::Autoformer => "Autoformer".to_string(),
+            DecompVariant::Fedformer => "FEDformer".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+    use octs_model::{train_forecaster, TrainConfig};
+
+    fn dims() -> ModelDims {
+        ModelDims { n: 3, f: 1, p: 8, out_steps: 4 }
+    }
+
+    #[test]
+    fn both_variants_forward() {
+        for v in [DecompVariant::Autoformer, DecompVariant::Fedformer] {
+            let mut m = DecompTransformerLite::new(dims(), 6, 8, v, 0);
+            let x = Tensor::new([2, 1, 3, 8], (0..48).map(|i| (i % 6) as f32 * 0.2).collect());
+            let (_, pred) = m.forward(&x);
+            assert_eq!(pred.shape(), vec![2, 4, 3], "{v:?}");
+            assert!(pred.value().all_finite());
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let g = Graph::new();
+        let x = g.constant(Tensor::new([1, 1, 6], vec![0., 10., 0., 10., 0., 10.]));
+        let ma = moving_average(&g, &x, 1, 2).value();
+        // each output is the mean of the current and previous value
+        assert!((ma.at(&[0, 0, 1]) - 5.0).abs() < 1e-5);
+        assert!((ma.at(&[0, 0, 2]) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trains_on_synthetic_task() {
+        let p = DatasetProfile::custom("tf", Domain::Energy, 3, 220, 24, 0.1, 0.1, 10.0, 7);
+        let task = ForecastTask::new(p.generate(0), ForecastSetting::multi(8, 4), 0.6, 0.2, 2);
+        let mut m = DecompTransformerLite::new(dims(), 6, 8, DecompVariant::Autoformer, 0);
+        let before = octs_model::val_mae_scaled(&mut m, &task, 8);
+        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        assert!(report.best_val_mae < before);
+    }
+
+    #[test]
+    fn names_differ() {
+        let a = DecompTransformerLite::new(dims(), 4, 8, DecompVariant::Autoformer, 0);
+        let f = DecompTransformerLite::new(dims(), 4, 8, DecompVariant::Fedformer, 0);
+        assert_ne!(a.name(), f.name());
+    }
+}

@@ -1,0 +1,65 @@
+//! Comparator microbenches: GIN encoding, single pairwise comparisons (the
+//! unit of ranking cost in Table 13 / Fig. 7) and comparator training steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octs_comparator::{gin_encode, GinConfig, Tahc, TahcConfig};
+use octs_space::{HyperSpace, JointSpace};
+use octs_tensor::{Graph, ParamStore, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn sample_pair() -> (octs_space::ArchHyper, octs_space::ArchHyper) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let space = JointSpace::scaled();
+    (space.sample(&mut rng), space.sample(&mut rng))
+}
+
+fn bench_gin_encode(c: &mut Criterion) {
+    let (a, _) = sample_pair();
+    let enc = a.encode(&HyperSpace::scaled());
+    c.bench_function("gin_encode_scaled", |bench| {
+        let mut ps = ParamStore::new(0);
+        bench.iter(|| {
+            let g = Graph::new();
+            black_box(gin_encode(&mut ps, &g, "gin", &enc, &GinConfig::scaled()).value())
+        });
+    });
+}
+
+fn bench_compare_pair(c: &mut Criterion) {
+    let (a, b) = sample_pair();
+    let prelim = Tensor::full([6, 24, 16], 0.1);
+    let mut tahc = Tahc::new(TahcConfig::scaled(), HyperSpace::scaled(), 0);
+    c.bench_function("tahc_compare_pair", |bench| {
+        bench.iter(|| black_box(tahc.compare(Some(&prelim), &a, &b)));
+    });
+
+    let cfg = TahcConfig { task_aware: false, ..TahcConfig::scaled() };
+    let mut ahc = Tahc::new(cfg, HyperSpace::scaled(), 0);
+    c.bench_function("ahc_compare_pair_no_task", |bench| {
+        bench.iter(|| black_box(ahc.compare(None, &a, &b)));
+    });
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    let (a, b) = sample_pair();
+    let prelim = Tensor::full([6, 24, 16], 0.1);
+    let mut tahc = Tahc::new(TahcConfig::scaled(), HyperSpace::scaled(), 0);
+    let mut opt = octs_tensor::Adam::new(1e-3, 5e-4);
+    c.bench_function("tahc_train_batch_8pairs", |bench| {
+        bench.iter(|| {
+            let batch: Vec<_> = (0..8)
+                .map(|i| (Some(&prelim), &a, &b, if i % 2 == 0 { 1.0 } else { 0.0 }))
+                .collect();
+            black_box(tahc.train_batch(&mut opt, &batch))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gin_encode, bench_compare_pair, bench_train_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end phase costs backing Fig. 7: task embedding, early-validation
+//! labelling (the per-sample cost the paper's zero-shot transfer amortizes
+//! away), batch materialization and a full forecaster epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octs_comparator::{TaskEmbedConfig, TaskEmbedder, Ts2VecConfig};
+use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask, Split};
+use octs_model::{early_validation, train_forecaster, Forecaster, ModelDims, TrainConfig};
+use octs_space::JointSpace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn task() -> ForecastTask {
+    let p = DatasetProfile::custom("bench", Domain::Traffic, 6, 600, 48, 0.4, 0.1, 50.0, 21);
+    ForecastTask::new(p.generate(0), ForecastSetting::p12_q12(), 0.7, 0.1, 4)
+}
+
+fn bench_batch_creation(c: &mut Criterion) {
+    let t = task();
+    let windows: Vec<usize> = t.windows(Split::Train).into_iter().take(8).collect();
+    c.bench_function("make_batch_8_windows", |bench| {
+        bench.iter(|| black_box(t.make_batch(&windows)));
+    });
+}
+
+fn bench_task_embedding(c: &mut Criterion) {
+    let t = task();
+    let cfg = TaskEmbedConfig::scaled();
+    let ts = Ts2VecConfig { dim: cfg.fprime, steps: 0, ..Ts2VecConfig::scaled() };
+    let mut embedder = TaskEmbedder::new(cfg, ts, 1);
+    c.bench_function("preliminary_task_embedding", |bench| {
+        bench.iter(|| black_box(embedder.preliminary(&t)));
+    });
+}
+
+fn bench_early_validation(c: &mut Criterion) {
+    let t = task();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let ah = JointSpace::scaled().sample(&mut rng);
+    let cfg = TrainConfig { epochs: 1, max_train_windows: 8, max_eval_windows: 8, ..TrainConfig::test() };
+    c.bench_function("early_validation_1epoch", |bench| {
+        bench.iter(|| black_box(early_validation(&ah, &t, &cfg)));
+    });
+}
+
+fn bench_final_training_epoch(c: &mut Criterion) {
+    let t = task();
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let ah = JointSpace::scaled().sample(&mut rng);
+    let dims = ModelDims::new(t.data.n(), t.data.f(), t.setting);
+    let cfg = TrainConfig { epochs: 1, max_train_windows: 16, max_eval_windows: 8, ..TrainConfig::test() };
+    c.bench_function("forecaster_train_1epoch_16win", |bench| {
+        bench.iter(|| {
+            let mut fc = Forecaster::new(ah.clone(), dims, &t.data.adjacency, 0);
+            black_box(train_forecaster(&mut fc, &t, &cfg))
+        });
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let p = DatasetProfile::custom("gen", Domain::Traffic, 10, 1600, 288, 0.5, 0.1, 60.0, 31);
+    c.bench_function("synth_generate_10x1600", |bench| {
+        bench.iter(|| black_box(p.generate(0)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_creation, bench_task_embedding, bench_early_validation,
+              bench_final_training_epoch, bench_dataset_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Microbenches for the tensor substrate: the kernels that dominate model
+//! training cost (matmul, causal conv, softmax/attention, full backward).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octs_tensor::{Graph, Init, ParamStore, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[16usize, 32, 64] {
+        let a = Tensor::full([n, n], 0.5);
+        let b = Tensor::full([n, n], 0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul2(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_matmul_autograd(c: &mut Criterion) {
+    c.bench_function("bmm_fwd_bwd_8x12x16", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let a = g.param("a", Tensor::full([8, 12, 16], 0.1));
+            let b = g.constant(Tensor::full([16, 16], 0.2));
+            let loss = a.matmul(&b).relu().mean_all();
+            g.backward(&loss);
+            black_box(g.param_grads())
+        });
+    });
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv1d_causal");
+    for &l in &[12usize, 48, 96] {
+        let x = Tensor::full([8, 12, l], 0.3);
+        let w = Tensor::full([12, 12, 2], 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |bench, _| {
+            bench.iter(|| {
+                let g = Graph::new();
+                let xv = g.constant(x.clone());
+                let wv = g.constant(w.clone());
+                black_box(xv.conv1d(&wv, None, 2).value())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_attention(c: &mut Criterion) {
+    c.bench_function("attention_core_40x48x16", |bench| {
+        let x = Tensor::full([40, 48, 16], 0.2);
+        bench.iter(|| {
+            let g = Graph::new();
+            let q = g.constant(x.clone());
+            let k = g.constant(x.clone());
+            let scores = q.matmul(&k.transpose()).mul_scalar(0.25).softmax();
+            black_box(scores.matmul(&q).value())
+        });
+    });
+}
+
+fn bench_adam_step(c: &mut Criterion) {
+    c.bench_function("adam_step_10k_params", |bench| {
+        let mut ps = ParamStore::new(0);
+        let g = Graph::new();
+        let w = ps.var(&g, "w", &[100, 100], Init::Xavier);
+        let loss = w.mul(&w).mean_all();
+        g.backward(&loss);
+        let grads = g.param_grads();
+        let mut opt = octs_tensor::Adam::new(1e-3, 1e-4);
+        bench.iter(|| {
+            opt.step(&mut ps, &grads);
+            black_box(ps.get("w").map(Tensor::len))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_batched_matmul_autograd,
+    bench_conv1d,
+    bench_softmax_attention,
+    bench_adam_step
+);
+criterion_main!(benches);

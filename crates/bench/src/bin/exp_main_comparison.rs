@@ -1,0 +1,87 @@
+//! **Tables 5–8**: main performance comparison — zero-shot AutoCTS++ vs the
+//! eight baselines on the seven unseen target datasets, across the four
+//! forecasting settings (multi-step P-12/Q-12, P-24/Q-24, P-48/Q-48 and
+//! single-step P-168/Q-1 (3rd), scaled per DESIGN.md).
+//!
+//! ```sh
+//! cargo run --release -p octs-bench --bin exp_main_comparison [-- --quick] [-- --setting P12/Q12]
+//! ```
+
+use octs_bench::{ms, pretrained_system, results_dir, target_task, Baseline, MetricAgg, Scale, Table};
+use octs_data::{metrics::MeanStd, Mode};
+use octs_model::{train_forecaster, Forecaster, ModelDims, TrainReport};
+
+type MetricRow = (&'static str, fn(&MetricAgg) -> MeanStd);
+
+fn main() {
+    let scale = Scale::from_args();
+    let only_setting: Option<String> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--setting").map(|i| args[i + 1].clone())
+    };
+    let mut sys = pretrained_system(scale);
+    let train_cfg = scale.train_cfg();
+    let evolve_cfg = scale.evolve_cfg();
+    let seeds = scale.seeds();
+
+    for (si, setting) in scale.settings().into_iter().enumerate() {
+        if let Some(ref s) = only_setting {
+            if setting.id() != *s {
+                continue;
+            }
+        }
+        let table_no = 5 + si;
+        let is_single = setting.mode == Mode::SingleStep;
+        let mut table = Table::new(
+            &format!("Table {table_no}: performance of {} forecasting", setting.id()),
+            &[
+                "Dataset", "Metric", "AutoCTS++", "AutoSTG+", "AutoCTS", "AutoCTS+", "MTGNN",
+                "AGCRN", "PDFormer", "Autoformer", "FEDformer",
+            ],
+        );
+
+        for profile in scale.targets() {
+            let task = target_task(&profile, setting, scale, 1);
+            eprintln!("[main] {} ...", task.id());
+            let t0 = std::time::Instant::now();
+
+            // AutoCTS++: zero-shot search once, then seed-replicated training
+            // of the selected arch-hyper (mirroring the paper's protocol).
+            let outcome = sys.search(&task, &evolve_cfg, &train_cfg);
+            let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
+            let ours: Vec<TrainReport> = (0..seeds)
+                .map(|s| {
+                    let mut fc = Forecaster::new(outcome.best.clone(), dims, &task.data.adjacency, s * 7 + 1);
+                    train_forecaster(&mut fc, &task, &train_cfg.clone().with_seed(s * 13 + 1))
+                })
+                .collect();
+            let ours_agg = octs_bench::MetricAgg::from_reports(&ours);
+
+            // Baselines.
+            let base_aggs: Vec<octs_bench::MetricAgg> = Baseline::ALL
+                .iter()
+                .map(|b| octs_bench::measure_baseline(*b, &task, &train_cfg, seeds))
+                .collect();
+            eprintln!("[main]   done in {:.1?}", t0.elapsed());
+
+            let metric_rows: Vec<MetricRow> = if is_single {
+                vec![("RRSE", |a| a.rrse), ("CORR", |a| a.corr)]
+            } else {
+                vec![("MAE", |a| a.mae), ("RMSE", |a| a.rmse), ("MAPE%", |a| a.mape)]
+            };
+            for (mname, get) in metric_rows {
+                let mut cells =
+                    vec![task.data.name.clone(), mname.to_string(), {
+                        let v = get(&ours_agg);
+                        ms(v.mean, v.std)
+                    }];
+                for agg in &base_aggs {
+                    let v = get(agg);
+                    cells.push(ms(v.mean, v.std));
+                }
+                table.row(cells);
+            }
+        }
+        table.emit(results_dir(), &format!("table{table_no}_{}", setting.id().replace('/', "_")));
+    }
+}

@@ -1,0 +1,67 @@
+//! **Figure 7**: runtime of the embedding, ranking and training phases per
+//! target task and forecasting setting.
+//!
+//! The paper's claim, reproduced in shape: search latency (embedding +
+//! ranking) stays in a narrow band across tasks regardless of dataset size
+//! or setting, while the training phase varies widely — so the zero-shot
+//! search itself is "minutes-level" no matter the task.
+//!
+//! ```sh
+//! cargo run --release -p octs-bench --bin exp_runtime [-- --quick]
+//! ```
+
+use octs_bench::{pretrained_system, results_dir, target_task, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut sys = pretrained_system(scale);
+    let train_cfg = scale.train_cfg();
+    // train only the single top candidate: Fig. 7 is about phase timing
+    let evolve_cfg = octs_search::EvolveConfig { top_k: 1, ..scale.evolve_cfg() };
+
+    let mut table = Table::new(
+        "Figure 7: runtime of embedding, ranking and training phases (seconds)",
+        &["Dataset", "Setting", "Embed(s)", "Rank(s)", "Search(s)", "Train(s)"],
+    );
+
+    let mut search_times = Vec::new();
+    let mut train_times = Vec::new();
+    let mut targets = scale.targets();
+    targets.truncate(3);
+    for profile in targets {
+        for setting in scale.settings() {
+            let task = target_task(&profile, setting, scale, 1);
+            eprintln!("[runtime] {} ...", task.id());
+            let out = sys.search(&task, &evolve_cfg, &train_cfg);
+            let (e, r, t) = (
+                out.timing.embed.as_secs_f32(),
+                out.timing.rank.as_secs_f32(),
+                out.timing.train.as_secs_f32(),
+            );
+            search_times.push(e + r);
+            train_times.push(t);
+            table.row(vec![
+                task.data.name.clone(),
+                setting.id(),
+                format!("{e:.2}"),
+                format!("{r:.2}"),
+                format!("{:.2}", e + r),
+                format!("{t:.2}"),
+            ]);
+        }
+    }
+    table.emit(results_dir(), "fig7_runtime");
+
+    // Shape check: the spread of search time should be far narrower than the
+    // spread of training time.
+    let spread = |v: &[f32]| {
+        let lo = v.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        hi / lo.max(1e-9)
+    };
+    println!(
+        "\nsearch-time spread (max/min) {:.2} vs training-time spread {:.2} — search latency is stable across tasks",
+        spread(&search_times),
+        spread(&train_times)
+    );
+}

@@ -1,0 +1,115 @@
+//! **Table 13**: sample-limited performance study at P-24/Q-24 — sweep the
+//! candidate-pool size `K_s` and report accuracy + search time, against the
+//! per-task AutoCTS+-style comparator search (which must collect labelled
+//! samples for every new task) and PDFormer-lite with grid-search HPO.
+//!
+//! The paper's `K_s` reaches 600 000 on GPUs; the scaled sweep is
+//! {4096, 2048, 1024, 512, 256}, and the expected *shape* is preserved:
+//! accuracy saturates above the default `K_s` while time grows, and both
+//! per-task baselines cost orders of magnitude more time than any zero-shot
+//! column.
+//!
+//! ```sh
+//! cargo run --release -p octs-bench --bin exp_sample_limited [-- --quick]
+//! ```
+
+use octs_bench::{f, ms, pretrained_system, results_dir, target_task, Scale, Table};
+use octs_data::ForecastSetting;
+use octs_model::{train_forecaster, Forecaster, ModelDims, TrainReport};
+use octs_search::{grid_search_hpo, random_search, EvolveConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seeds = scale.seeds();
+    let train_cfg = scale.train_cfg();
+    let mut sys = pretrained_system(scale);
+
+    let ks_sweep: Vec<usize> = if scale == Scale::Quick {
+        vec![256, 64]
+    } else {
+        vec![4096, 2048, 1024, 512, 256]
+    };
+    let setting = ForecastSetting::p24_q24();
+
+    let mut targets = scale.targets();
+    targets.truncate(if scale == Scale::Quick { 1 } else { 2 });
+
+    let mut header: Vec<String> = vec!["Dataset".into(), "Metric".into()];
+    header.extend(ks_sweep.iter().map(|k| format!("Ks={k}")));
+    header.push("AutoCTS+ (per-task)".into());
+    header.push("PDFormer (grid)".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Table 13: sample-limited performance study, P-24/Q-24 forecasting",
+        &header_refs,
+    );
+
+    for profile in &targets {
+        let task = target_task(profile, setting, scale, 1);
+        eprintln!("[sample-limited] {} ...", task.id());
+        let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
+
+        let mut mae_cells = Vec::new();
+        let mut rmse_cells = Vec::new();
+        let mut time_cells = Vec::new();
+
+        // Zero-shot sweep over K_s.
+        for &ks in &ks_sweep {
+            let evolve = EvolveConfig { k_s: ks, ..scale.evolve_cfg() };
+            let t0 = Instant::now();
+            let out = sys.search(&task, &evolve, &train_cfg);
+            let search_time = out.timing.search();
+            let total = t0.elapsed();
+            let reports: Vec<TrainReport> = (0..seeds)
+                .map(|s| {
+                    let mut fc =
+                        Forecaster::new(out.best.clone(), dims, &task.data.adjacency, s * 7 + 1);
+                    train_forecaster(&mut fc, &task, &train_cfg.clone().with_seed(s * 13 + 1))
+                })
+                .collect();
+            let agg = octs_bench::MetricAgg::from_reports(&reports);
+            mae_cells.push(ms(agg.mae.mean, agg.mae.std));
+            rmse_cells.push(ms(agg.rmse.mean, agg.rmse.std));
+            time_cells.push(format!("{:.1}s", search_time.as_secs_f32()));
+            eprintln!("[sample-limited]   Ks={ks}: search {search_time:.1?}, total {total:.1?}");
+        }
+
+        // AutoCTS+-style per-task search: must label candidates from scratch
+        // for this specific task (the cost zero-shot removes).
+        let t0 = Instant::now();
+        let n_labeled = if scale == Scale::Quick { 4 } else { 12 };
+        let (_, per_task_report) = random_search(
+            &task,
+            &sys.cfg.space,
+            n_labeled,
+            &scale.label_cfg(),
+            &train_cfg,
+            11,
+        );
+        let per_task_time = t0.elapsed();
+        mae_cells.push(f(per_task_report.test.mae));
+        rmse_cells.push(f(per_task_report.test.rmse));
+        time_cells.push(format!("{:.1}s", per_task_time.as_secs_f32()));
+
+        // PDFormer with grid-search HPO over (H, I), 2×2 as in the paper.
+        let t0 = Instant::now();
+        let template = octs_baselines::autocts();
+        let (_, grid_report) = grid_search_hpo(&task, &template, &[8, 16], &[16, 32], &train_cfg);
+        let grid_time = t0.elapsed();
+        mae_cells.push(f(grid_report.test.mae));
+        rmse_cells.push(f(grid_report.test.rmse));
+        time_cells.push(format!("{:.1}s", grid_time.as_secs_f32()));
+
+        let mut row = vec![task.data.name.clone(), "MAE".to_string()];
+        row.extend(mae_cells);
+        table.row(row);
+        let mut row = vec![task.data.name.clone(), "RMSE".to_string()];
+        row.extend(rmse_cells);
+        table.row(row);
+        let mut row = vec![task.data.name.clone(), "TIME".to_string()];
+        row.extend(time_cells);
+        table.row(row);
+    }
+    table.emit(results_dir(), "table13_sample_limited");
+}

@@ -1,0 +1,218 @@
+//! **Table 4 + Figure 6**: task-similarity studies.
+//!
+//! Table 4: train the same set of arch-hypers on three tasks — (a) a
+//! PEMS08-like subset at P-12/Q-12, (b) a METR-LA-like subset at P-12/Q-12,
+//! (c) a Solar-like subset at P-48/Q-48 — and report pairwise MAE and
+//! Spearman ρ of the normalized accuracies. The expected shape: a↔b similar
+//! (small MAE, high ρ), a↔c and b↔c dissimilar.
+//!
+//! Figure 6: embed many source tasks (subsets × two settings) with the
+//! pre-trained T-AHC task pathway, project to 2-D with PCA and write the
+//! coordinates (plus a quantitative intra/inter-domain distance ratio).
+//!
+//! ```sh
+//! cargo run --release -p octs-bench --bin exp_task_similarity [-- --quick]
+//! ```
+
+use octs_bench::{f, pretrained_system, results_dir, Scale, Table};
+use octs_data::{
+    enrich::derive_subset, metrics, profile_by_name, EnrichConfig, ForecastSetting, ForecastTask,
+};
+use octs_model::early_validation;
+use octs_space::JointSpace;
+use octs_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn subset_task(profile_name: &str, setting: ForecastSetting, scale: Scale, seed: u64) -> ForecastTask {
+    let mut profile = profile_by_name(profile_name).expect("known profile");
+    if scale == Scale::Quick {
+        profile.n = profile.n.min(5);
+        profile.t = profile.t.min(700);
+    }
+    let data = profile.generate(0);
+    let cfg = EnrichConfig { time_frac: (0.5, 0.6), series_frac: (0.6, 0.8), ..Default::default() };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sub = derive_subset(&data, &cfg, &mut rng);
+    ForecastTask::new(sub, setting, 0.7, 0.15, scale.target_stride())
+}
+
+fn minmax_normalize(xs: &[f32]) -> Vec<f32> {
+    let lo = xs.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if hi > lo {
+        xs.iter().map(|&x| (x - lo) / (hi - lo)).collect()
+    } else {
+        vec![0.5; xs.len()]
+    }
+}
+
+/// Top-2 PCA via power iteration with deflation.
+fn pca2(points: &[Vec<f32>]) -> Vec<(f32, f32)> {
+    let n = points.len();
+    let d = points[0].len();
+    let mut mean = vec![0.0f32; d];
+    for p in points {
+        for (m, &v) in mean.iter_mut().zip(p) {
+            *m += v / n as f32;
+        }
+    }
+    let centered: Vec<Vec<f32>> =
+        points.iter().map(|p| p.iter().zip(&mean).map(|(&v, &m)| v - m).collect()).collect();
+    let mut cov = vec![0.0f32; d * d];
+    for p in &centered {
+        for i in 0..d {
+            for j in 0..d {
+                cov[i * d + j] += p[i] * p[j] / n as f32;
+            }
+        }
+    }
+    let power = |cov: &[f32]| -> Vec<f32> {
+        let mut v = vec![1.0f32; d];
+        for _ in 0..100 {
+            let mut nv = vec![0.0f32; d];
+            for i in 0..d {
+                for j in 0..d {
+                    nv[i] += cov[i * d + j] * v[j];
+                }
+            }
+            let norm = nv.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+            v = nv.iter().map(|x| x / norm).collect();
+        }
+        v
+    };
+    let v1 = power(&cov);
+    // deflate: cov' = cov - λ v v^T
+    let lambda = {
+        let mut av = vec![0.0f32; d];
+        for i in 0..d {
+            for j in 0..d {
+                av[i] += cov[i * d + j] * v1[j];
+            }
+        }
+        av.iter().zip(&v1).map(|(a, b)| a * b).sum::<f32>()
+    };
+    let mut cov2 = cov.clone();
+    for i in 0..d {
+        for j in 0..d {
+            cov2[i * d + j] -= lambda * v1[i] * v1[j];
+        }
+    }
+    let v2 = power(&cov2);
+    centered
+        .iter()
+        .map(|p| {
+            let x = p.iter().zip(&v1).map(|(a, b)| a * b).sum();
+            let y = p.iter().zip(&v2).map(|(a, b)| a * b).sum();
+            (x, y)
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut sys = pretrained_system(scale);
+
+    // ------------------------------------------------------------ Table 4
+    let task_a = subset_task("PEMS08", ForecastSetting::p12_q12(), scale, 1);
+    let task_b = subset_task("METR-LA", ForecastSetting::p12_q12(), scale, 2);
+    let task_c = subset_task("Solar-Energy", ForecastSetting::p48_q48(), scale, 3);
+    let tasks = [("a(PEMS08,P12)", &task_a), ("b(METR-LA,P12)", &task_b), ("c(Solar,P48)", &task_c)];
+
+    let n_samples = if scale == Scale::Quick { 8 } else { 24 };
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let space = JointSpace::scaled();
+    let ahs = space.sample_distinct(n_samples, &mut rng);
+    let label_cfg = scale.label_cfg();
+
+    eprintln!("[similarity] labelling {} arch-hypers on 3 tasks ...", ahs.len());
+    let scores: Vec<Vec<f32>> = tasks
+        .iter()
+        .map(|(_, t)| {
+            let raw: Vec<f32> = ahs.iter().map(|ah| early_validation(ah, t, &label_cfg)).collect();
+            minmax_normalize(&raw)
+        })
+        .collect();
+
+    let mut table4 = Table::new(
+        "Table 4: quantitative analysis of task similarities (normalized accuracy agreement)",
+        &["pair", "MAE", "Spearman"],
+    );
+    for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        let mae = metrics::mae(&scores[i], &scores[j]);
+        // Spearman over accuracies: negate errors so higher = better.
+        let acc_i: Vec<f32> = scores[i].iter().map(|v| -v).collect();
+        let acc_j: Vec<f32> = scores[j].iter().map(|v| -v).collect();
+        let rho = metrics::spearman(&acc_i, &acc_j);
+        table4.row(vec![
+            format!("{} and {}", tasks[i].0, tasks[j].0),
+            f(mae),
+            f(rho),
+        ]);
+    }
+    table4.emit(results_dir(), "table4_task_similarity");
+
+    // ------------------------------------------------------------ Figure 6
+    let profiles = ["PEMS03", "PEMS04", "PEMS08", "METR-LA", "ETTh1", "ETTm1", "Solar-Energy", "ExchangeRate"];
+    let settings = [ForecastSetting::p12_q12(), ForecastSetting::p48_q48()];
+    let subsets = if scale == Scale::Quick { 1 } else { 3 };
+
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let mut vectors: Vec<Vec<f32>> = Vec::new();
+    for name in profiles {
+        for setting in settings {
+            for k in 0..subsets {
+                let task = subset_task(name, setting, scale, 100 + k);
+                let prelim: Tensor = sys.embedder.preliminary(&task);
+                let v = sys.tahc.task_vector(&prelim);
+                labels.push((name.to_string(), setting.id()));
+                vectors.push(v.data().to_vec());
+            }
+        }
+    }
+    let coords = pca2(&vectors);
+
+    let mut fig6 = Table::new(
+        "Figure 6: 2-D task-embedding coordinates (PCA of T-AHC task vectors)",
+        &["dataset", "setting", "x", "y"],
+    );
+    for ((name, setting), (x, y)) in labels.iter().zip(&coords) {
+        fig6.row(vec![name.clone(), setting.clone(), f(*x), f(*y)]);
+    }
+    fig6.emit(results_dir(), "fig6_task_embeddings");
+
+    // Quantitative clustering check: mean intra-domain vs inter-domain
+    // distance in the embedding plane (the paper's clusters imply ratio < 1).
+    let domain = |name: &str| -> &'static str {
+        if name.starts_with("PEMS") || name == "METR-LA" {
+            "traffic"
+        } else if name.starts_with("ETT") {
+            "energy"
+        } else if name == "Solar-Energy" {
+            "solar"
+        } else {
+            "exchange"
+        }
+    };
+    let mut intra = Vec::new();
+    let mut inter = Vec::new();
+    for i in 0..coords.len() {
+        for j in i + 1..coords.len() {
+            let dx = coords[i].0 - coords[j].0;
+            let dy = coords[i].1 - coords[j].1;
+            let dist = (dx * dx + dy * dy).sqrt();
+            if domain(&labels[i].0) == domain(&labels[j].0) {
+                intra.push(dist);
+            } else {
+                inter.push(dist);
+            }
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    println!(
+        "\nintra-domain mean distance {:.4} vs inter-domain {:.4} (ratio {:.3}; < 1 means domains cluster)",
+        mean(&intra),
+        mean(&inter),
+        mean(&intra) / mean(&inter).max(1e-9)
+    );
+}

@@ -1,0 +1,213 @@
+//! Experiment scale control: one place mapping the paper's GPU-scale
+//! protocol onto CPU budgets. Every experiment binary accepts `--quick` to
+//! select the smaller preset; EXPERIMENTS.md records which preset produced
+//! the committed numbers.
+
+use octs_comparator::PretrainConfig;
+use octs_data::{DatasetProfile, EnrichConfig, ForecastSetting};
+use octs_model::TrainConfig;
+use octs_search::EvolveConfig;
+
+/// Scale preset for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-level full CPU run (the committed numbers).
+    Standard,
+    /// Seconds-level smoke run (CI / sanity).
+    Quick,
+}
+
+impl Scale {
+    /// Parses from CLI args: `--quick` selects [`Scale::Quick`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Standard
+        }
+    }
+
+    /// Random seeds per measurement (paper: 5).
+    pub fn seeds(self) -> u64 {
+        match self {
+            Scale::Standard => 2,
+            Scale::Quick => 1,
+        }
+    }
+
+    /// The four evaluation settings of Section 4.1.1, P-168/Q-1 (3rd)
+    /// scaled 2× down in P.
+    pub fn settings(self) -> Vec<ForecastSetting> {
+        match self {
+            Scale::Standard => vec![
+                ForecastSetting::p12_q12(),
+                ForecastSetting::p24_q24(),
+                ForecastSetting::p48_q48(),
+                ForecastSetting::p168_q1(),
+            ],
+            Scale::Quick => vec![ForecastSetting::p12_q12(), ForecastSetting::p168_q1()],
+        }
+    }
+
+    /// The unseen target dataset profiles (shrunk under `Quick`).
+    pub fn targets(self) -> Vec<DatasetProfile> {
+        let mut profiles = octs_data::target_profiles();
+        for p in &mut profiles {
+            // single-core budget: cap series count and length (DESIGN.md)
+            p.n = p.n.min(10);
+            p.t = p.t.min(1600);
+        }
+        if self == Scale::Quick {
+            profiles.truncate(3);
+            for p in &mut profiles {
+                p.n = p.n.min(6);
+                p.t = p.t.min(900);
+            }
+        }
+        profiles
+    }
+
+    /// Window stride applied to target tasks (thins the window set so
+    /// final trainings stay sub-minute on one core).
+    pub fn target_stride(self) -> usize {
+        match self {
+            Scale::Standard => 4,
+            Scale::Quick => 8,
+        }
+    }
+
+    /// Final-training configuration for searched models and baselines.
+    pub fn train_cfg(self) -> TrainConfig {
+        match self {
+            Scale::Standard => TrainConfig {
+                epochs: 6,
+                batch_size: 4,
+                lr: 3e-3,
+                weight_decay: 1e-4,
+                grad_clip: 5.0,
+                max_train_windows: 32,
+                max_eval_windows: 32,
+                patience: 2,
+                seed: 0,
+            },
+            Scale::Quick => TrainConfig { epochs: 3, ..TrainConfig::test() },
+        }
+    }
+
+    /// Early-validation (label) configuration, k = 5 epochs per the paper
+    /// under `Standard`.
+    pub fn label_cfg(self) -> TrainConfig {
+        match self {
+            Scale::Standard => TrainConfig {
+                epochs: 5,
+                batch_size: 4,
+                lr: 3e-3,
+                weight_decay: 1e-4,
+                grad_clip: 5.0,
+                max_train_windows: 24,
+                max_eval_windows: 24,
+                patience: 0,
+                seed: 0,
+            },
+            Scale::Quick => TrainConfig { epochs: 2, max_train_windows: 12, ..TrainConfig::test() },
+        }
+    }
+
+    /// Pre-training configuration (Algorithm 1).
+    pub fn pretrain_cfg(self) -> PretrainConfig {
+        match self {
+            Scale::Standard => PretrainConfig {
+                l_shared: 8,
+                l_random: 8,
+                epochs: 10,
+                batch: 16,
+                lr: 1e-3,
+                weight_decay: 5e-4,
+                curriculum_step: 1,
+                label_cfg: self.label_cfg(),
+                seed: 0,
+            },
+            Scale::Quick => PretrainConfig { label_cfg: self.label_cfg(), ..PretrainConfig::test() },
+        }
+    }
+
+    /// Source-task enrichment configuration (Fig. 5's subset creation).
+    pub fn enrich_cfg(self) -> EnrichConfig {
+        match self {
+            Scale::Standard => EnrichConfig {
+                subsets_per_dataset: 2,
+                time_frac: (0.3, 0.5),
+                series_frac: (0.5, 0.9),
+                settings: vec![ForecastSetting::p12_q12(), ForecastSetting::p24_q24()],
+                min_spans: 6,
+                stride: 4,
+                seed: 0,
+            },
+            Scale::Quick => EnrichConfig {
+                subsets_per_dataset: 1,
+                time_frac: (0.3, 0.4),
+                series_frac: (0.5, 0.8),
+                settings: vec![ForecastSetting::multi(12, 12)],
+                min_spans: 6,
+                stride: 8,
+                seed: 0,
+            },
+        }
+    }
+
+    /// Zero-shot search configuration (the paper's `K_s = 300 000` maps to
+    /// 2048 here; Table 13 sweeps this).
+    pub fn evolve_cfg(self) -> EvolveConfig {
+        match self {
+            Scale::Standard => EvolveConfig {
+                k_s: 1024,
+                tournament_rounds: 2,
+                k_p: 10,
+                generations: 5,
+                p_crossover: 0.8,
+                p_mutation: 0.2,
+                top_k: 3,
+                seed: 0,
+            },
+            Scale::Quick => EvolveConfig { k_s: 64, generations: 2, ..EvolveConfig::test() },
+        }
+    }
+
+    /// How many source profiles feed pre-training.
+    pub fn source_profiles(self) -> Vec<DatasetProfile> {
+        let mut profiles = octs_data::source_profiles();
+        for p in &mut profiles {
+            // shrink source data: labels only need a few dozen windows
+            p.t = p.t.min(1200);
+            p.n = p.n.min(8);
+        }
+        if self == Scale::Quick {
+            profiles.truncate(3);
+            for p in &mut profiles {
+                p.t = p.t.min(600);
+                p.n = p.n.min(5);
+            }
+        }
+        profiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_standard() {
+        assert!(Scale::Quick.seeds() < Scale::Standard.seeds());
+        assert!(Scale::Quick.settings().len() < Scale::Standard.settings().len());
+        assert!(Scale::Quick.evolve_cfg().k_s < Scale::Standard.evolve_cfg().k_s);
+        assert!(Scale::Quick.targets().len() <= Scale::Standard.targets().len());
+    }
+
+    #[test]
+    fn standard_keeps_all_paper_settings() {
+        let ids: Vec<String> = Scale::Standard.settings().iter().map(|s| s.id()).collect();
+        assert_eq!(ids, vec!["P12/Q12", "P24/Q24", "P48/Q48", "P84/Q3(S)"]);
+        assert_eq!(Scale::Standard.targets().len(), 7);
+    }
+}

@@ -1,0 +1,116 @@
+//! Markdown table rendering and result persistence for experiment harnesses.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple experiment table: header row + data rows, rendered as markdown
+/// and persisted as CSV under `results/`.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (e.g. "Table 5: P-12/Q-12 forecasting").
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Prints markdown to stdout and writes CSV next to `results/`.
+    pub fn emit(&self, results_dir: impl AsRef<Path>, file_stem: &str) {
+        print!("{}", self.to_markdown());
+        let dir = results_dir.as_ref();
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{file_stem}.csv"));
+            if let Err(e) = std::fs::write(&path, self.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[written] {}", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a mean ± std cell.
+pub fn ms(mean: f32, std: f32) -> String {
+    format!("{mean:.3}±{std:.3}")
+}
+
+/// Formats a bare float cell.
+pub fn f(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+/// The repository's results directory.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_shapes() {
+        let mut t = Table::new("Demo", &["model", "mae"]);
+        t.row(vec!["A".into(), ms(1.0, 0.1)]);
+        t.row(vec!["B,x".into(), f(2.0)]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| A | 1.000±0.100 |"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("model,mae"));
+        assert!(csv.contains("\"B,x\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,247 @@
+//! The (Task-aware) Architecture-Hyperparameter Comparator (Section 3.2.3).
+//!
+//! Given a task representation and two arch-hypers, T-AHC outputs a logit
+//! whose sign says which candidate forecasts more accurately on that task
+//! (Eq. 15–21). With `task_aware = false` the task pathway is dropped and the
+//! model reduces to the plain AHC of AutoCTS+ (one comparator per task).
+
+use crate::gin::{gin_encode, GinConfig};
+use crate::task_embed::{pool_task, TaskEmbedConfig};
+use octs_space::{ArchHyper, HyperSpace};
+use octs_tensor::{Graph, ParamStore, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// T-AHC architecture configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TahcConfig {
+    /// GIN encoder configuration.
+    pub gin: GinConfig,
+    /// Task-embedding configuration.
+    pub task: TaskEmbedConfig,
+    /// Width of the FC layers after concatenation.
+    pub fc_dim: usize,
+    /// When false, the comparator ignores tasks entirely (plain AHC).
+    pub task_aware: bool,
+}
+
+impl TahcConfig {
+    /// CPU-scaled defaults.
+    pub fn scaled() -> Self {
+        Self { gin: GinConfig::scaled(), task: TaskEmbedConfig::scaled(), fc_dim: 32, task_aware: true }
+    }
+
+    /// Tiny defaults for tests.
+    pub fn test() -> Self {
+        Self { gin: GinConfig { layers: 2, dim: 8 }, task: TaskEmbedConfig::test(), fc_dim: 8, task_aware: true }
+    }
+}
+
+/// The comparator model. Owns its parameters; every call builds a fresh
+/// autograd graph (train) or runs grad-free (inference).
+pub struct Tahc {
+    /// Configuration.
+    pub cfg: TahcConfig,
+    /// All trainable parameters (GIN + pooling + FC stack).
+    pub ps: ParamStore,
+    space: HyperSpace,
+}
+
+impl Tahc {
+    /// Creates an untrained comparator over the given hyperparameter space
+    /// (needed to normalize hyper vectors consistently).
+    pub fn new(cfg: TahcConfig, space: HyperSpace, seed: u64) -> Self {
+        Self { cfg, ps: ParamStore::new(seed), space }
+    }
+
+    /// The hyperparameter space encodings are normalized against.
+    pub fn space(&self) -> &HyperSpace {
+        &self.space
+    }
+
+    /// Builds the pooled-and-projected task pathway `Ẽ'` (Eq. 12 + 18).
+    fn task_path(&mut self, g: &Graph, prelim: &Tensor) -> Var {
+        let pooled = pool_task(&mut self.ps, g, "taskpool", prelim, &self.cfg.task); // [F2]
+        let x = pooled.reshape([1, self.cfg.task.f2]);
+        crate::ts2vec::layers_linear(&mut self.ps, g, "fc_e", &x, self.cfg.task.f2, self.cfg.fc_dim)
+            .relu()
+    }
+
+    /// Full forward to a logit: positive ⇒ `a` is the better (lower-error)
+    /// arch-hyper for the task.
+    pub fn logit(&mut self, g: &Graph, prelim: Option<&Tensor>, a: &ArchHyper, b: &ArchHyper) -> Var {
+        let enc_a = a.encode(&self.space);
+        let enc_b = b.encode(&self.space);
+        let la = gin_encode(&mut self.ps, g, "gin", &enc_a, &self.cfg.gin).reshape([1, self.cfg.gin.dim]);
+        let lb = gin_encode(&mut self.ps, g, "gin", &enc_b, &self.cfg.gin).reshape([1, self.cfg.gin.dim]);
+        let pair = Var::concat(&[&la, &lb], 1); // [1, 2D]
+        let pair_fc = crate::ts2vec::layers_linear(
+            &mut self.ps,
+            g,
+            "fc_l",
+            &pair,
+            2 * self.cfg.gin.dim,
+            self.cfg.fc_dim,
+        )
+        .relu();
+
+        let fused = if self.cfg.task_aware {
+            let prelim = prelim.expect("task-aware comparator needs a task embedding");
+            let task = self.task_path(g, prelim);
+            Var::concat(&[&pair_fc, &task], 1) // [1, 2*fc]
+        } else {
+            pair_fc
+        };
+        let in_dim = if self.cfg.task_aware { 2 * self.cfg.fc_dim } else { self.cfg.fc_dim };
+        let h = crate::ts2vec::layers_linear(&mut self.ps, g, "cls/fc1", &fused, in_dim, self.cfg.fc_dim)
+            .relu();
+        crate::ts2vec::layers_linear(&mut self.ps, g, "cls/fc2", &h, self.cfg.fc_dim, 1).reshape([1])
+    }
+
+    /// The pooled task representation `E'` (Eq. 12) as a plain tensor —
+    /// used by the task-similarity visualization (Fig. 6).
+    pub fn task_vector(&mut self, prelim: &Tensor) -> Tensor {
+        let g = Graph::new();
+        pool_task(&mut self.ps, &g, "taskpool", prelim, &self.cfg.task).value()
+    }
+
+    /// Inference: does `a` beat `b` on the task? (Eq. 21 with threshold 0.5
+    /// on the sigmoid ⇔ logit > 0.)
+    pub fn compare(&mut self, prelim: Option<&Tensor>, a: &ArchHyper, b: &ArchHyper) -> bool {
+        let g = Graph::new();
+        let z = self.logit(&g, prelim, a, b);
+        z.value().item() > 0.0
+    }
+
+    /// One BCE training step over a batch of labelled comparisons.
+    ///
+    /// Each element is `(preliminary embedding, a, b, y)` with `y = 1` when
+    /// `a` is the better candidate. Returns the mean BCE loss.
+    pub fn train_batch(
+        &mut self,
+        opt: &mut octs_tensor::Adam,
+        batch: &[(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)],
+    ) -> f32 {
+        assert!(!batch.is_empty());
+        let g = Graph::new();
+        let mut total: Option<Var> = None;
+        for (prelim, a, b, y) in batch {
+            let z = self.logit(&g, *prelim, a, b);
+            let loss = z.bce_with_logits(&Tensor::scalar(*y));
+            total = Some(match total {
+                Some(t) => t.add(&loss),
+                None => loss,
+            });
+        }
+        let loss = total.expect("nonempty batch").mul_scalar(1.0 / batch.len() as f32);
+        let out = loss.value().item();
+        g.backward(&loss);
+        let mut grads = g.param_grads();
+        octs_tensor::clip_grad_norm(&mut grads, 5.0);
+        opt.step(&mut self.ps, &grads);
+        out
+    }
+
+    /// Classification accuracy on held-out labelled comparisons.
+    pub fn accuracy(&mut self, samples: &[(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for (prelim, a, b, y) in samples {
+            let pred = self.compare(*prelim, a, b);
+            if pred == (*y > 0.5) {
+                correct += 1;
+            }
+        }
+        correct as f32 / samples.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_space::JointSpace;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fixture() -> (Tahc, Vec<ArchHyper>, Tensor) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ahs = space.sample_distinct(8, &mut rng);
+        let tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let prelim = Tensor::new([3, 10, 8], (0..240).map(|i| (i % 13) as f32 * 0.05).collect());
+        (tahc, ahs, prelim)
+    }
+
+    #[test]
+    fn logit_is_scalar_and_finite() {
+        let (mut t, ahs, prelim) = fixture();
+        let g = Graph::new();
+        let z = t.logit(&g, Some(&prelim), &ahs[0], &ahs[1]);
+        assert_eq!(z.shape(), vec![1]);
+        assert!(z.value().item().is_finite());
+    }
+
+    #[test]
+    fn non_task_aware_mode_ignores_task() {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ahs = space.sample_distinct(2, &mut rng);
+        let cfg = TahcConfig { task_aware: false, ..TahcConfig::test() };
+        let mut t = Tahc::new(cfg, space.hyper.clone(), 0);
+        // must not panic without a task embedding
+        let _ = t.compare(None, &ahs[0], &ahs[1]);
+    }
+
+    #[test]
+    fn comparator_learns_a_simple_rule() {
+        // Synthetic labels: prefer smaller hidden dimension H. A learnable
+        // rule that only depends on the hyper features.
+        let (mut t, ahs, prelim) = fixture();
+        let mut opt = octs_tensor::Adam::new(5e-3, 0.0);
+        let mut pairs = Vec::new();
+        for i in 0..ahs.len() {
+            for j in 0..ahs.len() {
+                if i != j && ahs[i].hyper.h != ahs[j].hyper.h {
+                    let y = if ahs[i].hyper.h < ahs[j].hyper.h { 1.0 } else { 0.0 };
+                    pairs.push((i, j, y));
+                }
+            }
+        }
+        assert!(pairs.len() >= 10);
+        for _epoch in 0..30 {
+            let batch: Vec<_> =
+                pairs.iter().map(|&(i, j, y)| (Some(&prelim), &ahs[i], &ahs[j], y)).collect();
+            t.train_batch(&mut opt, &batch);
+        }
+        let eval: Vec<_> = pairs.iter().map(|&(i, j, y)| (Some(&prelim), &ahs[i], &ahs[j], y)).collect();
+        let acc = t.accuracy(&eval);
+        assert!(acc > 0.85, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (mut t, ahs, prelim) = fixture();
+        let mut opt = octs_tensor::Adam::new(5e-3, 0.0);
+        let batch: Vec<_> = vec![
+            (Some(&prelim), &ahs[0], &ahs[1], 1.0),
+            (Some(&prelim), &ahs[1], &ahs[0], 0.0),
+            (Some(&prelim), &ahs[2], &ahs[3], 1.0),
+            (Some(&prelim), &ahs[3], &ahs[2], 0.0),
+        ];
+        let first = t.train_batch(&mut opt, &batch);
+        let mut last = first;
+        for _ in 0..20 {
+            last = t.train_batch(&mut opt, &batch);
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn comparison_is_deterministic() {
+        let (mut t, ahs, prelim) = fixture();
+        let a = t.compare(Some(&prelim), &ahs[0], &ahs[1]);
+        let b = t.compare(Some(&prelim), &ahs[0], &ahs[1]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,203 @@
+//! Comparator calibration diagnostics.
+//!
+//! A comparator's binary output hides how *confident* and how *reliable* it
+//! is. These utilities quantify both against labelled samples: accuracy as a
+//! function of the true score gap (pairs that are nearly tied are inherently
+//! hard; a healthy comparator is much better on well-separated pairs), and
+//! ranking fidelity (Kendall τ between comparator-derived and true
+//! rankings). Used by the experiment harnesses and useful to anyone
+//! deploying a pre-trained comparator on new domains.
+
+use crate::ahc::Tahc;
+use crate::pretrain::LabeledAh;
+use octs_tensor::Tensor;
+
+/// Accuracy within score-gap buckets.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// Bucket upper edges (score-gap quantiles).
+    pub gap_edges: Vec<f32>,
+    /// Pairwise accuracy per bucket (NaN for empty buckets).
+    pub accuracy: Vec<f32>,
+    /// Pairs per bucket.
+    pub counts: Vec<usize>,
+    /// Overall pairwise accuracy.
+    pub overall: f32,
+}
+
+/// Evaluates comparator accuracy bucketed by the true score gap `|R'(a) −
+/// R'(b)|` over all ordered pairs of `pool`.
+pub fn calibrate(
+    tahc: &mut Tahc,
+    prelim: Option<&Tensor>,
+    pool: &[LabeledAh],
+    buckets: usize,
+) -> CalibrationReport {
+    assert!(buckets >= 1);
+    let mut gaps: Vec<f32> = Vec::new();
+    let mut outcomes: Vec<(f32, bool)> = Vec::new();
+    for i in 0..pool.len() {
+        for j in 0..pool.len() {
+            if i == j || (pool[i].score - pool[j].score).abs() < 1e-9 {
+                continue;
+            }
+            let truth_first_better = pool[i].score < pool[j].score;
+            let predicted = tahc.compare(prelim, &pool[i].ah, &pool[j].ah);
+            let gap = (pool[i].score - pool[j].score).abs();
+            gaps.push(gap);
+            outcomes.push((gap, predicted == truth_first_better));
+        }
+    }
+    if outcomes.is_empty() {
+        return CalibrationReport { gap_edges: vec![], accuracy: vec![], counts: vec![], overall: 0.0 };
+    }
+    gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+    let edges: Vec<f32> = (1..=buckets)
+        .map(|b| gaps[(b * gaps.len() / buckets).saturating_sub(1).min(gaps.len() - 1)])
+        .collect();
+
+    let mut correct = vec![0usize; buckets];
+    let mut counts = vec![0usize; buckets];
+    let mut total_correct = 0usize;
+    for (gap, ok) in &outcomes {
+        let bucket = edges.iter().position(|&e| *gap <= e).unwrap_or(buckets - 1);
+        counts[bucket] += 1;
+        if *ok {
+            correct[bucket] += 1;
+            total_correct += 1;
+        }
+    }
+    let accuracy: Vec<f32> = correct
+        .iter()
+        .zip(&counts)
+        .map(|(&c, &n)| if n > 0 { c as f32 / n as f32 } else { f32::NAN })
+        .collect();
+    CalibrationReport {
+        gap_edges: edges,
+        accuracy,
+        counts,
+        overall: total_correct as f32 / outcomes.len() as f32,
+    }
+}
+
+/// Kendall τ between the comparator's round-robin ranking of `pool` and the
+/// true score ranking (1.0 = identical order).
+pub fn ranking_fidelity(tahc: &mut Tahc, prelim: Option<&Tensor>, pool: &[LabeledAh]) -> f32 {
+    let k = pool.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut wins = vec![0usize; k];
+    for i in 0..k {
+        for j in i + 1..k {
+            if tahc.compare(prelim, &pool[i].ah, &pool[j].ah) {
+                wins[i] += 1;
+            } else {
+                wins[j] += 1;
+            }
+        }
+    }
+    // more wins = better; lower score = better ⇒ compare wins against -score
+    let wins_f: Vec<f32> = wins.iter().map(|&w| w as f32).collect();
+    let neg_scores: Vec<f32> = pool.iter().map(|l| -l.score).collect();
+    octs_data::metrics::kendall_tau(&wins_f, &neg_scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ahc::TahcConfig;
+    use octs_space::{HyperSpace, JointSpace};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn pool_with_rule() -> Vec<LabeledAh> {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        JointSpace::scaled()
+            .sample_distinct(8, &mut rng)
+            .into_iter()
+            .map(|ah| {
+                let score = ah.hyper.h as f32;
+                LabeledAh { ah, score }
+            })
+            .collect()
+    }
+
+    fn trained_comparator(pool: &[LabeledAh]) -> Tahc {
+        let mut tahc = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            HyperSpace::scaled(),
+            0,
+        );
+        let mut opt = octs_tensor::Adam::new(5e-3, 0.0);
+        for _ in 0..30 {
+            let mut batch = Vec::new();
+            for i in 0..pool.len() {
+                for j in 0..pool.len() {
+                    if pool[i].score != pool[j].score {
+                        let y = if pool[i].score < pool[j].score { 1.0 } else { 0.0 };
+                        batch.push((None, &pool[i].ah, &pool[j].ah, y));
+                    }
+                }
+            }
+            tahc.train_batch(&mut opt, &batch);
+        }
+        tahc
+    }
+
+    #[test]
+    fn trained_comparator_calibrates_well() {
+        let pool = pool_with_rule();
+        let mut tahc = trained_comparator(&pool);
+        let report = calibrate(&mut tahc, None, &pool, 3);
+        assert!(report.overall > 0.8, "overall {:.3}", report.overall);
+        assert_eq!(report.accuracy.len(), 3);
+        assert_eq!(report.counts.iter().sum::<usize>(), 8 * 7 - /*ties h==h*/ count_ties(&pool));
+    }
+
+    fn count_ties(pool: &[LabeledAh]) -> usize {
+        let mut ties = 0;
+        for i in 0..pool.len() {
+            for j in 0..pool.len() {
+                if i != j && (pool[i].score - pool[j].score).abs() < 1e-9 {
+                    ties += 1;
+                }
+            }
+        }
+        ties
+    }
+
+    #[test]
+    fn untrained_comparator_near_chance() {
+        let pool = pool_with_rule();
+        let mut tahc = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            HyperSpace::scaled(),
+            3,
+        );
+        let report = calibrate(&mut tahc, None, &pool, 2);
+        assert!(report.overall < 0.95, "untrained should not be near-perfect");
+        assert!(report.overall.is_finite());
+    }
+
+    #[test]
+    fn ranking_fidelity_bounds() {
+        let pool = pool_with_rule();
+        let mut trained = trained_comparator(&pool);
+        let tau_trained = ranking_fidelity(&mut trained, None, &pool);
+        assert!((-1.0..=1.0).contains(&tau_trained));
+        assert!(tau_trained > 0.5, "trained τ {tau_trained}");
+    }
+
+    #[test]
+    fn empty_pool_is_safe() {
+        let mut tahc = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            HyperSpace::scaled(),
+            0,
+        );
+        let report = calibrate(&mut tahc, None, &[], 3);
+        assert_eq!(report.overall, 0.0);
+        assert_eq!(ranking_fidelity(&mut tahc, None, &[]), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Graph Isomorphism Network encoder over arch-hyper graphs (Eq. 13–14).
+
+use octs_space::{ArchHyperEncoding, HyperParams, OpKind, MAX_ENC_NODES};
+use octs_tensor::{Graph, Init, ParamStore, Tensor, Var};
+
+/// GIN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GinConfig {
+    /// Number of GIN layers `L_n` (paper: 4).
+    pub layers: usize,
+    /// Hidden width `D` (paper: 128).
+    pub dim: usize,
+}
+
+impl GinConfig {
+    /// Paper-scale configuration.
+    pub fn paper() -> Self {
+        Self { layers: 4, dim: 128 }
+    }
+
+    /// CPU-scaled configuration used by the experiments here.
+    pub fn scaled() -> Self {
+        Self { layers: 2, dim: 32 }
+    }
+}
+
+/// Builds the node feature matrix `F_a` (Eq. 7–8): operator one-hots through
+/// `W_e`, the normalized hyper vector through `W_c`, zero padding after.
+fn node_features(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    enc: &ArchHyperEncoding,
+    dim: usize,
+) -> Var {
+    let we = ps.var(g, &format!("{name}/we"), &[OpKind::COUNT, dim], Init::Xavier);
+    let wc = ps.var(g, &format!("{name}/wc"), &[HyperParams::R, dim], Init::Xavier);
+    let one_hot = g.constant(Tensor::new([enc.num_ops, OpKind::COUNT], enc.op_one_hot()));
+    let op_feats = one_hot.matmul(&we); // [num_ops, D]
+    let hyper = g.constant(Tensor::new([1, HyperParams::R], enc.hyper_norm.to_vec()));
+    let hyper_feat = hyper.matmul(&wc); // [1, D]
+    let pad_rows = MAX_ENC_NODES - enc.num_active();
+    if pad_rows > 0 {
+        let pad = g.constant(Tensor::zeros([pad_rows, dim]));
+        Var::concat(&[&op_feats, &hyper_feat, &pad], 0)
+    } else {
+        Var::concat(&[&op_feats, &hyper_feat], 0)
+    }
+}
+
+/// Encodes an arch-hyper graph into a `[dim]` embedding: `L_n` GIN layers
+/// `H^k = MLP^k((1+ε)·H^{k-1} + A·H^{k-1})`, read out at the Hyper node
+/// (which connects to all operators, so it aggregates the whole graph).
+pub fn gin_encode(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    enc: &ArchHyperEncoding,
+    cfg: &GinConfig,
+) -> Var {
+    let dim = cfg.dim;
+    let adj = g.constant(Tensor::new([MAX_ENC_NODES, MAX_ENC_NODES], enc.adj.clone()));
+    let mut h = node_features(ps, g, name, enc, dim);
+    for layer in 0..cfg.layers {
+        let eps = ps.var(g, &format!("{name}/l{layer}/eps"), &[1], Init::Zeros);
+        // (1 + eps) * H  — eps is a learnable scalar broadcast via mul_scalar
+        // composition: H*(1) + H*eps
+        let eps_row = eps.reshape([1]); // [1]
+        // broadcast eps over all entries: H + H*eps (elementwise scalar mult)
+        let h_eps = scale_by_scalar_var(g, &h, &eps_row);
+        let agg = adj.matmul(&h).add(&h).add(&h_eps);
+        let l1 = crate::gin::gin_mlp(ps, g, &format!("{name}/l{layer}/mlp"), &agg, dim);
+        h = l1;
+    }
+    // Readout: the Hyper node's row.
+    h.slice_axis(0, enc.hyper_index, 1).reshape([dim])
+}
+
+/// Two-layer MLP with ReLU used inside each GIN layer.
+pub fn gin_mlp(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, dim: usize) -> Var {
+    let w1 = ps.var(g, &format!("{name}/w1"), &[dim, dim], Init::Xavier);
+    let b1 = ps.var(g, &format!("{name}/b1"), &[dim], Init::Zeros);
+    let w2 = ps.var(g, &format!("{name}/w2"), &[dim, dim], Init::Xavier);
+    let b2 = ps.var(g, &format!("{name}/b2"), &[dim], Init::Zeros);
+    x.matmul(&w1).add_bias(&b1).relu().matmul(&w2).add_bias(&b2)
+}
+
+/// Multiplies every element of `x` by a learnable scalar var (shape `[1]`).
+fn scale_by_scalar_var(g: &Graph, x: &Var, s: &Var) -> Var {
+    // Expand s to x's shape by outer product with ones: cheap at our sizes.
+    let shape = x.shape();
+    let numel: usize = shape.iter().product();
+    let ones = g.constant(Tensor::ones([numel, 1]));
+    let s_col = s.reshape([1, 1]);
+    let expanded = ones.matmul(&s_col).reshape(shape);
+    x.mul(&expanded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_space::{ArchHyper, HyperSpace, JointSpace};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn encode_of(ah: &ArchHyper) -> ArchHyperEncoding {
+        ah.encode(&HyperSpace::scaled())
+    }
+
+    #[test]
+    fn embedding_shape_and_finiteness() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let space = JointSpace::scaled();
+        let ah = space.sample(&mut rng);
+        let g = Graph::new();
+        let mut ps = ParamStore::new(0);
+        let emb = gin_encode(&mut ps, &g, "gin", &encode_of(&ah), &GinConfig::scaled());
+        assert_eq!(emb.shape(), vec![32]);
+        assert!(emb.value().all_finite());
+    }
+
+    #[test]
+    fn different_archhypers_different_embeddings() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let space = JointSpace::scaled();
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let mut ps = ParamStore::new(0);
+        let g = Graph::new();
+        let ea = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        let eb = gin_encode(&mut ps, &g, "gin", &encode_of(&b), &GinConfig::scaled()).value();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn shared_weights_same_input_same_embedding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let space = JointSpace::scaled();
+        let a = space.sample(&mut rng);
+        let mut ps = ParamStore::new(0);
+        let g = Graph::new();
+        let e1 = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        let e2 = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn hyperparameters_affect_embedding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let space = JointSpace::scaled();
+        let a = space.sample(&mut rng);
+        let mut b = a.clone();
+        b.hyper.h = if a.hyper.h == 8 { 16 } else { 8 };
+        let mut ps = ParamStore::new(0);
+        let g = Graph::new();
+        let ea = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        let eb = gin_encode(&mut ps, &g, "gin", &encode_of(&b), &GinConfig::scaled()).value();
+        assert_ne!(ea, eb, "hyper change must alter the embedding");
+    }
+
+    #[test]
+    fn gradients_flow_to_feature_projections() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let space = JointSpace::scaled();
+        let ah = space.sample(&mut rng);
+        let g = Graph::new();
+        let mut ps = ParamStore::new(0);
+        let emb = gin_encode(&mut ps, &g, "gin", &encode_of(&ah), &GinConfig::scaled());
+        g.backward(&emb.mean_all());
+        let grads = g.param_grads();
+        assert!(grads.iter().any(|(n, _)| n == "gin/we"));
+        assert!(grads.iter().any(|(n, _)| n == "gin/wc"));
+        assert!(grads.iter().any(|(n, _)| n.contains("/mlp/")));
+    }
+}

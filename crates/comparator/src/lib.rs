@@ -1,0 +1,31 @@
+//! # octs-comparator
+//!
+//! The Task-aware Architecture-Hyperparameter Comparator (T-AHC) of
+//! AutoCTS+/AutoCTS++ (Section 3.2): a GIN encoder over dual arch-hyper
+//! graphs, a TS2Vec-style frozen task encoder with a trainable two-stacked
+//! Set-Transformer pooling (IntraSetPool / InterSetPool), a pairwise
+//! classification head, and the curriculum pre-training pipeline of
+//! Algorithm 1 (shared + random samples, early-validation labels, dynamic
+//! pairing).
+//!
+//! With `task_aware = false` the model degrades gracefully to the plain AHC
+//! of AutoCTS+ (per-task comparator without zero-shot transfer).
+
+#![warn(missing_docs)]
+
+pub mod ahc;
+pub mod calibration;
+pub mod gin;
+pub mod pretrain;
+pub mod task_embed;
+pub mod ts2vec;
+
+pub use ahc::{Tahc, TahcConfig};
+pub use calibration::{calibrate, ranking_fidelity, CalibrationReport};
+pub use gin::{gin_encode, GinConfig};
+pub use pretrain::{
+    collect_bank, collect_labels, dynamic_pairs, embed_tasks, pretrain_tahc, LabeledAh,
+    PretrainBank, PretrainConfig, PretrainReport, TaskSamples,
+};
+pub use task_embed::{pma, pool_task, EmbedKind, PoolKind, TaskEmbedConfig, TaskEmbedder};
+pub use ts2vec::{Ts2Vec, Ts2VecConfig};

@@ -1,0 +1,344 @@
+//! T-AHC pre-training (Section 3.2.4, Algorithm 1): label collection with the
+//! early-validation proxy, shared + random samples, data-level curriculum and
+//! dynamic pairing.
+
+use crate::ahc::Tahc;
+use crate::task_embed::TaskEmbedder;
+use octs_data::ForecastTask;
+use octs_model::{early_validation, TrainConfig};
+use octs_space::{ArchHyper, JointSpace};
+use octs_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// An arch-hyper with its early-validation score `R'` (lower = better).
+#[derive(Debug, Clone)]
+pub struct LabeledAh {
+    /// The candidate.
+    pub ah: ArchHyper,
+    /// Early-validation MAE (scaled units).
+    pub score: f32,
+}
+
+/// Labelled samples for one pre-training task.
+#[derive(Debug, Clone)]
+pub struct TaskSamples {
+    /// The `L` arch-hypers shared across *all* tasks (easy knowledge: lets
+    /// T-AHC read task similarity off a common yardstick).
+    pub shared: Vec<LabeledAh>,
+    /// The `L` task-specific random arch-hypers (hard knowledge).
+    pub random: Vec<LabeledAh>,
+}
+
+/// Everything the pre-training loop consumes.
+pub struct PretrainBank {
+    /// The pre-training tasks.
+    pub tasks: Vec<ForecastTask>,
+    /// Frozen preliminary embeddings, one `[W, S, F']` tensor per task.
+    pub prelims: Vec<Tensor>,
+    /// Labelled samples per task.
+    pub samples: Vec<TaskSamples>,
+}
+
+/// Pre-training knobs.
+#[derive(Debug, Clone)]
+pub struct PretrainConfig {
+    /// Shared sample count `L` per task.
+    pub l_shared: usize,
+    /// Random sample count `L` per task.
+    pub l_random: usize,
+    /// Training epochs `k_t`.
+    pub epochs: usize,
+    /// Pairs per comparator batch.
+    pub batch: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Adam weight decay (paper: 5e-4).
+    pub weight_decay: f32,
+    /// Curriculum increment: how many random samples join per epoch (Δ).
+    pub curriculum_step: usize,
+    /// Configuration of the early-validation labelling runs (k epochs).
+    pub label_cfg: TrainConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PretrainConfig {
+    /// CPU-scaled defaults.
+    pub fn scaled() -> Self {
+        Self {
+            l_shared: 8,
+            l_random: 8,
+            epochs: 12,
+            batch: 16,
+            lr: 1e-3,
+            weight_decay: 5e-4,
+            curriculum_step: 1,
+            label_cfg: TrainConfig::early_validation(),
+            seed: 0,
+        }
+    }
+
+    /// Tiny defaults for tests.
+    pub fn test() -> Self {
+        Self {
+            l_shared: 4,
+            l_random: 4,
+            epochs: 3,
+            batch: 8,
+            lr: 2e-3,
+            weight_decay: 0.0,
+            curriculum_step: 2,
+            label_cfg: TrainConfig::test(),
+            seed: 0,
+        }
+    }
+}
+
+/// Labels shared + per-task random arch-hypers with the early-validation
+/// proxy (parallel over candidates). This is the expensive phase of bank
+/// collection and is *embedder-independent*, so ablation studies run it once
+/// and share the result across comparator variants.
+pub fn collect_labels(
+    tasks: &[ForecastTask],
+    space: &JointSpace,
+    cfg: &PretrainConfig,
+) -> Vec<TaskSamples> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let shared_pool = space.sample_distinct(cfg.l_shared.max(1), &mut rng);
+    let shared_pool = &shared_pool[..cfg.l_shared];
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(ti, task)| {
+            let mut trng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (ti as u64 + 1) << 8);
+            let randoms = space.sample_distinct(cfg.l_random, &mut trng);
+            let label = |ahs: &[ArchHyper]| -> Vec<LabeledAh> {
+                ahs.par_iter()
+                    .map(|ah| LabeledAh {
+                        ah: ah.clone(),
+                        score: early_validation(ah, task, &cfg.label_cfg),
+                    })
+                    .collect()
+            };
+            TaskSamples { shared: label(shared_pool), random: label(&randoms) }
+        })
+        .collect()
+}
+
+/// Precomputes the frozen preliminary embedding of every task.
+pub fn embed_tasks(tasks: &[ForecastTask], embedder: &mut TaskEmbedder) -> Vec<Tensor> {
+    tasks.iter().map(|t| embedder.preliminary(t)).collect()
+}
+
+/// Collects the pre-training bank: samples shared and per-task random
+/// arch-hypers, labels each with the early-validation proxy (parallel over
+/// candidates), and precomputes preliminary task embeddings.
+pub fn collect_bank(
+    tasks: Vec<ForecastTask>,
+    embedder: &mut TaskEmbedder,
+    space: &JointSpace,
+    cfg: &PretrainConfig,
+) -> PretrainBank {
+    let prelims = embed_tasks(&tasks, embedder);
+    let samples = collect_labels(&tasks, space, cfg);
+    PretrainBank { tasks, prelims, samples }
+}
+
+/// Outcome of pre-training.
+#[derive(Debug, Clone)]
+pub struct PretrainReport {
+    /// Mean BCE loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Pairwise classification accuracy on freshly-paired held-out
+    /// comparisons after training.
+    pub holdout_accuracy: f32,
+}
+
+/// Builds dynamically-paired comparisons from a pool of labelled samples:
+/// shuffles, pairs consecutive entries, labels by score order, and drops
+/// near-ties that carry no ranking signal.
+pub fn dynamic_pairs<'a>(
+    pool: &'a [LabeledAh],
+    rng: &mut ChaCha8Rng,
+) -> Vec<(&'a ArchHyper, &'a ArchHyper, f32)> {
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    idx.shuffle(rng);
+    let mut out = Vec::new();
+    for pair in idx.chunks_exact(2) {
+        let (a, b) = (&pool[pair[0]], &pool[pair[1]]);
+        if (a.score - b.score).abs() < 1e-6 {
+            continue;
+        }
+        let y = if a.score < b.score { 1.0 } else { 0.0 };
+        out.push((&a.ah, &b.ah, y));
+    }
+    out
+}
+
+/// Algorithm 1: curriculum pre-training of T-AHC over the bank.
+pub fn pretrain_tahc(tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> PretrainReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xA1);
+    let mut opt = octs_tensor::Adam::new(cfg.lr, cfg.weight_decay);
+    let use_task = tahc.cfg.task_aware;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut delta = 0usize;
+
+    for _epoch in 0..cfg.epochs {
+        // Gather this epoch's pairs across all tasks (curriculum C_t).
+        let mut all: Vec<(usize, &ArchHyper, &ArchHyper, f32)> = Vec::new();
+        for (ti, s) in bank.samples.iter().enumerate() {
+            let mut pool: Vec<LabeledAh> = s.shared.clone();
+            pool.extend(s.random.iter().take(delta).cloned());
+            // Dynamic pairing needs owned shuffle; borrow via indices below.
+            let mut idx: Vec<usize> = (0..pool.len()).collect();
+            idx.shuffle(&mut rng);
+            for pair in idx.chunks_exact(2) {
+                let (a, b) = (&pool[pair[0]], &pool[pair[1]]);
+                if (a.score - b.score).abs() < 1e-6 {
+                    continue;
+                }
+                let y = if a.score < b.score { 1.0 } else { 0.0 };
+                // resolve back to the bank's stable storage for lifetimes
+                let find = |x: &LabeledAh| -> &ArchHyper {
+                    s.shared
+                        .iter()
+                        .chain(s.random.iter())
+                        .find(|l| l.ah == x.ah)
+                        .map(|l| &l.ah)
+                        .expect("sample came from the bank")
+                };
+                all.push((ti, find(a), find(b), y));
+            }
+        }
+        all.shuffle(&mut rng);
+
+        let mut loss_sum = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in all.chunks(cfg.batch) {
+            let batch: Vec<_> = chunk
+                .iter()
+                .map(|(ti, a, b, y)| {
+                    let prelim = if use_task { Some(&bank.prelims[*ti]) } else { None };
+                    (prelim, *a, *b, *y)
+                })
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            loss_sum += tahc.train_batch(&mut opt, &batch);
+            batches += 1;
+        }
+        epoch_losses.push(if batches > 0 { loss_sum / batches as f32 } else { f32::NAN });
+        delta = (delta + cfg.curriculum_step).min(cfg.l_random);
+    }
+
+    // Hold-out evaluation: fresh pairings over the full pools.
+    let mut eval_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE7A1);
+    let mut eval: Vec<(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)> = Vec::new();
+    for (ti, s) in bank.samples.iter().enumerate() {
+        let pool: Vec<&LabeledAh> = s.shared.iter().chain(s.random.iter()).collect();
+        let mut idx: Vec<usize> = (0..pool.len()).collect();
+        idx.shuffle(&mut eval_rng);
+        for pair in idx.chunks_exact(2) {
+            let (a, b) = (pool[pair[0]], pool[pair[1]]);
+            if (a.score - b.score).abs() < 1e-6 {
+                continue;
+            }
+            let y = if a.score < b.score { 1.0 } else { 0.0 };
+            let prelim = if use_task { Some(&bank.prelims[ti]) } else { None };
+            eval.push((prelim, &a.ah, &b.ah, y));
+        }
+    }
+    let holdout_accuracy = tahc.accuracy(&eval);
+    PretrainReport { epoch_losses, holdout_accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ahc::TahcConfig;
+    use crate::task_embed::TaskEmbedConfig;
+    use crate::ts2vec::Ts2VecConfig;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting};
+
+    fn tiny_tasks(n: usize) -> Vec<ForecastTask> {
+        (0..n)
+            .map(|i| {
+                let p = DatasetProfile::custom(
+                    &format!("pt{i}"),
+                    if i % 2 == 0 { Domain::Traffic } else { Domain::Energy },
+                    3,
+                    200,
+                    24,
+                    0.3,
+                    0.1,
+                    10.0,
+                    40 + i as u64,
+                );
+                ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 2)
+            })
+            .collect()
+    }
+
+    fn tiny_embedder() -> TaskEmbedder {
+        TaskEmbedder::new(TaskEmbedConfig::test(), Ts2VecConfig::test(), 1)
+    }
+
+    #[test]
+    fn bank_collection_shapes() {
+        let tasks = tiny_tasks(2);
+        let mut emb = tiny_embedder();
+        let cfg = PretrainConfig { l_shared: 3, l_random: 3, ..PretrainConfig::test() };
+        let bank = collect_bank(tasks, &mut emb, &JointSpace::tiny(), &cfg);
+        assert_eq!(bank.tasks.len(), 2);
+        assert_eq!(bank.prelims.len(), 2);
+        for s in &bank.samples {
+            assert_eq!(s.shared.len(), 3);
+            assert_eq!(s.random.len(), 3);
+            assert!(s.shared.iter().all(|l| l.score.is_finite()));
+        }
+        // shared arch-hypers identical across tasks
+        for i in 0..3 {
+            assert_eq!(bank.samples[0].shared[i].ah, bank.samples[1].shared[i].ah);
+        }
+    }
+
+    #[test]
+    fn dynamic_pairs_label_by_score() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let space = JointSpace::tiny();
+        let ahs = space.sample_distinct(4, &mut rng);
+        let pool: Vec<LabeledAh> = ahs
+            .iter()
+            .enumerate()
+            .map(|(i, ah)| LabeledAh { ah: ah.clone(), score: i as f32 })
+            .collect();
+        let pairs = dynamic_pairs(&pool, &mut rng);
+        assert_eq!(pairs.len(), 2);
+        for (a, b, y) in pairs {
+            let sa = pool.iter().find(|l| &l.ah == a).unwrap().score;
+            let sb = pool.iter().find(|l| &l.ah == b).unwrap().score;
+            assert_eq!(y > 0.5, sa < sb);
+        }
+    }
+
+    #[test]
+    fn pretraining_improves_over_chance() {
+        let tasks = tiny_tasks(2);
+        let mut emb = tiny_embedder();
+        let space = JointSpace::tiny();
+        let cfg = PretrainConfig { epochs: 8, ..PretrainConfig::test() };
+        let bank = collect_bank(tasks, &mut emb, &space, &cfg);
+        let mut tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let report = pretrain_tahc(&mut tahc, &bank, &cfg);
+        assert_eq!(report.epoch_losses.len(), 8);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        // losses should generally decline
+        let first = report.epoch_losses.first().unwrap();
+        let last = report.epoch_losses.last().unwrap();
+        assert!(last <= first, "{first} -> {last}");
+    }
+}

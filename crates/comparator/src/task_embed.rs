@@ -1,0 +1,290 @@
+//! The task-embedding module (Section 3.2.2): frozen preliminary embeddings
+//! from TS2Vec plus the trainable two-stacked Set-Transformer pooling
+//! (IntraSetPool / InterSetPool, Eq. 10–12).
+
+use crate::ts2vec::{Ts2Vec, Ts2VecConfig};
+use octs_data::{ForecastTask, Split};
+use octs_tensor::{Graph, Init, ParamStore, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// How preliminary embeddings are produced (ablation `w/o TS2Vec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmbedKind {
+    /// The TS2Vec-style contrastive encoder (default).
+    Ts2Vec,
+    /// A frozen random per-step MLP — no temporal context, the paper's
+    /// ablation stand-in that "ignores the semantic information".
+    Mlp,
+}
+
+/// How window embeddings are pooled into a task vector
+/// (ablation `w/o Set-Transformer`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// IntraSetPool + InterSetPool attention pooling (default).
+    SetTransformer,
+    /// Plain mean pooling over time and windows.
+    MeanPool,
+}
+
+/// Configuration of the task-embedding pathway.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskEmbedConfig {
+    /// Number of windows `{D_i}` sampled per task.
+    pub windows: usize,
+    /// Preliminary embedding source.
+    pub embed: EmbedKind,
+    /// Pooling variant.
+    pub pool: PoolKind,
+    /// Encoder output width `F'`.
+    pub fprime: usize,
+    /// IntraSetPool output width `F₁`.
+    pub f1: usize,
+    /// InterSetPool output width `F₂` (the task-vector width).
+    pub f2: usize,
+    /// Seed for the frozen encoder.
+    pub seed: u64,
+}
+
+impl TaskEmbedConfig {
+    /// CPU-scaled defaults (paper: F' 256, F₁ 256, F₂ 128).
+    pub fn scaled() -> Self {
+        Self { windows: 6, embed: EmbedKind::Ts2Vec, pool: PoolKind::SetTransformer, fprime: 16, f1: 32, f2: 16, seed: 0 }
+    }
+
+    /// Tiny defaults for unit tests.
+    pub fn test() -> Self {
+        Self { windows: 3, embed: EmbedKind::Ts2Vec, pool: PoolKind::SetTransformer, fprime: 8, f1: 8, f2: 8, seed: 0 }
+    }
+}
+
+/// Produces *frozen* preliminary task embeddings: samples `W` windows of span
+/// `P + Q` from the task's training region, encodes them (Eq. 9) and averages
+/// over the `N` series (Eq. 10), yielding `[W, S, F']`.
+pub struct TaskEmbedder {
+    /// Configuration.
+    pub cfg: TaskEmbedConfig,
+    encoder: Ts2Vec,
+    mlp_proj: Tensor,
+}
+
+impl TaskEmbedder {
+    /// Builds an embedder. For [`EmbedKind::Ts2Vec`] the caller should
+    /// [`TaskEmbedder::pretrain_encoder`] before embedding tasks.
+    pub fn new(cfg: TaskEmbedConfig, ts_cfg: Ts2VecConfig, input_dim: usize) -> Self {
+        assert_eq!(ts_cfg.dim, cfg.fprime, "encoder dim must match fprime");
+        use rand::SeedableRng;
+        let mut init_rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x4D31);
+        let mlp_proj = octs_tensor::init::xavier([input_dim, cfg.fprime], &mut init_rng);
+        Self { cfg, encoder: Ts2Vec::new(ts_cfg, input_dim), mlp_proj }
+    }
+
+    /// Pre-trains the TS2Vec encoder on the given datasets (no-op effect for
+    /// the MLP ablation, which stays frozen-random).
+    pub fn pretrain_encoder(&mut self, datasets: &[&octs_data::CtsData]) {
+        if self.cfg.embed == EmbedKind::Ts2Vec {
+            self.encoder.pretrain(datasets);
+        }
+    }
+
+    /// Access to the underlying TS2Vec encoder (e.g. for checkpointing).
+    pub fn encoder(&self) -> &Ts2Vec {
+        &self.encoder
+    }
+
+    /// Mutable access to the underlying TS2Vec encoder.
+    pub fn encoder_mut(&mut self) -> &mut Ts2Vec {
+        &mut self.encoder
+    }
+
+    /// Preliminary embedding of a task: `[W, S, F']`, frozen.
+    pub fn preliminary(&mut self, task: &ForecastTask) -> Tensor {
+        let span = task.setting.span();
+        let n = task.data.n();
+        let f = task.data.f();
+        let train_windows = task.windows(Split::Train);
+        assert!(!train_windows.is_empty(), "task {} has no training windows", task.id());
+        let w = self.cfg.windows;
+        // evenly spread W window starts across the training region
+        let starts: Vec<usize> = (0..w)
+            .map(|i| {
+                let idx = if w == 1 { 0 } else { i * (train_windows.len() - 1) / (w - 1) };
+                train_windows[idx]
+            })
+            .collect();
+        let mut out = Tensor::zeros([w, span, self.cfg.fprime]);
+        for (wi, &start) in starts.iter().enumerate() {
+            // window [N, S, F]
+            let mut win = Tensor::zeros([n, span, f]);
+            for s in 0..n {
+                for t in 0..span {
+                    for feat in 0..f {
+                        *win.at_mut(&[s, t, feat]) = task.data.value(s, start + t, feat);
+                    }
+                }
+            }
+            let emb = match self.cfg.embed {
+                EmbedKind::Ts2Vec => self.encoder.encode(&win), // [N, S, F']
+                EmbedKind::Mlp => {
+                    // frozen per-step projection of z-scored values
+                    let normed = crate::ts2vec::znorm_window(&win);
+                    let g = Graph::new();
+                    let x = g.constant(normed.reshaped([n * span, f]));
+                    let wmat = g.constant(self.mlp_proj.clone());
+                    x.matmul(&wmat).tanh().value().reshaped([n, span, self.cfg.fprime])
+                }
+            };
+            // Eq. 10: mean over the N series
+            for t in 0..span {
+                for d in 0..self.cfg.fprime {
+                    let mut acc = 0.0f32;
+                    for s in 0..n {
+                        acc += emb.at(&[s, t, d]);
+                    }
+                    *out.at_mut(&[wi, t, d]) = acc / n as f32;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pooling-by-attention (Set-Transformer PMA, single head, single seed):
+/// `x` is `[B, K, d]`; a learnable seed attends over the K elements, followed
+/// by a residual feed-forward. Returns `[B, d]`.
+pub fn pma(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, d: usize) -> Var {
+    let b = x.shape()[0];
+    let seed = ps.var(g, &format!("{name}/seed"), &[1, d], Init::Normal(0.5));
+    let wq = ps.var(g, &format!("{name}/wq"), &[d, d], Init::Xavier);
+    let wk = ps.var(g, &format!("{name}/wk"), &[d, d], Init::Xavier);
+    let wv = ps.var(g, &format!("{name}/wv"), &[d, d], Init::Xavier);
+    let q = seed.matmul(&wq); // [1, d]
+    let k = x.matmul(&wk); // [B, K, d]
+    let v = x.matmul(&wv);
+    let scores = q.matmul(&k.transpose()).mul_scalar(1.0 / (d as f32).sqrt()); // [B, 1, K]
+    let attn = scores.softmax();
+    let ctx = attn.matmul(&v).reshape([b, d]); // [B, d]
+    // residual feed-forward
+    let ff = crate::ts2vec::layers_linear(ps, g, &format!("{name}/ff1"), &ctx, d, d).relu();
+    let ff2 = crate::ts2vec::layers_linear(ps, g, &format!("{name}/ff2"), &ff, d, d);
+    ctx.add(&ff2)
+}
+
+/// The trainable pooling stack: preliminary embeddings `[W, S, F']` →
+/// task vector `[F₂]` (Eq. 11–12). Parameters live in the T-AHC's store and
+/// are optimized end-to-end with the comparator.
+pub fn pool_task(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    prelim: &Tensor,
+    cfg: &TaskEmbedConfig,
+) -> Var {
+    let x = g.constant(prelim.clone()); // [W, S, F']
+    let w = prelim.shape()[0];
+    match cfg.pool {
+        PoolKind::SetTransformer => {
+            // IntraSetPool: project F' -> F1, attention-pool over S -> [W, F1]
+            let proj = crate::ts2vec::layers_linear(ps, g, &format!("{name}/proj1"), &x, cfg.fprime, cfg.f1);
+            let intra = pma(ps, g, &format!("{name}/intra"), &proj, cfg.f1); // [W, F1]
+            // InterSetPool: [1, W, F1] -> project F1 -> F2 -> pool -> [F2]
+            let inter_in = intra.reshape([1, w, cfg.f1]);
+            let proj2 =
+                crate::ts2vec::layers_linear(ps, g, &format!("{name}/proj2"), &inter_in, cfg.f1, cfg.f2);
+            pma(ps, g, &format!("{name}/inter"), &proj2, cfg.f2).reshape([cfg.f2])
+        }
+        PoolKind::MeanPool => {
+            // mean over S, then W, then a linear to F2
+            let m = x.mean_axis(1).mean_axis(0).reshape([1, cfg.fprime]);
+            crate::ts2vec::layers_linear(ps, g, &format!("{name}/lin"), &m, cfg.fprime, cfg.f2)
+                .reshape([cfg.f2])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+
+    fn task(seed: u64) -> ForecastTask {
+        let p = DatasetProfile::custom("emb", Domain::Traffic, 4, 260, 24, 0.3, 0.1, 10.0, seed);
+        ForecastTask::new(p.generate(0), ForecastSetting::multi(6, 4), 0.6, 0.2, 1)
+    }
+
+    fn embedder(kind: EmbedKind) -> TaskEmbedder {
+        let cfg = TaskEmbedConfig { embed: kind, ..TaskEmbedConfig::test() };
+        TaskEmbedder::new(cfg, Ts2VecConfig::test(), 1)
+    }
+
+    #[test]
+    fn preliminary_shape() {
+        let mut e = embedder(EmbedKind::Ts2Vec);
+        let t = task(1);
+        let pe = e.preliminary(&t);
+        assert_eq!(pe.shape(), &[3, 10, 8]); // W=3, S=P+Q=10, F'=8
+        assert!(pe.all_finite());
+    }
+
+    #[test]
+    fn different_settings_different_embeddings() {
+        // Same dataset, different P/Q must give different preliminary shapes
+        // (this is the paper's first design objective).
+        let mut e = embedder(EmbedKind::Ts2Vec);
+        let p = DatasetProfile::custom("emb", Domain::Traffic, 4, 400, 24, 0.3, 0.1, 10.0, 2);
+        let t1 = ForecastTask::new(p.generate(0), ForecastSetting::multi(6, 4), 0.6, 0.2, 1);
+        let t2 = ForecastTask::new(p.generate(0), ForecastSetting::multi(12, 8), 0.6, 0.2, 1);
+        let e1 = e.preliminary(&t1);
+        let e2 = e.preliminary(&t2);
+        assert_ne!(e1.shape(), e2.shape());
+    }
+
+    #[test]
+    fn mlp_variant_also_works() {
+        let mut e = embedder(EmbedKind::Mlp);
+        let t = task(3);
+        let pe = e.preliminary(&t);
+        assert_eq!(pe.shape(), &[3, 10, 8]);
+        assert!(pe.all_finite());
+    }
+
+    #[test]
+    fn pma_pools_to_batch_by_dim() {
+        let g = Graph::new();
+        let mut ps = ParamStore::new(0);
+        let x = g.constant(Tensor::new([2, 5, 4], (0..40).map(|i| i as f32 * 0.01).collect()));
+        let y = pma(&mut ps, &g, "p", &x, 4);
+        assert_eq!(y.shape(), vec![2, 4]);
+    }
+
+    #[test]
+    fn pool_task_both_variants() {
+        let mut e = embedder(EmbedKind::Ts2Vec);
+        let t = task(4);
+        let prelim = e.preliminary(&t);
+        for pool in [PoolKind::SetTransformer, PoolKind::MeanPool] {
+            let cfg = TaskEmbedConfig { pool, ..TaskEmbedConfig::test() };
+            let g = Graph::new();
+            let mut ps = ParamStore::new(0);
+            let v = pool_task(&mut ps, &g, "pool", &prelim, &cfg);
+            assert_eq!(v.shape(), vec![8], "{pool:?}");
+            assert!(v.value().all_finite());
+        }
+    }
+
+    #[test]
+    fn pooling_is_trainable_end_to_end() {
+        // Gradients must reach the PMA seed.
+        let mut e = embedder(EmbedKind::Ts2Vec);
+        let t = task(5);
+        let prelim = e.preliminary(&t);
+        let cfg = TaskEmbedConfig::test();
+        let g = Graph::new();
+        let mut ps = ParamStore::new(0);
+        let v = pool_task(&mut ps, &g, "pool", &prelim, &cfg);
+        g.backward(&v.mean_all());
+        let grads = g.param_grads();
+        assert!(grads.iter().any(|(n, _)| n == "pool/intra/seed"));
+        assert!(grads.iter().any(|(n, _)| n == "pool/inter/seed"));
+    }
+}

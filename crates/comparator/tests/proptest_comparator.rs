@@ -1,0 +1,95 @@
+//! Property-based tests of the comparator: encoding/decision invariants that
+//! must hold for any arch-hyper pair and any (finite) task embedding.
+
+use octs_comparator::{Tahc, TahcConfig};
+use octs_space::{HyperSpace, JointSpace};
+use octs_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn comparator(task_aware: bool, seed: u64) -> Tahc {
+    let cfg = TahcConfig { task_aware, ..TahcConfig::test() };
+    Tahc::new(cfg, HyperSpace::scaled(), seed)
+}
+
+fn prelim(fill: f32) -> Tensor {
+    Tensor::full([3, 10, 8], fill)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn decisions_are_deterministic(seed in 0u64..5_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let space = JointSpace::scaled();
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let p = prelim(0.2);
+        let mut t = comparator(true, seed);
+        prop_assert_eq!(t.compare(Some(&p), &a, &b), t.compare(Some(&p), &a, &b));
+    }
+
+    #[test]
+    fn decisions_finite_for_any_embedding_scale(seed in 0u64..5_000, fill in -3.0f32..3.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let space = JointSpace::scaled();
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let p = prelim(fill);
+        let mut t = comparator(true, seed);
+        let g = octs_tensor::Graph::new();
+        let z = t.logit(&g, Some(&p), &a, &b);
+        prop_assert!(z.value().item().is_finite());
+    }
+
+    #[test]
+    fn identical_candidates_give_consistent_self_comparison(seed in 0u64..5_000) {
+        // compare(a, a) can be either true or false (sigmoid threshold), but
+        // it must be the same in repeated calls and its logit finite.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let space = JointSpace::scaled();
+        let a = space.sample(&mut rng);
+        let mut t = comparator(false, seed);
+        let first = t.compare(None, &a, &a);
+        for _ in 0..3 {
+            prop_assert_eq!(t.compare(None, &a, &a), first);
+        }
+    }
+
+    #[test]
+    fn task_pathway_changes_decisions_sometimes(seed in 0u64..200) {
+        // across many seeds, at least the logit value must move when the
+        // task embedding changes (the task input is actually wired in).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let space = JointSpace::scaled();
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let mut t = comparator(true, seed);
+        let g1 = octs_tensor::Graph::new();
+        let z1 = t.logit(&g1, Some(&prelim(0.0)), &a, &b).value().item();
+        let g2 = octs_tensor::Graph::new();
+        let z2 = t.logit(&g2, Some(&prelim(1.0)), &a, &b).value().item();
+        prop_assert!((z1 - z2).abs() > 0.0, "task embedding had zero influence");
+    }
+
+    #[test]
+    fn training_on_consistent_pairs_never_diverges(seed in 0u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let space = JointSpace::scaled();
+        let ahs = space.sample_distinct(4, &mut rng);
+        let p = prelim(0.3);
+        let mut t = comparator(true, seed);
+        let mut opt = octs_tensor::Adam::new(3e-3, 0.0);
+        for _ in 0..5 {
+            let batch: Vec<_> = vec![
+                (Some(&p), &ahs[0], &ahs[1], 1.0),
+                (Some(&p), &ahs[2], &ahs[3], 0.0),
+            ];
+            let loss = t.train_batch(&mut opt, &batch);
+            prop_assert!(loss.is_finite());
+        }
+        prop_assert!(t.ps.all_finite());
+    }
+}

@@ -1,0 +1,151 @@
+//! `autocts` command-line interface: pre-train a comparator, then zero-shot
+//! search forecasting models for your own CSV datasets.
+//!
+//! ```sh
+//! autocts pretrain --out tahc.json            # offline, once (~minutes)
+//! autocts search  --ckpt tahc.json --data my.csv --p 12 --q 12
+//! autocts demo                                # tiny end-to-end demo
+//! ```
+
+use autocts::prelude::*;
+use autocts::AutoCts;
+use std::process::ExitCode;
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  autocts pretrain --out <ckpt.json> [--quick]\n  autocts search --ckpt <ckpt.json> --data <wide.csv> [--adj <n_x_n.csv>] --p <P> --q <Q> [--single]\n  autocts demo"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    match std::env::args().nth(1).as_deref() {
+        Some("pretrain") => cmd_pretrain(),
+        Some("search") => cmd_search(),
+        Some("demo") => cmd_demo(),
+        _ => usage(),
+    }
+}
+
+fn cmd_pretrain() -> ExitCode {
+    let Some(out) = arg("--out") else { return usage() };
+    let quick = has_flag("--quick");
+    let mut cfg = if quick { AutoCtsConfig::test() } else { AutoCtsConfig::scaled() };
+    if quick {
+        cfg.space = JointSpace::scaled();
+    }
+    let mut sys = AutoCts::new(cfg);
+
+    let mut profiles = source_profiles();
+    for p in &mut profiles {
+        p.n = p.n.min(if quick { 5 } else { 8 });
+        p.t = p.t.min(if quick { 600 } else { 1200 });
+    }
+    if quick {
+        profiles.truncate(3);
+    }
+    let enrich = EnrichConfig {
+        subsets_per_dataset: 2,
+        settings: vec![ForecastSetting::p12_q12(), ForecastSetting::p24_q24()],
+        stride: 4,
+        ..EnrichConfig::default()
+    };
+    let tasks = enrich_tasks(&profiles, &enrich);
+    eprintln!("pre-training on {} enriched tasks ...", tasks.len());
+    let pre = if quick { PretrainConfig::test() } else { PretrainConfig::scaled() };
+    let report = sys.pretrain(tasks, &pre);
+    eprintln!("holdout pairwise accuracy: {:.3}", report.holdout_accuracy);
+    match sys.save(&out) {
+        Ok(()) => {
+            println!("saved pre-trained comparator to {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: could not write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_search() -> ExitCode {
+    let (Some(ckpt), Some(data_path)) = (arg("--ckpt"), arg("--data")) else { return usage() };
+    let p: usize = arg("--p").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let q: usize = arg("--q").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let setting = if has_flag("--single") {
+        ForecastSetting::single(p, q)
+    } else {
+        ForecastSetting::multi(p, q)
+    };
+
+    let mut sys = match AutoCts::load(&ckpt) {
+        Ok(sys) => sys,
+        Err(e) => {
+            eprintln!("error: could not load checkpoint {ckpt}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut data = match octs_data::io::read_csv(&data_path, "user-data") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: could not read {data_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(adj_path) = arg("--adj") {
+        match octs_data::io::read_adjacency_csv(&adj_path, data.n()) {
+            Ok(adj) => data = octs_data::io::with_adjacency(data, adj),
+            Err(e) => {
+                eprintln!("error: could not read adjacency {adj_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let summary = octs_data::stats::summarize(&data);
+    eprintln!(
+        "dataset: N={} T={} mean={:.3} spatial-corr={:.3}",
+        summary.n, summary.t, summary.mean, summary.spatial_correlation
+    );
+
+    let task = ForecastTask::new(data, setting, 0.7, 0.1, 1);
+    let evolve = EvolveConfig::scaled();
+    let train = TrainConfig::standard();
+    eprintln!("zero-shot searching {} ...", task.id());
+    let out = sys.search(&task, &evolve, &train);
+    println!("selected ST-block:\n{}", autocts::render(&out.best));
+    println!(
+        "test metrics: MAE {:.4}  RMSE {:.4}  MAPE {:.2}%  RRSE {:.4}  CORR {:.4}",
+        out.best_report.test.mae,
+        out.best_report.test.rmse,
+        out.best_report.test.mape,
+        out.best_report.test.rrse,
+        out.best_report.test.corr
+    );
+    println!(
+        "timing: embed {:.1?}, rank {:.1?}, train {:.1?}",
+        out.timing.embed, out.timing.rank, out.timing.train
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo() -> ExitCode {
+    let mut sys = AutoCts::new(AutoCtsConfig::test());
+    let src = DatasetProfile::custom("demo-src", Domain::Traffic, 4, 220, 24, 0.3, 0.1, 10.0, 1);
+    let task = ForecastTask::new(src.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2);
+    sys.pretrain(vec![task], &PretrainConfig::test());
+    let tgt = DatasetProfile::custom("demo-tgt", Domain::Demand, 4, 220, 24, 0.3, 0.2, 10.0, 2);
+    let unseen = ForecastTask::new(tgt.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2);
+    let evolve = EvolveConfig { k_s: 24, generations: 2, top_k: 1, ..EvolveConfig::test() };
+    let out = sys.search(&unseen, &evolve, &TrainConfig::test());
+    println!("{}", autocts::render(&out.best));
+    println!("demo test MAE: {:.3}", out.best_report.test.mae);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,90 @@
+//! Checkpointing: persist a pre-trained comparator + task encoder so the
+//! expensive pre-training (Algorithm 1) runs once and zero-shot searches
+//! reuse it across processes — the deployment mode the paper targets.
+
+use crate::facade::{AutoCts, AutoCtsConfig};
+use octs_tensor::ParamStore;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// On-disk representation of a pre-trained [`AutoCts`].
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The full configuration (space, comparator, encoder).
+    pub cfg: AutoCtsConfig,
+    /// Comparator parameters (GIN + pooling + FC stack).
+    pub tahc_params: ParamStore,
+    /// Task-encoder parameters.
+    pub encoder_params: ParamStore,
+    /// Whether the system was pre-trained when saved.
+    pub pretrained: bool,
+}
+
+impl AutoCts {
+    /// Serializes the system to JSON at `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let ckpt = Checkpoint {
+            cfg: self.cfg.clone(),
+            tahc_params: serde_clone(&self.tahc.ps),
+            encoder_params: serde_clone(&self.embedder.encoder().ps),
+            pretrained: self.is_pretrained(),
+        };
+        let json = serde_json::to_string(&ckpt).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Restores a system from a JSON checkpoint.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+        let mut sys = AutoCts::new(ckpt.cfg);
+        sys.tahc.ps = ckpt.tahc_params;
+        sys.embedder.encoder_mut().ps = ckpt.encoder_params;
+        if ckpt.pretrained {
+            sys.embedder.encoder_mut().mark_trained();
+            sys.mark_pretrained();
+        }
+        Ok(sys)
+    }
+}
+
+/// Clones a `ParamStore` through serde (it intentionally has no `Clone`,
+/// since accidental copies of large weight sets are usually bugs).
+fn serde_clone(ps: &ParamStore) -> ParamStore {
+    let json = serde_json::to_string(ps).expect("ParamStore serializes");
+    serde_json::from_str(&json).expect("ParamStore roundtrips")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+
+    #[test]
+    fn save_load_roundtrip_preserves_behaviour() {
+        let mut sys = AutoCts::new(AutoCtsConfig::test());
+        let p = DatasetProfile::custom("ck", Domain::Traffic, 3, 180, 24, 0.3, 0.1, 10.0, 70);
+        let task = ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 2);
+        sys.pretrain(vec![task.clone()], &octs_comparator::PretrainConfig::test());
+
+        let dir = std::env::temp_dir().join("autocts_ckpt_test.json");
+        sys.save(&dir).unwrap();
+        let mut restored = AutoCts::load(&dir).unwrap();
+        assert!(restored.is_pretrained());
+
+        // Identical comparator decisions after restore.
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let a = sys.cfg.space.sample(&mut rng);
+        let b = sys.cfg.space.sample(&mut rng);
+        let prelim = sys.embedder.preliminary(&task);
+        let prelim2 = restored.embedder.preliminary(&task);
+        assert_eq!(prelim, prelim2, "restored encoder must embed identically");
+        assert_eq!(
+            sys.tahc.compare(Some(&prelim), &a, &b),
+            restored.tahc.compare(Some(&prelim2), &a, &b)
+        );
+        std::fs::remove_file(dir).ok();
+    }
+}

@@ -1,0 +1,313 @@
+//! Correlated time series containers and adjacency structures.
+
+use octs_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A weighted adjacency matrix over `n` time series (sensors).
+///
+/// Stored dense (`n × n`, row-major) — the paper's datasets top out at a few
+/// hundred sensors and our scaled profiles at a few dozen, so dense wins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adjacency {
+    n: usize,
+    weights: Vec<f32>,
+}
+
+impl Adjacency {
+    /// Creates an adjacency from a dense row-major weight matrix.
+    pub fn from_dense(n: usize, weights: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), n * n);
+        Self { n, weights }
+    }
+
+    /// The identity adjacency (self-loops only) — the substitute the paper
+    /// applies when a dataset (Electricity) has no predefined graph.
+    pub fn identity(n: usize) -> Self {
+        let mut weights = vec![0.0; n * n];
+        for i in 0..n {
+            weights[i * n + i] = 1.0;
+        }
+        Self { n, weights }
+    }
+
+    /// Number of series.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Edge weight from `i` to `j`.
+    pub fn weight(&self, i: usize, j: usize) -> f32 {
+        self.weights[i * self.n + j]
+    }
+
+    /// Mutable edge weight.
+    pub fn weight_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        &mut self.weights[i * self.n + j]
+    }
+
+    /// Raw weights (row-major).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Number of non-zero directed edges (excluding self-loops).
+    pub fn num_edges(&self) -> usize {
+        let mut c = 0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.weight(i, j) != 0.0 {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Row-normalized transition matrix `D⁻¹A` as a tensor `[n, n]` — the
+    /// forward diffusion operator of DGCN. Rows that sum to zero become
+    /// self-transitions.
+    pub fn transition(&self) -> Tensor {
+        let mut out = Tensor::zeros([self.n, self.n]);
+        for i in 0..self.n {
+            let row = &self.weights[i * self.n..(i + 1) * self.n];
+            let s: f32 = row.iter().sum();
+            let orow = &mut out.data_mut()[i * self.n..(i + 1) * self.n];
+            if s > 0.0 {
+                for (o, &w) in orow.iter_mut().zip(row) {
+                    *o = w / s;
+                }
+            } else {
+                orow[i] = 1.0;
+            }
+        }
+        out
+    }
+
+    /// Backward transition `D⁻¹Aᵀ` — the reverse diffusion operator of DGCN.
+    pub fn transition_reverse(&self) -> Tensor {
+        let t = self.transpose();
+        t.transition()
+    }
+
+    /// Transposed adjacency.
+    pub fn transpose(&self) -> Adjacency {
+        let mut w = vec![0.0; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                w[j * self.n + i] = self.weights[i * self.n + j];
+            }
+        }
+        Adjacency { n: self.n, weights: w }
+    }
+
+    /// Restricts the adjacency to the given node subset (used by the task
+    /// enrichment step that reconstructs adjacency for sampled variables).
+    pub fn subgraph(&self, nodes: &[usize]) -> Adjacency {
+        let m = nodes.len();
+        let mut w = vec![0.0; m * m];
+        for (a, &i) in nodes.iter().enumerate() {
+            for (b, &j) in nodes.iter().enumerate() {
+                w[a * m + b] = self.weight(i, j);
+            }
+        }
+        Adjacency { n: m, weights: w }
+    }
+}
+
+/// A correlated time series dataset: `values[n][t][f]` plus the sensor graph.
+///
+/// Mirrors the paper's `X ∈ R^{N×T×F}` with graph `G = (V, E, A)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtsData {
+    /// Dataset name (profile identifier), for reporting.
+    pub name: String,
+    n: usize,
+    t: usize,
+    f: usize,
+    /// Row-major `[n, t, f]` values.
+    values: Vec<f32>,
+    /// Sensor graph.
+    pub adjacency: Adjacency,
+}
+
+impl CtsData {
+    /// Creates a dataset from raw values.
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        t: usize,
+        f: usize,
+        values: Vec<f32>,
+        adjacency: Adjacency,
+    ) -> Self {
+        assert_eq!(values.len(), n * t * f, "values length mismatch");
+        assert_eq!(adjacency.n(), n, "adjacency size mismatch");
+        Self { name: name.into(), n, t, f, values, adjacency }
+    }
+
+    /// Number of time series.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of time steps.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Feature dimension per step.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Value accessor.
+    pub fn value(&self, series: usize, step: usize, feat: usize) -> f32 {
+        self.values[(series * self.t + step) * self.f + feat]
+    }
+
+    /// Mutable value accessor.
+    pub fn value_mut(&mut self, series: usize, step: usize, feat: usize) -> &mut f32 {
+        &mut self.values[(series * self.t + step) * self.f + feat]
+    }
+
+    /// Raw storage.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Extracts the time range `[start, start+len)` of all series.
+    pub fn time_slice(&self, start: usize, len: usize) -> CtsData {
+        assert!(start + len <= self.t, "time_slice beyond dataset");
+        let mut values = Vec::with_capacity(self.n * len * self.f);
+        for s in 0..self.n {
+            let base = (s * self.t + start) * self.f;
+            values.extend_from_slice(&self.values[base..base + len * self.f]);
+        }
+        CtsData {
+            name: format!("{}[{}..{}]", self.name, start, start + len),
+            n: self.n,
+            t: len,
+            f: self.f,
+            values,
+            adjacency: self.adjacency.clone(),
+        }
+    }
+
+    /// Restricts the dataset to a subset of series, reconstructing the
+    /// adjacency over that subset.
+    pub fn select_series(&self, nodes: &[usize]) -> CtsData {
+        let mut values = Vec::with_capacity(nodes.len() * self.t * self.f);
+        for &s in nodes {
+            assert!(s < self.n, "series index out of range");
+            let base = s * self.t * self.f;
+            values.extend_from_slice(&self.values[base..base + self.t * self.f]);
+        }
+        CtsData {
+            name: format!("{}[{} series]", self.name, nodes.len()),
+            n: nodes.len(),
+            t: self.t,
+            f: self.f,
+            values,
+            adjacency: self.adjacency.subgraph(nodes),
+        }
+    }
+
+    /// Mean of feature `feat` across all series and steps.
+    pub fn feature_mean(&self, feat: usize) -> f32 {
+        let mut acc = 0.0f64;
+        let mut count = 0usize;
+        for s in 0..self.n {
+            for t in 0..self.t {
+                acc += f64::from(self.value(s, t, feat));
+                count += 1;
+            }
+        }
+        (acc / count as f64) as f32
+    }
+
+    /// Standard deviation of feature `feat`.
+    pub fn feature_std(&self, feat: usize) -> f32 {
+        let mean = f64::from(self.feature_mean(feat));
+        let mut acc = 0.0f64;
+        let mut count = 0usize;
+        for s in 0..self.n {
+            for t in 0..self.t {
+                let d = f64::from(self.value(s, t, feat)) - mean;
+                acc += d * d;
+                count += 1;
+            }
+        }
+        ((acc / count as f64).sqrt()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CtsData {
+        // 2 series, 3 steps, 1 feature
+        let values = vec![1., 2., 3., 10., 20., 30.];
+        CtsData::new("tiny", 2, 3, 1, values, Adjacency::identity(2))
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.value(0, 2, 0), 3.0);
+        assert_eq!(d.value(1, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn time_slice_preserves_series() {
+        let d = tiny().time_slice(1, 2);
+        assert_eq!(d.t(), 2);
+        assert_eq!(d.value(0, 0, 0), 2.0);
+        assert_eq!(d.value(1, 1, 0), 30.0);
+    }
+
+    #[test]
+    fn select_series_subgraph() {
+        let mut adj = Adjacency::identity(3);
+        *adj.weight_mut(0, 2) = 0.5;
+        let values: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let d = CtsData::new("t", 3, 3, 1, values, adj);
+        let sub = d.select_series(&[0, 2]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.value(1, 0, 0), 6.0);
+        assert_eq!(sub.adjacency.weight(0, 1), 0.5);
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let mut adj = Adjacency::identity(2);
+        *adj.weight_mut(0, 1) = 3.0;
+        let t = adj.transition();
+        assert!((t.at(&[0, 0]) - 0.25).abs() < 1e-6);
+        assert!((t.at(&[0, 1]) - 0.75).abs() < 1e-6);
+        assert!((t.at(&[1, 1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_row_becomes_self_loop() {
+        let adj = Adjacency::from_dense(2, vec![0.0; 4]);
+        let t = adj.transition();
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn moments() {
+        let d = tiny();
+        assert!((d.feature_mean(0) - 11.0).abs() < 1e-5);
+        assert!(d.feature_std(0) > 0.0);
+    }
+
+    #[test]
+    fn num_edges_ignores_self_loops() {
+        let mut adj = Adjacency::identity(3);
+        *adj.weight_mut(0, 1) = 1.0;
+        *adj.weight_mut(2, 0) = 0.2;
+        assert_eq!(adj.num_edges(), 2);
+    }
+}

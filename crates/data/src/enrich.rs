@@ -1,0 +1,148 @@
+//! Task enrichment (Section 3.2.4, Fig. 5): manufacturing many pre-training
+//! tasks from few source datasets.
+//!
+//! Two moves preserve the data's structure while multiplying task count:
+//! - *temporally continuous* sub-ranges keep temporal dynamics intact;
+//! - *random variable subsets* with reconstructed adjacency keep spatial
+//!   correlations intact.
+//!
+//! A guideline from the paper is enforced: short subsets are only paired with
+//! short forecasting settings, since long-horizon patterns cannot be learned
+//! from a handful of windows.
+
+use crate::cts::CtsData;
+use crate::synth::DatasetProfile;
+use crate::task::{ForecastSetting, ForecastTask};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Controls subset creation.
+#[derive(Debug, Clone)]
+pub struct EnrichConfig {
+    /// How many subsets to derive per source dataset.
+    pub subsets_per_dataset: usize,
+    /// Fraction range of the time axis each subset keeps.
+    pub time_frac: (f32, f32),
+    /// Fraction range of the series each subset keeps.
+    pub series_frac: (f32, f32),
+    /// Candidate forecasting settings to attach to subsets.
+    pub settings: Vec<ForecastSetting>,
+    /// A subset is only paired with a setting when it is at least this many
+    /// window-spans long (the "short data ⇒ short horizons" guideline).
+    pub min_spans: usize,
+    /// Window stride for the produced tasks (thins training windows).
+    pub stride: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EnrichConfig {
+    fn default() -> Self {
+        Self {
+            subsets_per_dataset: 4,
+            time_frac: (0.4, 0.8),
+            series_frac: (0.5, 0.9),
+            settings: vec![ForecastSetting::p12_q12(), ForecastSetting::p48_q48()],
+            min_spans: 8,
+            stride: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Derives one subset (Fig. 5): a contiguous time range × a random series
+/// subset, with adjacency reconstructed over the kept series.
+pub fn derive_subset(data: &CtsData, cfg: &EnrichConfig, rng: &mut ChaCha8Rng) -> CtsData {
+    let t = data.t();
+    let frac = rng.gen_range(cfg.time_frac.0..=cfg.time_frac.1);
+    let len = ((t as f32 * frac) as usize).max(2).min(t);
+    let start = rng.gen_range(0..=(t - len));
+
+    let n = data.n();
+    let sfrac = rng.gen_range(cfg.series_frac.0..=cfg.series_frac.1);
+    let keep = (((n as f32) * sfrac) as usize).clamp(2.min(n), n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(keep);
+    idx.sort_unstable();
+
+    data.time_slice(start, len).select_series(&idx)
+}
+
+/// Generates pre-training tasks from source profiles: each subset is paired
+/// with every admissible forecasting setting.
+pub fn enrich_tasks(profiles: &[DatasetProfile], cfg: &EnrichConfig) -> Vec<ForecastTask> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut tasks = Vec::new();
+    for (pi, profile) in profiles.iter().enumerate() {
+        let data = profile.generate(cfg.seed ^ pi as u64);
+        for _ in 0..cfg.subsets_per_dataset {
+            let subset = derive_subset(&data, cfg, &mut rng);
+            for setting in &cfg.settings {
+                if subset.t() >= setting.span() * cfg.min_spans {
+                    tasks.push(ForecastTask::new(subset.clone(), *setting, 0.7, 0.15, cfg.stride));
+                }
+            }
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::source_profiles;
+
+    #[test]
+    fn subset_preserves_feature_dim_and_shrinks() {
+        let data = source_profiles()[0].generate(0);
+        let cfg = EnrichConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sub = derive_subset(&data, &cfg, &mut rng);
+        assert!(sub.t() < data.t());
+        assert!(sub.n() <= data.n());
+        assert!(sub.n() >= 2);
+        assert_eq!(sub.f(), data.f());
+        assert_eq!(sub.adjacency.n(), sub.n());
+    }
+
+    #[test]
+    fn enrichment_multiplies_tasks() {
+        let profiles = &source_profiles()[..3];
+        let cfg = EnrichConfig { subsets_per_dataset: 3, ..Default::default() };
+        let tasks = enrich_tasks(profiles, &cfg);
+        // up to 3 datasets × 3 subsets × 2 settings, some dropped by min_spans
+        assert!(tasks.len() > 6, "got {}", tasks.len());
+        assert!(tasks.len() <= 18);
+    }
+
+    #[test]
+    fn short_subsets_skip_long_settings() {
+        let profiles = &source_profiles()[..1];
+        let cfg = EnrichConfig {
+            subsets_per_dataset: 5,
+            time_frac: (0.05, 0.07), // ~100-140 steps
+            settings: vec![ForecastSetting::multi(4, 4), ForecastSetting::p48_q48()],
+            min_spans: 8,
+            ..Default::default()
+        };
+        let tasks = enrich_tasks(profiles, &cfg);
+        assert!(!tasks.is_empty());
+        // span 96*8 = 768 > subset length, so only the short setting survives
+        assert!(tasks.iter().all(|t| t.setting.span() == 8));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let profiles = &source_profiles()[..2];
+        let cfg = EnrichConfig::default();
+        let a = enrich_tasks(profiles, &cfg);
+        let b = enrich_tasks(profiles, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data.values(), y.data.values());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! CSV import/export for CTS datasets — the adoption path for real data.
+//!
+//! Format: a wide CSV with one row per time step and one column per series
+//! (feature 0 only; a header row is optional). Adjacency is either supplied
+//! separately as an `N×N` CSV of weights, or learned downstream via the
+//! models' adaptive adjacency.
+
+use crate::cts::{Adjacency, CtsData};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Parses a wide CSV (`rows = steps`, `cols = series`) into a [`CtsData`]
+/// with an identity adjacency. A non-numeric first row is treated as header.
+pub fn read_csv(path: impl AsRef<Path>, name: &str) -> io::Result<CtsData> {
+    let file = std::fs::File::open(&path)?;
+    let reader = BufReader::new(file);
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let parsed: Result<Vec<f32>, _> =
+            trimmed.split(',').map(|c| c.trim().parse::<f32>()).collect();
+        match parsed {
+            Ok(vals) => {
+                if let Some(first) = rows.first() {
+                    if vals.len() != first.len() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("row {} has {} columns, expected {}", lineno + 1, vals.len(), first.len()),
+                        ));
+                    }
+                }
+                rows.push(vals);
+            }
+            Err(_) if rows.is_empty() && lineno == 0 => continue, // header
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("row {}: {e}", lineno + 1),
+                ))
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "no data rows"));
+    }
+    let t = rows.len();
+    let n = rows[0].len();
+    // transpose: CSV is [t][n], CtsData stores [n][t][f]
+    let mut values = vec![0.0f32; n * t];
+    for (step, row) in rows.iter().enumerate() {
+        for (series, &v) in row.iter().enumerate() {
+            values[series * t + step] = v;
+        }
+    }
+    Ok(CtsData::new(name, n, t, 1, values, Adjacency::identity(n)))
+}
+
+/// Writes feature 0 of a dataset as a wide CSV (`series_0..series_{N-1}`
+/// header row, one row per step).
+pub fn write_csv(data: &CtsData, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    let header: Vec<String> = (0..data.n()).map(|s| format!("series_{s}")).collect();
+    writeln!(file, "{}", header.join(","))?;
+    for step in 0..data.t() {
+        let row: Vec<String> = (0..data.n()).map(|s| format!("{}", data.value(s, step, 0))).collect();
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads an `N×N` adjacency weight matrix from CSV (no header).
+pub fn read_adjacency_csv(path: impl AsRef<Path>, n: usize) -> io::Result<Adjacency> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut weights = Vec::with_capacity(n * n);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for cell in line.trim().split(',') {
+            let v: f32 = cell.trim().parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad weight: {e}"))
+            })?;
+            weights.push(v);
+        }
+    }
+    if weights.len() != n * n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected {} weights, found {}", n * n, weights.len()),
+        ));
+    }
+    Ok(Adjacency::from_dense(n, weights))
+}
+
+/// Attaches an adjacency loaded from CSV to a dataset.
+pub fn with_adjacency(mut data: CtsData, adjacency: Adjacency) -> CtsData {
+    assert_eq!(adjacency.n(), data.n(), "adjacency size mismatch");
+    data.adjacency = adjacency;
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{DatasetProfile, Domain};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("octs_io_{name}_{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_values() {
+        let data = DatasetProfile::custom("io", Domain::Energy, 4, 50, 24, 0.2, 0.1, 10.0, 3)
+            .generate(0);
+        let path = tmp("roundtrip");
+        write_csv(&data, &path).unwrap();
+        let back = read_csv(&path, "io").unwrap();
+        assert_eq!(back.n(), 4);
+        assert_eq!(back.t(), 50);
+        for s in 0..4 {
+            for t in 0..50 {
+                let a = data.value(s, t, 0);
+                let b = back.value(s, t, 0);
+                assert!((a - b).abs() < 1e-3, "({s},{t}): {a} vs {b}");
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_is_skipped_and_headerless_works() {
+        let path = tmp("header");
+        std::fs::write(&path, "a,b\n1,2\n3,4\n").unwrap();
+        let d = read_csv(&path, "h").unwrap();
+        assert_eq!((d.n(), d.t()), (2, 2));
+        assert_eq!(d.value(1, 1, 0), 4.0);
+
+        std::fs::write(&path, "1,2\n3,4\n5,6\n").unwrap();
+        let d = read_csv(&path, "nh").unwrap();
+        assert_eq!((d.n(), d.t()), (2, 3));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "1,2\n3\n").unwrap();
+        assert!(read_csv(&path, "r").is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_csv(&path, "e").is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn adjacency_csv() {
+        let path = tmp("adj");
+        std::fs::write(&path, "1,0.5\n0.5,1\n").unwrap();
+        let adj = read_adjacency_csv(&path, 2).unwrap();
+        assert_eq!(adj.weight(0, 1), 0.5);
+        assert!(read_adjacency_csv(&path, 3).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loaded_dataset_runs_through_a_task() {
+        use crate::task::{ForecastSetting, ForecastTask};
+        let path = tmp("task");
+        let rows: Vec<String> =
+            (0..120).map(|t| format!("{},{}", t as f32 * 0.1, (t as f32 * 0.2).sin())).collect();
+        std::fs::write(&path, rows.join("\n")).unwrap();
+        let data = read_csv(&path, "loaded").unwrap();
+        let task = ForecastTask::new(data, ForecastSetting::multi(4, 2), 0.6, 0.2, 1);
+        assert!(!task.windows(crate::task::Split::Train).is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,236 @@
+//! Forecast accuracy metrics (Section 4.1.2) and rank correlation.
+//!
+//! MAE / RMSE / MAPE for multi-step forecasting, RRSE / CORR for single-step,
+//! plus Spearman's ρ used by the task-similarity study (Table 4).
+
+/// Mean absolute error.
+pub fn mae(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs()).sum::<f32>() / pred.len() as f32
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    (pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>() / pred.len() as f32)
+        .sqrt()
+}
+
+/// Mean absolute percentage error (%), masking near-zero truths as the
+/// traffic-forecasting literature does.
+pub fn mape(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len());
+    let mut acc = 0.0f32;
+    let mut count = 0usize;
+    for (&p, &t) in pred.iter().zip(truth) {
+        if t.abs() > 1e-3 {
+            acc += ((p - t) / t).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * acc / count as f32
+    }
+}
+
+/// Root relative squared error: RMSE normalized by the truth's deviation
+/// from its mean.
+pub fn rrse(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f32>() / truth.len() as f32;
+    let num: f32 = pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum();
+    let den: f32 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if den <= 0.0 {
+        return f32::INFINITY;
+    }
+    (num / den).sqrt()
+}
+
+/// Empirical correlation coefficient (Pearson) between prediction and truth.
+pub fn corr(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.len() < 2 {
+        return 0.0;
+    }
+    let mp = pred.iter().sum::<f32>() / pred.len() as f32;
+    let mt = truth.iter().sum::<f32>() / truth.len() as f32;
+    let mut num = 0.0f32;
+    let mut dp = 0.0f32;
+    let mut dt = 0.0f32;
+    for (&p, &t) in pred.iter().zip(truth) {
+        num += (p - mp) * (t - mt);
+        dp += (p - mp) * (p - mp);
+        dt += (t - mt) * (t - mt);
+    }
+    if dp <= 0.0 || dt <= 0.0 {
+        return 0.0;
+    }
+    num / (dp.sqrt() * dt.sqrt())
+}
+
+/// Ranks with average tie handling (1-based ranks).
+fn ranks(xs: &[f32]) -> Vec<f32> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut r = vec![0.0f32; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f32 / 2.0 + 1.0;
+        for &o in &order[i..=j] {
+            r[o] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Spearman's rank correlation coefficient ρ.
+pub fn spearman(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    corr(&ranks(a), &ranks(b))
+}
+
+/// Kendall's τ (pairwise-concordance rank correlation) — used to evaluate
+/// how faithfully a comparator's ranking matches true validation ranking.
+pub fn kendall_tau(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f32;
+    (concordant - discordant) as f32 / total
+}
+
+/// Aggregates mean ± std over repeated runs, as the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Mean over runs.
+    pub mean: f32,
+    /// Population standard deviation over runs.
+    pub std: f32,
+}
+
+impl MeanStd {
+    /// Computes mean ± std of `xs`.
+    pub fn of(xs: &[f32]) -> Self {
+        if xs.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        Self { mean, std: var.sqrt() }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}±{:.3}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(mape(&t, &t), 0.0);
+        assert_eq!(rrse(&t, &t), 0.0);
+        assert!((corr(&t, &t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [2.0, 2.0];
+        let t = [1.0, 3.0];
+        assert_eq!(mae(&p, &t), 1.0);
+        assert!((rmse(&p, &t) - 1.0).abs() < 1e-6);
+        assert!((mape(&p, &t) - (100.0 + 100.0 / 3.0) / 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mape_masks_zeros() {
+        let p = [5.0, 2.0];
+        let t = [0.0, 1.0];
+        assert!((mape(&p, &t) - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rrse_one_for_mean_predictor() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let mean_pred = [2.5; 4];
+        assert!((rrse(&mean_pred, &t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corr_sign() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((corr(&a, &b) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spearman_monotone_invariance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 4.0, 9.0, 16.0]; // monotone transform
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-6);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 1.0, 2.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kendall_tau_basic() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((kendall_tau(&a, &a) - 1.0).abs() < 1e-6);
+        let rev = [3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &rev) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn meanstd_display() {
+        let ms = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-6);
+        assert!(ms.std > 0.5);
+        assert!(format!("{ms}").contains('±'));
+    }
+}

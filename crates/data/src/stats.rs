@@ -1,0 +1,187 @@
+//! Time-series statistics: autocorrelation, cross-correlation and
+//! seasonality diagnostics.
+//!
+//! These back the dataset profiles' validation (a "traffic" profile must
+//! actually exhibit daily periodicity and spatial correlation) and give
+//! downstream users the tools to characterize their own CTS data before
+//! choosing forecasting settings.
+
+use crate::cts::CtsData;
+
+/// Sample autocorrelation of `series` at `lag` (0 for degenerate input).
+pub fn autocorrelation(series: &[f32], lag: usize) -> f32 {
+    if series.len() <= lag + 1 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f32>() / series.len() as f32;
+    let mut num = 0.0f32;
+    let mut den = 0.0f32;
+    for i in 0..series.len() - lag {
+        num += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    for v in series {
+        den += (v - mean) * (v - mean);
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Pearson cross-correlation of two equal-length series at lag 0.
+pub fn cross_correlation(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    crate::metrics::corr(a, b)
+}
+
+/// Extracts one series' target feature as a vector.
+pub fn series_of(data: &CtsData, series: usize, feature: usize) -> Vec<f32> {
+    (0..data.t()).map(|t| data.value(series, t, feature)).collect()
+}
+
+/// Mean pairwise cross-correlation over all series pairs of feature 0 —
+/// the "how correlated is this CTS" scalar.
+pub fn mean_spatial_correlation(data: &CtsData) -> f32 {
+    let n = data.n();
+    if n < 2 {
+        return 0.0;
+    }
+    let series: Vec<Vec<f32>> = (0..n).map(|s| series_of(data, s, 0)).collect();
+    let mut acc = 0.0f32;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            acc += cross_correlation(&series[i], &series[j]);
+            count += 1;
+        }
+    }
+    acc / count as f32
+}
+
+/// Strength of a seasonal period: autocorrelation at `period` relative to
+/// the maximum autocorrelation over non-harmonic lags in `(1, period)`.
+/// Values > 1 mean the period dominates.
+pub fn seasonal_strength(series: &[f32], period: usize) -> f32 {
+    if period < 2 || series.len() < period * 3 {
+        return 0.0;
+    }
+    let at_period = autocorrelation(series, period).abs();
+    let mut max_other = 1e-6f32;
+    let probe_lags = [period / 3, period / 2 + 1, (2 * period) / 3];
+    for &lag in &probe_lags {
+        if lag > 0 && lag != period {
+            max_other = max_other.max(autocorrelation(series, lag).abs());
+        }
+    }
+    at_period / max_other
+}
+
+/// Dominant period in `[min_period, max_period]` by autocorrelation peak.
+pub fn dominant_period(series: &[f32], min_period: usize, max_period: usize) -> usize {
+    let mut best = min_period;
+    let mut best_ac = f32::NEG_INFINITY;
+    for lag in min_period..=max_period.min(series.len().saturating_sub(2)) {
+        let ac = autocorrelation(series, lag);
+        if ac > best_ac {
+            best_ac = ac;
+            best = lag;
+        }
+    }
+    best
+}
+
+/// Summary statistics of a dataset used in experiment logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Number of series.
+    pub n: usize,
+    /// Number of steps.
+    pub t: usize,
+    /// Target-feature mean.
+    pub mean: f32,
+    /// Target-feature std.
+    pub std: f32,
+    /// Mean pairwise spatial correlation.
+    pub spatial_correlation: f32,
+    /// Lag-1 autocorrelation averaged over series.
+    pub lag1_autocorrelation: f32,
+}
+
+/// Computes a [`DatasetSummary`].
+pub fn summarize(data: &CtsData) -> DatasetSummary {
+    let mut lag1 = 0.0f32;
+    for s in 0..data.n() {
+        lag1 += autocorrelation(&series_of(data, s, 0), 1);
+    }
+    DatasetSummary {
+        n: data.n(),
+        t: data.t(),
+        mean: data.feature_mean(0),
+        std: data.feature_std(0),
+        spatial_correlation: mean_spatial_correlation(data),
+        lag1_autocorrelation: lag1 / data.n() as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{DatasetProfile, Domain};
+
+    #[test]
+    fn autocorrelation_of_sine_peaks_at_period() {
+        let series: Vec<f32> =
+            (0..200).map(|t| (std::f32::consts::TAU * t as f32 / 20.0).sin()).collect();
+        assert!(autocorrelation(&series, 20) > 0.9);
+        assert!(autocorrelation(&series, 10) < -0.5); // anti-phase
+        assert!((autocorrelation(&series, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn autocorrelation_of_noise_is_small() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let series: Vec<f32> = (0..500).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        assert!(autocorrelation(&series, 7).abs() < 0.15);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 5), 0.0);
+        assert_eq!(seasonal_strength(&[1.0, 2.0], 24), 0.0);
+    }
+
+    #[test]
+    fn dominant_period_finds_sine_period() {
+        let series: Vec<f32> =
+            (0..300).map(|t| (std::f32::consts::TAU * t as f32 / 24.0).sin()).collect();
+        let p = dominant_period(&series, 6, 48);
+        assert!((23..=25).contains(&p), "found {p}");
+    }
+
+    #[test]
+    fn traffic_profile_diagnostics() {
+        let p = DatasetProfile::custom("st", Domain::Traffic, 5, 900, 48, 0.5, 0.08, 60.0, 9);
+        let data = p.generate(0);
+        let summary = summarize(&data);
+        assert_eq!(summary.n, 5);
+        assert!(summary.lag1_autocorrelation > 0.5, "traffic should be smooth: {summary:?}");
+        assert!(summary.spatial_correlation > 0.1, "coupled profile: {summary:?}");
+        let s0 = series_of(&data, 0, 0);
+        assert!(seasonal_strength(&s0, 48) > 1.0, "daily period should dominate");
+    }
+
+    #[test]
+    fn exchange_profile_is_uncorrelated_spatially() {
+        let p = DatasetProfile::custom("se", Domain::Exchange, 5, 900, 1, 0.0, 0.01, 1.0, 10);
+        let data = p.generate(0);
+        let traffic = DatasetProfile::custom("st2", Domain::Traffic, 5, 900, 48, 0.5, 0.08, 60.0, 11);
+        let tdata = traffic.generate(0);
+        assert!(
+            mean_spatial_correlation(&data) < mean_spatial_correlation(&tdata),
+            "exchange must be less spatially correlated than coupled traffic"
+        );
+    }
+}

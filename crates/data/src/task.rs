@@ -1,0 +1,367 @@
+//! Forecasting tasks: `T = (D, P, Q, M)`, sliding windows, splits and scaling.
+
+use crate::cts::CtsData;
+use octs_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Multi-step (predict the next `Q` steps) vs. single-step (predict exactly
+/// the `Q`-th future step) forecasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Predict all `Q` future steps.
+    MultiStep,
+    /// Predict only the `Q`-th future step.
+    SingleStep,
+}
+
+/// The forecasting setting `(P, Q, M)` of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForecastSetting {
+    /// Number of historical steps fed to the model.
+    pub p: usize,
+    /// Forecast horizon (see [`Mode`]).
+    pub q: usize,
+    /// Multi- vs. single-step.
+    pub mode: Mode,
+}
+
+impl ForecastSetting {
+    /// Multi-step `P`→`Q`.
+    pub fn multi(p: usize, q: usize) -> Self {
+        Self { p, q, mode: Mode::MultiStep }
+    }
+
+    /// Single-step: predict the `q`-th step after a history of `p`.
+    pub fn single(p: usize, q: usize) -> Self {
+        Self { p, q, mode: Mode::SingleStep }
+    }
+
+    /// The paper's P-12/Q-12 setting.
+    pub fn p12_q12() -> Self {
+        Self::multi(12, 12)
+    }
+
+    /// The paper's P-24/Q-24 setting.
+    pub fn p24_q24() -> Self {
+        Self::multi(24, 24)
+    }
+
+    /// The paper's P-48/Q-48 setting.
+    pub fn p48_q48() -> Self {
+        Self::multi(48, 48)
+    }
+
+    /// The paper's single-step P-168/Q-1 (3rd) setting, scaled down 2× in P
+    /// to stay within CPU budget (the horizon semantics are unchanged).
+    pub fn p168_q1() -> Self {
+        Self::single(84, 3)
+    }
+
+    /// Number of output steps the model must emit.
+    pub fn out_steps(&self) -> usize {
+        match self.mode {
+            Mode::MultiStep => self.q,
+            Mode::SingleStep => 1,
+        }
+    }
+
+    /// Total span of one window (history + horizon).
+    pub fn span(&self) -> usize {
+        self.p + self.q
+    }
+
+    /// Short display id, e.g. `P12/Q12` or `P84/Q3(S)`.
+    pub fn id(&self) -> String {
+        match self.mode {
+            Mode::MultiStep => format!("P{}/Q{}", self.p, self.q),
+            Mode::SingleStep => format!("P{}/Q{}(S)", self.p, self.q),
+        }
+    }
+}
+
+/// Z-score scaler fit per feature on the training region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Scaler {
+    /// Fits on the first `train_steps` steps of `data`, one (mean, std) per
+    /// feature. Degenerate features get std 1.
+    pub fn fit(data: &CtsData, train_steps: usize) -> Self {
+        let f = data.f();
+        let mut mean = vec![0.0f64; f];
+        let mut count = 0usize;
+        for s in 0..data.n() {
+            for t in 0..train_steps {
+                for (feat, m) in mean.iter_mut().enumerate() {
+                    *m += f64::from(data.value(s, t, feat));
+                }
+                count += 1;
+            }
+        }
+        for m in &mut mean {
+            *m /= count.max(1) as f64;
+        }
+        let mut var = vec![0.0f64; f];
+        for s in 0..data.n() {
+            for t in 0..train_steps {
+                for (feat, v) in var.iter_mut().enumerate() {
+                    let d = f64::from(data.value(s, t, feat)) - mean[feat];
+                    *v += d * d;
+                }
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / count.max(1) as f64).sqrt() as f32;
+                if s > 1e-6 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean: mean.iter().map(|&m| m as f32).collect(), std }
+    }
+
+    /// Scales a raw value of feature `feat`.
+    pub fn scale(&self, feat: usize, v: f32) -> f32 {
+        (v - self.mean[feat]) / self.std[feat]
+    }
+
+    /// Inverts scaling for feature `feat`.
+    pub fn unscale(&self, feat: usize, v: f32) -> f32 {
+        v * self.std[feat] + self.mean[feat]
+    }
+
+    /// Mean of the target feature.
+    pub fn target_mean(&self) -> f32 {
+        self.mean[0]
+    }
+
+    /// Std of the target feature.
+    pub fn target_std(&self) -> f32 {
+        self.std[0]
+    }
+}
+
+/// Which split a window belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Training windows.
+    Train,
+    /// Validation windows.
+    Val,
+    /// Test windows.
+    Test,
+}
+
+/// A batch ready for the forecasting model.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Inputs `[B, F, N, P]`, z-scored.
+    pub x: Tensor,
+    /// Targets `[B, out_steps, N]`, z-scored with the target-feature scaler.
+    pub y: Tensor,
+}
+
+/// A concrete CTS forecasting task: dataset + setting + split + scaler.
+///
+/// Mirrors the paper's `T = (D, P, Q, M)`. Windows are identified by their
+/// start offset; batches materialize scaled tensors on demand.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForecastTask {
+    /// The dataset.
+    pub data: CtsData,
+    /// The forecasting setting.
+    pub setting: ForecastSetting,
+    /// The scaler fit on the training region.
+    pub scaler: Scaler,
+    /// Window stride (≥ 1); larger strides subsample windows.
+    pub stride: usize,
+    train_end: usize,
+    val_end: usize,
+}
+
+impl ForecastTask {
+    /// Builds a task with a `(train, val)` fractional split (test is the
+    /// remainder) and a window stride.
+    pub fn new(data: CtsData, setting: ForecastSetting, train_frac: f32, val_frac: f32, stride: usize) -> Self {
+        assert!(stride >= 1);
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+        let t = data.t();
+        assert!(
+            t > setting.span() * 3,
+            "dataset too short ({t} steps) for setting {}",
+            setting.id()
+        );
+        let train_end = (t as f32 * train_frac) as usize;
+        let val_end = (t as f32 * (train_frac + val_frac)) as usize;
+        let scaler = Scaler::fit(&data, train_end);
+        Self { data, setting, scaler, stride, train_end, val_end }
+    }
+
+    /// Builds with the paper's 7:1:2 split and stride 1.
+    pub fn standard(data: CtsData, setting: ForecastSetting) -> Self {
+        Self::new(data, setting, 0.7, 0.1, 1)
+    }
+
+    /// Human-readable task id, e.g. `PEMS-BAY/P12/Q12`.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.data.name, self.setting.id())
+    }
+
+    /// Window start offsets belonging to `split`.
+    pub fn windows(&self, split: Split) -> Vec<usize> {
+        let span = self.setting.span();
+        let (lo, hi) = match split {
+            Split::Train => (0usize, self.train_end.saturating_sub(span)),
+            Split::Val => (self.train_end, self.val_end.saturating_sub(span)),
+            Split::Test => (self.val_end, self.data.t().saturating_sub(span)),
+        };
+        (lo..hi).step_by(self.stride).collect()
+    }
+
+    /// Materializes a scaled batch from window start offsets.
+    pub fn make_batch(&self, starts: &[usize]) -> Batch {
+        let b = starts.len();
+        let n = self.data.n();
+        let f = self.data.f();
+        let p = self.setting.p;
+        let out = self.setting.out_steps();
+        let mut x = Tensor::zeros([b, f, n, p]);
+        let mut y = Tensor::zeros([b, out, n]);
+        {
+            let xd = x.data_mut();
+            for (bi, &start) in starts.iter().enumerate() {
+                for feat in 0..f {
+                    for s in 0..n {
+                        for step in 0..p {
+                            let v = self.scaler.scale(feat, self.data.value(s, start + step, feat));
+                            xd[((bi * f + feat) * n + s) * p + step] = v;
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let yd = y.data_mut();
+            for (bi, &start) in starts.iter().enumerate() {
+                match self.setting.mode {
+                    Mode::MultiStep => {
+                        for step in 0..out {
+                            for s in 0..n {
+                                let v = self
+                                    .scaler
+                                    .scale(0, self.data.value(s, start + p + step, 0));
+                                yd[(bi * out + step) * n + s] = v;
+                            }
+                        }
+                    }
+                    Mode::SingleStep => {
+                        let target_step = start + p + self.setting.q - 1;
+                        for s in 0..n {
+                            let v = self.scaler.scale(0, self.data.value(s, target_step, 0));
+                            yd[bi * n + s] = v;
+                        }
+                    }
+                }
+            }
+        }
+        Batch { x, y }
+    }
+
+    /// Unscales a model output back to the data's units.
+    pub fn unscale_target(&self, v: f32) -> f32 {
+        self.scaler.unscale(0, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cts::Adjacency;
+
+    fn data(n: usize, t: usize) -> CtsData {
+        // value(s, t) = 100*s + t, easy to verify windows against.
+        let mut values = Vec::with_capacity(n * t);
+        for s in 0..n {
+            for step in 0..t {
+                values.push((100 * s + step) as f32);
+            }
+        }
+        CtsData::new("toy", n, t, 1, values, Adjacency::identity(n))
+    }
+
+    #[test]
+    fn setting_ids_and_outputs() {
+        assert_eq!(ForecastSetting::p12_q12().id(), "P12/Q12");
+        assert_eq!(ForecastSetting::p168_q1().out_steps(), 1);
+        assert_eq!(ForecastSetting::p24_q24().out_steps(), 24);
+        assert_eq!(ForecastSetting::multi(4, 6).span(), 10);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_ordered() {
+        let task = ForecastTask::new(data(2, 200), ForecastSetting::multi(4, 4), 0.6, 0.2, 1);
+        let tr = task.windows(Split::Train);
+        let va = task.windows(Split::Val);
+        let te = task.windows(Split::Test);
+        assert!(!tr.is_empty() && !va.is_empty() && !te.is_empty());
+        assert!(tr.last().unwrap() < va.first().unwrap());
+        assert!(va.last().unwrap() < te.first().unwrap());
+        // no window crosses the end of the data
+        let span = task.setting.span();
+        assert!(te.iter().all(|&w| w + span <= 200));
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let t1 = ForecastTask::new(data(1, 200), ForecastSetting::multi(4, 4), 0.6, 0.2, 1);
+        let t3 = ForecastTask::new(data(1, 200), ForecastSetting::multi(4, 4), 0.6, 0.2, 3);
+        assert!(t3.windows(Split::Train).len() <= t1.windows(Split::Train).len() / 3 + 1);
+    }
+
+    #[test]
+    fn batch_layout_multi_step() {
+        let task = ForecastTask::new(data(2, 100), ForecastSetting::multi(3, 2), 0.6, 0.2, 1);
+        let b = task.make_batch(&[5]);
+        assert_eq!(b.x.shape(), &[1, 1, 2, 3]);
+        assert_eq!(b.y.shape(), &[1, 2, 2]);
+        // x[0,0,series=1,step=2] corresponds to raw value 100*1 + (5+2) = 107
+        let raw = task.unscale_target(b.x.at(&[0, 0, 1, 2]));
+        assert!((raw - 107.0).abs() < 1e-2);
+        // y[0, step=1, series=0] is raw value 5+3+1 = 9
+        let raw_y = task.unscale_target(b.y.at(&[0, 1, 0]));
+        assert!((raw_y - 9.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn batch_layout_single_step() {
+        let task = ForecastTask::new(data(1, 300), ForecastSetting::single(5, 3), 0.6, 0.2, 1);
+        let b = task.make_batch(&[10, 20]);
+        assert_eq!(b.y.shape(), &[2, 1, 1]);
+        // target = start + p + q - 1 = 10 + 5 + 2 = 17
+        let raw = task.unscale_target(b.y.at(&[0, 0, 0]));
+        assert!((raw - 17.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn scaler_normalizes_train_region() {
+        let task = ForecastTask::new(data(2, 200), ForecastSetting::multi(4, 4), 0.6, 0.2, 1);
+        // Scale-then-unscale roundtrip.
+        let v = 42.0;
+        let s = task.scaler.scale(0, v);
+        assert!((task.scaler.unscale(0, s) - v).abs() < 1e-3);
+        assert!(task.scaler.target_std() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_dataset_rejected() {
+        ForecastTask::new(data(1, 20), ForecastSetting::multi(12, 12), 0.6, 0.2, 1);
+    }
+}

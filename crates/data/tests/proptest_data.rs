@@ -1,0 +1,131 @@
+//! Property-based tests of the data layer: windowing, scaling, enrichment
+//! and metric invariants over randomized datasets.
+
+use octs_data::enrich::{derive_subset, EnrichConfig};
+use octs_data::{metrics, DatasetProfile, Domain, ForecastSetting, ForecastTask, Split};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn profile(n: usize, t: usize, seed: u64) -> DatasetProfile {
+    DatasetProfile::custom("prop", Domain::Traffic, n, t, 24, 0.3, 0.1, 10.0, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn windows_never_cross_split_or_end(
+        n in 2usize..5, t in 150usize..400, p in 2usize..8, q in 1usize..6, seed in 0u64..1000
+    ) {
+        let data = profile(n, t, seed).generate(0);
+        let task = ForecastTask::new(data, ForecastSetting::multi(p, q), 0.6, 0.2, 1);
+        let span = p + q;
+        for split in [Split::Train, Split::Val, Split::Test] {
+            for w in task.windows(split) {
+                prop_assert!(w + span <= t, "window {w}+{span} beyond {t}");
+            }
+        }
+        // disjoint and ordered
+        let tr = task.windows(Split::Train);
+        let va = task.windows(Split::Val);
+        let te = task.windows(Split::Test);
+        if let (Some(&a), Some(&b)) = (tr.last(), va.first()) {
+            prop_assert!(a < b);
+        }
+        if let (Some(&a), Some(&b)) = (va.last(), te.first()) {
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn scaler_roundtrip(v in -1000.0f32..1000.0, seed in 0u64..1000) {
+        let data = profile(3, 200, seed).generate(0);
+        let task = ForecastTask::new(data, ForecastSetting::multi(4, 2), 0.6, 0.2, 1);
+        let s = task.scaler.scale(0, v);
+        prop_assert!((task.scaler.unscale(0, s) - v).abs() < 1e-2);
+    }
+
+    #[test]
+    fn batch_shapes_match_contract(
+        n in 2usize..5, p in 2usize..8, q in 1usize..5, b in 1usize..5, seed in 0u64..1000
+    ) {
+        let data = profile(n, 300, seed).generate(0);
+        let task = ForecastTask::new(data, ForecastSetting::multi(p, q), 0.6, 0.2, 1);
+        let windows: Vec<usize> = task.windows(Split::Train).into_iter().take(b).collect();
+        prop_assume!(windows.len() == b);
+        let batch = task.make_batch(&windows);
+        prop_assert_eq!(batch.x.shape(), &[b, 1, n, p]);
+        prop_assert_eq!(batch.y.shape(), &[b, q, n]);
+        prop_assert!(batch.x.all_finite());
+        prop_assert!(batch.y.all_finite());
+    }
+
+    #[test]
+    fn rmse_dominates_mae(pred in proptest::collection::vec(-10.0f32..10.0, 2..40),
+                          noise in proptest::collection::vec(-10.0f32..10.0, 2..40)) {
+        let n = pred.len().min(noise.len());
+        let truth: Vec<f32> = pred[..n].iter().zip(&noise[..n]).map(|(a, b)| a + b).collect();
+        let mae = metrics::mae(&pred[..n], &truth);
+        let rmse = metrics::rmse(&pred[..n], &truth);
+        // RMS ≥ mean for nonnegative values (Jensen)
+        prop_assert!(rmse >= mae - 1e-4, "rmse {rmse} < mae {mae}");
+    }
+
+    #[test]
+    fn correlations_bounded(a in proptest::collection::vec(-5.0f32..5.0, 3..30),
+                            b in proptest::collection::vec(-5.0f32..5.0, 3..30)) {
+        let n = a.len().min(b.len());
+        let c = metrics::corr(&a[..n], &b[..n]);
+        let s = metrics::spearman(&a[..n], &b[..n]);
+        let k = metrics::kendall_tau(&a[..n], &b[..n]);
+        prop_assert!((-1.0001..=1.0001).contains(&c));
+        prop_assert!((-1.0001..=1.0001).contains(&s));
+        prop_assert!((-1.0001..=1.0001).contains(&k));
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform(a in proptest::collection::vec(-5.0f32..5.0, 4..20)) {
+        // strictly increasing transform preserves ranks exactly
+        let b: Vec<f32> = a.iter().map(|&x| x * 3.0 + 100.0).collect();
+        let s = metrics::spearman(&a, &b);
+        prop_assert!((s - 1.0).abs() < 1e-5, "spearman {s}");
+    }
+
+    #[test]
+    fn subsets_preserve_structure(seed in 0u64..1000) {
+        let data = profile(5, 300, seed).generate(0);
+        let cfg = EnrichConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sub = derive_subset(&data, &cfg, &mut rng);
+        prop_assert!(sub.n() >= 2 && sub.n() <= data.n());
+        prop_assert!(sub.t() <= data.t());
+        prop_assert_eq!(sub.adjacency.n(), sub.n());
+        prop_assert!(sub.values().iter().all(|v| v.is_finite()));
+        // subset values must appear in the original dataset
+        let first = sub.value(0, 0, 0);
+        let found = (0..data.n()).any(|s| (0..data.t()).any(|t| (data.value(s, t, 0) - first).abs() < 1e-6));
+        prop_assert!(found, "subset value not traceable to source");
+    }
+
+    #[test]
+    fn adjacency_transition_is_stochastic(n in 2usize..8, seed in 0u64..1000) {
+        let data = profile(n, 150, seed).generate(0);
+        let p = data.adjacency.transition();
+        for r in 0..n {
+            let s: f32 = (0..n).map(|c| p.at(&[r, c])).sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            for c in 0..n {
+                prop_assert!(p.at(&[r, c]) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_data_is_finite_and_scaled(seed in 0u64..500) {
+        let data = profile(4, 200, seed).generate(seed);
+        prop_assert!(data.values().iter().all(|v| v.is_finite()));
+        let std = data.feature_std(0);
+        prop_assert!(std > 0.0, "degenerate dataset");
+    }
+}

@@ -1,0 +1,233 @@
+//! Reusable neural layers built on the autograd substrate.
+
+use octs_tensor::{Graph, Init, ParamStore, Var};
+
+/// Fully-connected layer `y = x·W + b` over the trailing dimension.
+///
+/// `x` is `[..., in_dim]`; returns `[..., out_dim]`. Parameters are stored
+/// under `{name}/w` and `{name}/b`.
+pub fn linear(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, in_dim: usize, out_dim: usize) -> Var {
+    let w = ps.var(g, &format!("{name}/w"), &[in_dim, out_dim], Init::Xavier);
+    let b = ps.var(g, &format!("{name}/b"), &[out_dim], Init::Zeros);
+    x.matmul(&w).add_bias(&b)
+}
+
+/// Fully-connected layer without bias.
+pub fn linear_no_bias(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    in_dim: usize,
+    out_dim: usize,
+) -> Var {
+    let w = ps.var(g, &format!("{name}/w"), &[in_dim, out_dim], Init::Xavier);
+    x.matmul(&w)
+}
+
+/// Two-layer MLP with ReLU, `in → hidden → out`.
+pub fn mlp2(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    in_dim: usize,
+    hidden: usize,
+    out_dim: usize,
+) -> Var {
+    let h = linear(ps, g, &format!("{name}/l1"), x, in_dim, hidden).relu();
+    linear(ps, g, &format!("{name}/l2"), &h, hidden, out_dim)
+}
+
+/// Affine layer-norm over the trailing dimension with learned scale/shift
+/// stored under `{name}/gamma` and `{name}/beta`.
+pub fn layer_norm(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, dim: usize) -> Var {
+    let gamma = ps.var(g, &format!("{name}/gamma"), &[dim], Init::Ones);
+    let beta = ps.var(g, &format!("{name}/beta"), &[dim], Init::Zeros);
+    x.layer_norm(&gamma, &beta, 1e-5)
+}
+
+/// Single-head scaled dot-product self-attention over the second-to-last
+/// dimension of `x` (`[batch.., seq, dim]`), with output projection,
+/// residual connection and layer-norm — the Informer-style block reduced to
+/// its accuracy-relevant core (see DESIGN.md on the ProbSparse substitution).
+pub fn self_attention(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    dim: usize,
+) -> Var {
+    let q = linear_no_bias(ps, g, &format!("{name}/q"), x, dim, dim);
+    let k = linear_no_bias(ps, g, &format!("{name}/k"), x, dim, dim);
+    let v = linear_no_bias(ps, g, &format!("{name}/v"), x, dim, dim);
+    let scale = 1.0 / (dim as f32).sqrt();
+    let scores = q.matmul(&k.transpose()).mul_scalar(scale).softmax();
+    let ctx = scores.matmul(&v);
+    let proj = linear(ps, g, &format!("{name}/o"), &ctx, dim, dim);
+    layer_norm(ps, g, &format!("{name}/ln"), &proj.add(x), dim)
+}
+
+/// Multi-head scaled dot-product self-attention over the second-to-last
+/// dimension of `x` (`[batch.., seq, dim]`). `dim` must be divisible by
+/// `heads`; with `heads == 1` this is equivalent to [`self_attention`]'s
+/// core. Heads are computed on channel slices and re-concatenated, followed
+/// by output projection, residual and layer-norm.
+pub fn multi_head_attention(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    dim: usize,
+    heads: usize,
+) -> Var {
+    assert!(heads >= 1 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+    let head_dim = dim / heads;
+    let q = linear_no_bias(ps, g, &format!("{name}/q"), x, dim, dim);
+    let k = linear_no_bias(ps, g, &format!("{name}/k"), x, dim, dim);
+    let v = linear_no_bias(ps, g, &format!("{name}/v"), x, dim, dim);
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let rank = x.shape().len();
+    let mut outs = Vec::with_capacity(heads);
+    for h in 0..heads {
+        let qs = q.slice_axis(rank - 1, h * head_dim, head_dim);
+        let ks = k.slice_axis(rank - 1, h * head_dim, head_dim);
+        let vs = v.slice_axis(rank - 1, h * head_dim, head_dim);
+        let scores = qs.matmul(&ks.transpose()).mul_scalar(scale).softmax();
+        outs.push(scores.matmul(&vs));
+    }
+    let refs: Vec<&Var> = outs.iter().collect();
+    let ctx = Var::concat(&refs, rank - 1);
+    let proj = linear(ps, g, &format!("{name}/o"), &ctx, dim, dim);
+    layer_norm(ps, g, &format!("{name}/ln"), &proj.add(x), dim)
+}
+
+/// Gated recurrent unit cell: one step `h' = GRU(x, h)`.
+///
+/// `x` is `[batch, in_dim]`, `h` is `[batch, hidden]`. Used by the AGCRN-lite
+/// baseline.
+pub fn gru_cell(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    h: &Var,
+    in_dim: usize,
+    hidden: usize,
+) -> Var {
+    let xh = Var::concat(&[x, h], 1);
+    let zr_dim = in_dim + hidden;
+    let z = linear(ps, g, &format!("{name}/z"), &xh, zr_dim, hidden).sigmoid();
+    let r = linear(ps, g, &format!("{name}/r"), &xh, zr_dim, hidden).sigmoid();
+    let xrh = Var::concat(&[x, &r.mul(h)], 1);
+    let cand = linear(ps, g, &format!("{name}/c"), &xrh, zr_dim, hidden).tanh();
+    // h' = (1 - z) * h + z * cand
+    let one_minus_z = z.neg().add_scalar(1.0);
+    one_minus_z.mul(h).add(&z.mul(&cand))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_tensor::{Adam, Tensor};
+
+    #[test]
+    fn linear_shapes_and_registration() {
+        let mut ps = ParamStore::new(0);
+        let g = Graph::new();
+        let x = g.constant(Tensor::ones([2, 3, 4]));
+        let y = linear(&mut ps, &g, "fc", &x, 4, 6);
+        assert_eq!(y.shape(), vec![2, 3, 6]);
+        assert!(ps.get("fc/w").is_some());
+        assert!(ps.get("fc/b").is_some());
+    }
+
+    #[test]
+    fn linear_learns_identity_map() {
+        let mut ps = ParamStore::new(1);
+        let mut opt = Adam::new(0.05, 0.0);
+        let x_data = Tensor::new([8, 2], (0..16).map(|i| (i as f32) * 0.1 - 0.8).collect());
+        for _ in 0..300 {
+            let g = Graph::new();
+            let x = g.constant(x_data.clone());
+            let y = linear(&mut ps, &g, "fc", &x, 2, 2);
+            let loss = y.mae_loss(&g.constant(x_data.clone()));
+            g.backward(&loss);
+            opt.step(&mut ps, &g.param_grads());
+        }
+        let g = Graph::new();
+        let x = g.constant(x_data.clone());
+        let y = linear(&mut ps, &g, "fc", &x, 2, 2);
+        let err = y.mae_loss(&g.constant(x_data)).value().item();
+        assert!(err < 0.05, "final MAE {err}");
+    }
+
+    #[test]
+    fn attention_preserves_shape_and_grads_flow() {
+        let mut ps = ParamStore::new(2);
+        let g = Graph::new();
+        let x = g.constant(Tensor::new([2, 5, 4], (0..40).map(|i| (i as f32) * 0.01).collect()));
+        let y = self_attention(&mut ps, &g, "att", &x, 4);
+        assert_eq!(y.shape(), vec![2, 5, 4]);
+        let loss = y.mean_all();
+        g.backward(&loss);
+        let grads = g.param_grads();
+        assert!(grads.iter().any(|(n, _)| n == "att/q/w"));
+        assert!(grads.iter().all(|(_, g)| g.all_finite()));
+    }
+
+    #[test]
+    fn multi_head_attention_shapes_and_heads() {
+        let mut ps = ParamStore::new(7);
+        let g = Graph::new();
+        let x = g.constant(Tensor::new([2, 5, 8], (0..80).map(|i| (i as f32) * 0.01 - 0.4).collect()));
+        for heads in [1usize, 2, 4] {
+            let y = multi_head_attention(&mut ps, &g, &format!("mh{heads}"), &x, 8, heads);
+            assert_eq!(y.shape(), vec![2, 5, 8], "heads={heads}");
+            assert!(y.value().all_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn multi_head_attention_rejects_bad_heads() {
+        let mut ps = ParamStore::new(8);
+        let g = Graph::new();
+        let x = g.constant(Tensor::ones([1, 3, 8]));
+        multi_head_attention(&mut ps, &g, "bad", &x, 8, 3);
+    }
+
+    #[test]
+    fn multi_head_gradients_flow_per_head() {
+        let mut ps = ParamStore::new(9);
+        let g = Graph::new();
+        let x = g.constant(Tensor::new([1, 4, 8], (0..32).map(|i| (i as f32) * 0.03).collect()));
+        let y = multi_head_attention(&mut ps, &g, "mh", &x, 8, 2);
+        g.backward(&y.mean_all());
+        let grads = g.param_grads();
+        assert!(grads.iter().any(|(n, _)| n == "mh/q/w"));
+        assert!(grads.iter().all(|(_, t)| t.all_finite()));
+    }
+
+    #[test]
+    fn gru_cell_bounded_output() {
+        let mut ps = ParamStore::new(3);
+        let g = Graph::new();
+        let x = g.constant(Tensor::ones([3, 2]));
+        let h = g.constant(Tensor::zeros([3, 4]));
+        let h2 = gru_cell(&mut ps, &g, "gru", &x, &h, 2, 4);
+        assert_eq!(h2.shape(), vec![3, 4]);
+        // convex combination of h (0) and tanh candidate (|.|<1)
+        assert!(h2.value().data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn mlp2_composes() {
+        let mut ps = ParamStore::new(4);
+        let g = Graph::new();
+        let x = g.constant(Tensor::ones([5, 3]));
+        let y = mlp2(&mut ps, &g, "m", &x, 3, 8, 2);
+        assert_eq!(y.shape(), vec![5, 2]);
+        assert_eq!(ps.len(), 4); // two linears × (w, b)
+    }
+}

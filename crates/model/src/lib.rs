@@ -1,0 +1,25 @@
+//! # octs-model
+//!
+//! Neural CTS forecasting models for the AutoCTS+ reproduction: the candidate
+//! operator zoo (GDCC, DGCN, INF-T, INF-S, Identity), ST-block assembly from
+//! architecture DAGs, the full forecaster (input module → ST-backbone →
+//! output module, Fig. 2) and the training/evaluation loops including the
+//! early-validation proxy `R'` used to label comparator samples.
+
+#![warn(missing_docs)]
+
+pub mod forecaster;
+pub mod layers;
+pub mod model_trait;
+pub mod operators;
+pub mod stblock;
+pub mod trainer;
+
+pub use forecaster::{Forecaster, ModelDims};
+pub use model_trait::CtsForecastModel;
+pub use operators::{apply_op, OpCtx};
+pub use stblock::st_block;
+pub use trainer::{
+    early_validation, evaluate, evaluate_per_horizon, train_forecaster, val_mae_scaled,
+    EvalMetrics, TrainConfig, TrainReport,
+};

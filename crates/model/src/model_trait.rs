@@ -1,0 +1,55 @@
+//! The common interface every trainable CTS forecasting model implements —
+//! searched ST-block models and manually-designed baselines alike.
+
+use octs_tensor::{Graph, ParamStore, Tensor, Var};
+
+/// A trainable CTS forecasting model: `[B, F, N, P] → [B, out_steps, N]`.
+pub trait CtsForecastModel {
+    /// Builds a fresh autograd graph for one forward pass.
+    fn forward(&mut self, x: &Tensor) -> (Graph, Var);
+
+    /// The model's parameters, for the optimizer.
+    fn params_mut(&mut self) -> &mut ParamStore;
+
+    /// Toggles training mode (dropout etc.).
+    fn set_training(&mut self, training: bool);
+
+    /// Current training-mode flag.
+    fn is_training(&self) -> bool;
+
+    /// Model display name, used in experiment tables.
+    fn name(&self) -> String {
+        "model".to_string()
+    }
+
+    /// Grad-free prediction in evaluation mode.
+    fn predict(&mut self, x: &Tensor) -> Tensor {
+        let was = self.is_training();
+        self.set_training(false);
+        let (_, pred) = self.forward(x);
+        self.set_training(was);
+        pred.value()
+    }
+}
+
+impl CtsForecastModel for crate::forecaster::Forecaster {
+    fn forward(&mut self, x: &Tensor) -> (Graph, Var) {
+        crate::forecaster::Forecaster::forward(self, x)
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn is_training(&self) -> bool {
+        self.training
+    }
+
+    fn name(&self) -> String {
+        "AutoCTS++".to_string()
+    }
+}

@@ -1,0 +1,393 @@
+//! Training and evaluation of forecasting models, including the
+//! early-validation proxy `R'` (Eq. 22) that labels comparator samples.
+
+use crate::forecaster::{Forecaster, ModelDims};
+use crate::model_trait::CtsForecastModel;
+use octs_data::metrics;
+use octs_data::{ForecastTask, Split};
+use octs_space::ArchHyper;
+use octs_tensor::{clip_grad_norm, Adam};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Knobs for one training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Adam weight decay (paper: 1e-4).
+    pub weight_decay: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// Cap on training windows per epoch (evenly strided subsample).
+    pub max_train_windows: usize,
+    /// Cap on evaluation windows.
+    pub max_eval_windows: usize,
+    /// Early-stop patience in epochs (0 disables early stopping).
+    pub patience: usize,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The configuration used to collect comparator labels: the paper's
+    /// early-validation proxy with `k = 5` epochs, scaled-down window counts.
+    pub fn early_validation() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 4,
+            lr: 3e-3,
+            weight_decay: 1e-4,
+            grad_clip: 5.0,
+            max_train_windows: 48,
+            max_eval_windows: 32,
+            patience: 0,
+            seed: 0,
+        }
+    }
+
+    /// Fuller training for final model selection and baseline comparisons.
+    pub fn standard() -> Self {
+        Self {
+            epochs: 20,
+            batch_size: 4,
+            lr: 3e-3,
+            weight_decay: 1e-4,
+            grad_clip: 5.0,
+            max_train_windows: 96,
+            max_eval_windows: 64,
+            patience: 5,
+            seed: 0,
+        }
+    }
+
+    /// Tiny config for unit tests.
+    pub fn test() -> Self {
+        Self {
+            epochs: 2,
+            batch_size: 4,
+            lr: 3e-3,
+            weight_decay: 0.0,
+            grad_clip: 5.0,
+            max_train_windows: 12,
+            max_eval_windows: 8,
+            patience: 0,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Accuracy metrics on unscaled values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalMetrics {
+    /// Mean absolute error.
+    pub mae: f32,
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Mean absolute percentage error (%).
+    pub mape: f32,
+    /// Root relative squared error.
+    pub rrse: f32,
+    /// Empirical correlation coefficient.
+    pub corr: f32,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Best validation MAE (scaled units) seen during training.
+    pub best_val_mae: f32,
+    /// Epochs actually run (early stopping may cut this short).
+    pub epochs_run: usize,
+    /// Final validation metrics (unscaled units).
+    pub val: EvalMetrics,
+    /// Final test metrics (unscaled units).
+    pub test: EvalMetrics,
+    /// Wall-clock training time.
+    pub train_time: Duration,
+}
+
+fn subsample(windows: &[usize], max: usize) -> Vec<usize> {
+    if windows.len() <= max || max == 0 {
+        return windows.to_vec();
+    }
+    let step = windows.len() as f32 / max as f32;
+    (0..max).map(|i| windows[(i as f32 * step) as usize]).collect()
+}
+
+/// Evaluates a model on a split, returning metrics in the data's own units.
+pub fn evaluate<M: CtsForecastModel + ?Sized>(
+    fc: &mut M,
+    task: &ForecastTask,
+    split: Split,
+    max_windows: usize,
+) -> EvalMetrics {
+    let windows = subsample(&task.windows(split), max_windows);
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    for chunk in windows.chunks(8) {
+        let batch = task.make_batch(chunk);
+        let p = fc.predict(&batch.x);
+        for (pv, tv) in p.data().iter().zip(batch.y.data()) {
+            preds.push(task.unscale_target(*pv));
+            truths.push(task.unscale_target(*tv));
+        }
+    }
+    EvalMetrics {
+        mae: metrics::mae(&preds, &truths),
+        rmse: metrics::rmse(&preds, &truths),
+        mape: metrics::mape(&preds, &truths),
+        rrse: metrics::rrse(&preds, &truths),
+        corr: metrics::corr(&preds, &truths),
+    }
+}
+
+/// Per-horizon evaluation: metrics computed separately at each forecast step
+/// (`1..=out_steps`), as the CTS literature reports (e.g. horizon 3/6/12 on
+/// the traffic benchmarks). Returns one [`EvalMetrics`] per horizon, in the
+/// data's own units. Only meaningful for multi-step tasks.
+pub fn evaluate_per_horizon<M: CtsForecastModel + ?Sized>(
+    fc: &mut M,
+    task: &ForecastTask,
+    split: Split,
+    max_windows: usize,
+) -> Vec<EvalMetrics> {
+    let out_steps = task.setting.out_steps();
+    let n = task.data.n();
+    let windows = subsample(&task.windows(split), max_windows);
+    let mut preds: Vec<Vec<f32>> = vec![Vec::new(); out_steps];
+    let mut truths: Vec<Vec<f32>> = vec![Vec::new(); out_steps];
+    for chunk in windows.chunks(8) {
+        let batch = task.make_batch(chunk);
+        let p = fc.predict(&batch.x);
+        // layout [B, out, N]
+        for bi in 0..chunk.len() {
+            for step in 0..out_steps {
+                for s in 0..n {
+                    let idx = (bi * out_steps + step) * n + s;
+                    preds[step].push(task.unscale_target(p.data()[idx]));
+                    truths[step].push(task.unscale_target(batch.y.data()[idx]));
+                }
+            }
+        }
+    }
+    preds
+        .iter()
+        .zip(&truths)
+        .map(|(p, t)| EvalMetrics {
+            mae: metrics::mae(p, t),
+            rmse: metrics::rmse(p, t),
+            mape: metrics::mape(p, t),
+            rrse: metrics::rrse(p, t),
+            corr: metrics::corr(p, t),
+        })
+        .collect()
+}
+
+/// Validation MAE in *scaled* units — cheap inner-loop selection signal.
+pub fn val_mae_scaled<M: CtsForecastModel + ?Sized>(fc: &mut M, task: &ForecastTask, max_windows: usize) -> f32 {
+    let windows = subsample(&task.windows(Split::Val), max_windows);
+    if windows.is_empty() {
+        return f32::INFINITY;
+    }
+    let mut abs_sum = 0.0f32;
+    let mut count = 0usize;
+    for chunk in windows.chunks(8) {
+        let batch = task.make_batch(chunk);
+        let p = fc.predict(&batch.x);
+        for (pv, tv) in p.data().iter().zip(batch.y.data()) {
+            abs_sum += (pv - tv).abs();
+            count += 1;
+        }
+    }
+    abs_sum / count as f32
+}
+
+/// Trains `fc` on the task with MAE objective and Adam (Section 4.1.4),
+/// early-stopping on validation MAE.
+pub fn train_forecaster<M: CtsForecastModel + ?Sized>(fc: &mut M, task: &ForecastTask, cfg: &TrainConfig) -> TrainReport {
+    let start = Instant::now();
+    let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let train_windows = subsample(&task.windows(Split::Train), cfg.max_train_windows);
+    assert!(!train_windows.is_empty(), "no training windows for task {}", task.id());
+
+    let mut best = f32::INFINITY;
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+    for _epoch in 0..cfg.epochs {
+        epochs_run += 1;
+        let mut order = train_windows.clone();
+        order.shuffle(&mut rng);
+        fc.set_training(true);
+        for chunk in order.chunks(cfg.batch_size) {
+            let batch = task.make_batch(chunk);
+            let (g, pred) = fc.forward(&batch.x);
+            let loss = pred.mae_loss(&g.constant(batch.y.clone()));
+            g.backward(&loss);
+            let mut grads = g.param_grads();
+            if cfg.grad_clip > 0.0 {
+                clip_grad_norm(&mut grads, cfg.grad_clip);
+            }
+            opt.step(fc.params_mut(), &grads);
+        }
+        let vm = val_mae_scaled(fc, task, cfg.max_eval_windows);
+        if vm < best - 1e-5 {
+            best = vm;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if cfg.patience > 0 && since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+
+    let val = evaluate(fc, task, Split::Val, cfg.max_eval_windows);
+    let test = evaluate(fc, task, Split::Test, cfg.max_eval_windows);
+    TrainReport { best_val_mae: best, epochs_run, val, test, train_time: start.elapsed() }
+}
+
+/// The early-validation metric `R'` (Eq. 22): validation MAE (scaled) after
+/// `cfg.epochs` (= k) training epochs. Lower is better.
+pub fn early_validation(ah: &ArchHyper, task: &ForecastTask, cfg: &TrainConfig) -> f32 {
+    let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
+    let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, cfg.seed);
+    let report = train_forecaster(&mut fc, task, cfg);
+    report.best_val_mae
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+    use octs_space::JointSpace;
+
+    fn small_task() -> ForecastTask {
+        let profile =
+            DatasetProfile::custom("unit", Domain::Traffic, 4, 240, 24, 0.3, 0.05, 10.0, 3);
+        ForecastTask::new(profile.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 1)
+    }
+
+    fn sample_ah(seed: u64) -> ArchHyper {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        JointSpace::tiny().sample(&mut rng)
+    }
+
+    #[test]
+    fn training_reduces_validation_error() {
+        let task = small_task();
+        let ah = sample_ah(1);
+        let dims = ModelDims::new(4, 1, task.setting);
+        let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 7);
+        let before = val_mae_scaled(&mut fc, &task, 16);
+        let cfg = TrainConfig { epochs: 6, max_train_windows: 32, ..TrainConfig::test() };
+        let report = train_forecaster(&mut fc, &task, &cfg);
+        assert!(report.best_val_mae < before, "{before} -> {}", report.best_val_mae);
+        assert!(report.val.mae.is_finite());
+        assert!(report.test.rmse >= report.test.mae * 0.99);
+    }
+
+    #[test]
+    fn early_validation_is_deterministic() {
+        let task = small_task();
+        let ah = sample_ah(2);
+        let cfg = TrainConfig::test();
+        let a = early_validation(&ah, &task, &cfg);
+        let b = early_validation(&ah, &task, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subsample_caps_and_spreads() {
+        let windows: Vec<usize> = (0..100).collect();
+        let s = subsample(&windows, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(s[9] >= 80);
+        assert_eq!(subsample(&windows, 200).len(), 100);
+    }
+
+    #[test]
+    fn evaluate_unscales() {
+        // A model predicting scaled 0 everywhere should have MAE near the
+        // dataset's own mean-absolute-deviation, not near 0.
+        let task = small_task();
+        let ah = sample_ah(3);
+        let dims = ModelDims::new(4, 1, task.setting);
+        let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 1);
+        let m = evaluate(&mut fc, &task, Split::Test, 16);
+        assert!(m.mae > 0.0);
+        assert!(m.mae.is_finite());
+        assert!(m.mape >= 0.0);
+    }
+
+    #[test]
+    fn patience_stops_early() {
+        let task = small_task();
+        let ah = sample_ah(4);
+        let dims = ModelDims::new(4, 1, task.setting);
+        let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 2);
+        let cfg = TrainConfig { epochs: 30, patience: 1, lr: 0.0, ..TrainConfig::test() };
+        // lr 0: no improvement ever, must stop after patience+1 epochs.
+        let report = train_forecaster(&mut fc, &task, &cfg);
+        assert!(report.epochs_run <= 3, "ran {}", report.epochs_run);
+    }
+
+    #[test]
+    fn per_horizon_errors_grow_with_horizon_after_training() {
+        // Forecast difficulty increases with the horizon; after training, the
+        // MAE at the last step should be at least that of the first step
+        // (a well-known shape on every CTS benchmark).
+        let task = small_task();
+        let ah = sample_ah(11);
+        let dims = ModelDims::new(4, 1, task.setting);
+        let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 5);
+        train_forecaster(&mut fc, &task, &TrainConfig { epochs: 6, ..TrainConfig::test() });
+        let per_h = evaluate_per_horizon(&mut fc, &task, Split::Test, 16);
+        assert_eq!(per_h.len(), task.setting.out_steps());
+        assert!(per_h.iter().all(|m| m.mae.is_finite()));
+        // overall MAE must be the average-ish of the horizon MAEs
+        let overall = evaluate(&mut fc, &task, Split::Test, 16);
+        let mean_h: f32 = per_h.iter().map(|m| m.mae).sum::<f32>() / per_h.len() as f32;
+        assert!((overall.mae - mean_h).abs() / overall.mae < 0.25, "{} vs {}", overall.mae, mean_h);
+    }
+
+    #[test]
+    fn divergent_learning_rate_does_not_panic() {
+        // Failure injection: an absurd learning rate may blow the weights up
+        // to NaN; the training loop must survive and report, not crash.
+        let task = small_task();
+        let ah = sample_ah(9);
+        let dims = ModelDims::new(4, 1, task.setting);
+        let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 5);
+        let cfg = TrainConfig { epochs: 4, lr: 1e6, grad_clip: 0.0, patience: 0, ..TrainConfig::test() };
+        let report = train_forecaster(&mut fc, &task, &cfg);
+        assert_eq!(report.epochs_run, 4, "loop must complete despite divergence");
+    }
+
+    #[test]
+    fn seeded_training_is_reproducible() {
+        let task = small_task();
+        let ah = sample_ah(10);
+        let dims = ModelDims::new(4, 1, task.setting);
+        let cfg = TrainConfig::test();
+        let run = || {
+            let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, 5);
+            train_forecaster(&mut fc, &task, &cfg).best_val_mae
+        };
+        assert_eq!(run(), run());
+    }
+}

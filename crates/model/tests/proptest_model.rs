@@ -1,0 +1,114 @@
+//! Property-based tests of the model layer: every sampled arch-hyper must
+//! build a forecaster that satisfies the shape contract, stays finite and
+//! propagates gradients into every registered parameter family.
+
+use octs_data::Adjacency;
+use octs_model::{Forecaster, ModelDims};
+use octs_space::JointSpace;
+use octs_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_sampled_archhyper_forecasts(seed in 0u64..5_000, n in 2usize..5, p in 3usize..8, out in 1usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ah = JointSpace::tiny().sample(&mut rng);
+        let dims = ModelDims { n, f: 1, p, out_steps: out };
+        let mut fc = Forecaster::new(ah, dims, &Adjacency::identity(n), seed);
+        let x = Tensor::full([2, 1, n, p], 0.3);
+        let (g, pred) = fc.forward(&x);
+        prop_assert_eq!(pred.shape(), vec![2, out, n]);
+        prop_assert!(pred.value().all_finite());
+
+        let loss = pred.abs().mean_all();
+        g.backward(&loss);
+        let grads = g.param_grads();
+        prop_assert!(!grads.is_empty());
+        prop_assert!(grads.iter().all(|(_, t)| t.all_finite()));
+        // the input and output modules always receive gradient
+        prop_assert!(grads.iter().any(|(name, _)| name.starts_with("input/")));
+        prop_assert!(grads.iter().any(|(name, _)| name.starts_with("out/")));
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic_even_with_dropout(seed in 0u64..5_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let space = JointSpace::tiny();
+        let mut ah = space.sample(&mut rng);
+        ah.hyper.delta = 0; // tiny space has delta=[0]; force explicitly
+        let dims = ModelDims { n: 3, f: 1, p: 4, out_steps: 2 };
+        let mut fc = Forecaster::new(ah, dims, &Adjacency::identity(3), seed);
+        let x = Tensor::full([1, 1, 3, 4], 0.5);
+        prop_assert_eq!(fc.predict(&x), fc.predict(&x));
+    }
+
+    #[test]
+    fn batch_independence(seed in 0u64..2_000) {
+        // Prediction for a window must not depend on other windows in the
+        // same batch (no cross-batch leakage through any operator).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ah = JointSpace::tiny().sample(&mut rng);
+        let dims = ModelDims { n: 3, f: 1, p: 4, out_steps: 2 };
+        let mut fc = Forecaster::new(ah, dims, &Adjacency::identity(3), seed);
+
+        let a = Tensor::full([1, 1, 3, 4], 0.5);
+        let solo = fc.predict(&a);
+
+        let mut pair = Tensor::zeros([2, 1, 3, 4]);
+        pair.data_mut()[..12].copy_from_slice(a.data());
+        for v in &mut pair.data_mut()[12..] {
+            *v = -1.7;
+        }
+        let joint = fc.predict(&pair);
+        for i in 0..solo.len() {
+            prop_assert!(
+                (solo.data()[i] - joint.data()[i]).abs() < 1e-4,
+                "batch leakage at {i}: {} vs {}",
+                solo.data()[i],
+                joint.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_count_is_stable_across_forwards(seed in 0u64..2_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ah = JointSpace::tiny().sample(&mut rng);
+        let dims = ModelDims { n: 3, f: 1, p: 4, out_steps: 2 };
+        let mut fc = Forecaster::new(ah, dims, &Adjacency::identity(3), seed);
+        let x = Tensor::full([1, 1, 3, 4], 0.1);
+        fc.forward(&x);
+        let count = fc.num_params();
+        fc.forward(&x);
+        prop_assert_eq!(fc.num_params(), count, "lazy init must be idempotent");
+    }
+}
+
+#[test]
+fn multivariate_features_flow_end_to_end() {
+    // F = 2 input features (target + auxiliary) through windowing, scaling,
+    // the input projection and a full training step.
+    use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+    use octs_model::{train_forecaster, TrainConfig};
+
+    let mut profile = DatasetProfile::custom("mv", Domain::Energy, 3, 220, 24, 0.2, 0.1, 10.0, 31);
+    profile.f = 2;
+    let data = profile.generate(0);
+    assert_eq!(data.f(), 2);
+    let task = ForecastTask::new(data, ForecastSetting::multi(4, 2), 0.6, 0.2, 2);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let ah = JointSpace::tiny().sample(&mut rng);
+    let dims = ModelDims::new(task.data.n(), 2, task.setting);
+    let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 3);
+    let report = train_forecaster(&mut fc, &task, &TrainConfig::test());
+    assert!(report.best_val_mae.is_finite());
+    // predictions only target feature 0: output shape stays [B, Q, N]
+    let batch = task.make_batch(&[0]);
+    assert_eq!(batch.x.shape()[1], 2);
+    assert_eq!(fc.predict(&batch.x).shape(), &[1, 2, 3]);
+}

@@ -1,0 +1,199 @@
+//! The original **AutoCTS+** (SIGMOD 2023) per-task search: train a plain
+//! (non-task-aware) Architecture-Hyperparameter Comparator *for one target
+//! task* from early-validation labels collected on that task, then use it to
+//! rank the joint space and train the top-K finalists.
+//!
+//! This is the fully-supervised predecessor of the zero-shot pipeline: it
+//! needs no pre-training corpus, but pays the label-collection cost again
+//! for every new task — the cost AutoCTS++ amortizes away (compare
+//! [`crate::zeroshot::zero_shot_search`]).
+
+use crate::evolve::{evolve_search, EvolveConfig};
+use octs_comparator::{Tahc, TahcConfig};
+use octs_data::ForecastTask;
+use octs_model::{early_validation, train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport};
+use octs_space::{ArchHyper, JointSpace};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Configuration of the per-task AutoCTS+ search.
+#[derive(Debug, Clone)]
+pub struct AutoCtsPlusConfig {
+    /// Number of arch-hypers labelled with the early-validation proxy
+    /// (the paper's `(ah, R'(ah))` sample budget).
+    pub num_labeled: usize,
+    /// Early-validation (k-epoch) training configuration.
+    pub label_cfg: TrainConfig,
+    /// Comparator architecture (forced non-task-aware).
+    pub comparator: TahcConfig,
+    /// Comparator training epochs over the dynamically-paired samples.
+    pub comparator_epochs: usize,
+    /// Evolutionary-search settings for the ranking stage.
+    pub evolve: EvolveConfig,
+    /// Final training of the top-K candidates.
+    pub final_cfg: TrainConfig,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl AutoCtsPlusConfig {
+    /// CPU-scaled defaults.
+    pub fn scaled() -> Self {
+        Self {
+            num_labeled: 16,
+            label_cfg: TrainConfig::early_validation(),
+            comparator: TahcConfig { task_aware: false, ..TahcConfig::scaled() },
+            comparator_epochs: 40,
+            evolve: EvolveConfig::scaled(),
+            final_cfg: TrainConfig::standard(),
+            seed: 0,
+        }
+    }
+
+    /// Tiny defaults for tests.
+    pub fn test() -> Self {
+        Self {
+            num_labeled: 6,
+            label_cfg: TrainConfig::test(),
+            comparator: TahcConfig { task_aware: false, ..TahcConfig::test() },
+            comparator_epochs: 10,
+            evolve: EvolveConfig::test(),
+            final_cfg: TrainConfig::test(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of an AutoCTS+ search, with its cost breakdown.
+pub struct AutoCtsPlusOutcome {
+    /// The selected arch-hyper.
+    pub best: ArchHyper,
+    /// Training report of the winner.
+    pub best_report: TrainReport,
+    /// Wall-clock spent collecting `(ah, R')` labels — the per-task cost
+    /// zero-shot search eliminates.
+    pub label_time: Duration,
+    /// Wall-clock spent training the comparator.
+    pub comparator_time: Duration,
+    /// Wall-clock spent ranking + training finalists.
+    pub search_time: Duration,
+}
+
+/// Runs the AutoCTS+ pipeline on a single task.
+pub fn autocts_plus_search(
+    task: &ForecastTask,
+    space: &JointSpace,
+    cfg: &AutoCtsPlusConfig,
+) -> AutoCtsPlusOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // 1. Collect (ah, R'(ah)) samples on THIS task (Eq. 22).
+    let t0 = Instant::now();
+    let candidates = space.sample_distinct(cfg.num_labeled, &mut rng);
+    let labeled: Vec<(ArchHyper, f32)> = candidates
+        .into_iter()
+        .map(|ah| {
+            let score = early_validation(&ah, task, &cfg.label_cfg);
+            (ah, score)
+        })
+        .collect();
+    let label_time = t0.elapsed();
+
+    // 2. Train the plain AHC with dynamic pairing: a(a-1) ordered pairs from
+    //    `a` labelled samples, shuffled fresh each epoch.
+    let t1 = Instant::now();
+    let mut comparator = Tahc::new(
+        TahcConfig { task_aware: false, ..cfg.comparator },
+        space.hyper.clone(),
+        cfg.seed,
+    );
+    let mut opt = octs_tensor::Adam::new(1e-3, 5e-4);
+    let mut pair_idx: Vec<(usize, usize)> = (0..labeled.len())
+        .flat_map(|i| (0..labeled.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j && (labeled[i].1 - labeled[j].1).abs() > 1e-9)
+        .collect();
+    for _epoch in 0..cfg.comparator_epochs {
+        pair_idx.shuffle(&mut rng);
+        for chunk in pair_idx.chunks(16) {
+            let batch: Vec<_> = chunk
+                .iter()
+                .map(|&(i, j)| {
+                    let y = if labeled[i].1 < labeled[j].1 { 1.0 } else { 0.0 };
+                    (None, &labeled[i].0, &labeled[j].0, y)
+                })
+                .collect();
+            comparator.train_batch(&mut opt, &batch);
+        }
+    }
+    let comparator_time = t1.elapsed();
+
+    // 3. Rank the joint space with the trained comparator and train top-K.
+    let t2 = Instant::now();
+    let top = evolve_search(&mut comparator, None, space, &cfg.evolve);
+    let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
+    let mut best: Option<(ArchHyper, TrainReport)> = None;
+    for (i, ah) in top.into_iter().enumerate() {
+        let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, cfg.seed ^ (i as u64 + 1));
+        let report = train_forecaster(&mut fc, task, &cfg.final_cfg);
+        let better = match &best {
+            Some((_, b)) => report.best_val_mae < b.best_val_mae,
+            None => true,
+        };
+        if better {
+            best = Some((ah, report));
+        }
+    }
+    let search_time = t2.elapsed();
+    let (best, best_report) = best.expect("top_k >= 1");
+    AutoCtsPlusOutcome { best, best_report, label_time, comparator_time, search_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting};
+
+    fn task() -> ForecastTask {
+        let p = DatasetProfile::custom("acp", Domain::Traffic, 4, 220, 24, 0.3, 0.1, 10.0, 23);
+        ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 2)
+    }
+
+    #[test]
+    fn end_to_end_per_task_search() {
+        let t = task();
+        let cfg = AutoCtsPlusConfig::test();
+        let out = autocts_plus_search(&t, &JointSpace::tiny(), &cfg);
+        assert!(out.best_report.best_val_mae.is_finite());
+        assert_eq!(out.best.arch.c(), out.best.hyper.c);
+        assert!(out.label_time > Duration::ZERO);
+        assert!(out.search_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn label_cost_dominates_for_larger_budgets() {
+        // The structural claim behind zero-shot search: per-task labelling is
+        // the expensive phase and scales with the sample budget.
+        let t = task();
+        let small = AutoCtsPlusConfig { num_labeled: 3, ..AutoCtsPlusConfig::test() };
+        let large = AutoCtsPlusConfig { num_labeled: 9, ..AutoCtsPlusConfig::test() };
+        let o1 = autocts_plus_search(&t, &JointSpace::tiny(), &small);
+        let o2 = autocts_plus_search(&t, &JointSpace::tiny(), &large);
+        assert!(
+            o2.label_time > o1.label_time,
+            "labelling 9 candidates must cost more than 3 ({:?} vs {:?})",
+            o2.label_time,
+            o1.label_time
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = task();
+        let cfg = AutoCtsPlusConfig::test();
+        let a = autocts_plus_search(&t, &JointSpace::tiny(), &cfg);
+        let b = autocts_plus_search(&t, &JointSpace::tiny(), &cfg);
+        assert_eq!(a.best, b.best);
+    }
+}

@@ -1,0 +1,22 @@
+//! # octs-search
+//!
+//! Search strategies over the joint arch-hyper space: the comparator-guided
+//! zero-shot search of AutoCTS++ (Algorithm 2: tournament seeding →
+//! evolutionary refinement → Round-Robin top-K → train finalists), plus the
+//! baseline strategies it is evaluated against — random search, grid-search
+//! HPO and a DARTS-style weight-sharing supernet standing in for the
+//! fully-supervised AutoCTS/AutoSTG frameworks.
+
+#![warn(missing_docs)]
+
+pub mod autocts_plus;
+pub mod baseline_search;
+pub mod evolve;
+pub mod rank;
+pub mod zeroshot;
+
+pub use autocts_plus::{autocts_plus_search, AutoCtsPlusConfig, AutoCtsPlusOutcome};
+pub use baseline_search::{grid_search_hpo, random_search, supernet_search, SupernetConfig};
+pub use evolve::{evolve_search, EvolveConfig};
+pub use rank::{round_robin_cost, round_robin_rank, tournament_rank};
+pub use zeroshot::{zero_shot_search, SearchOutcome, SearchTiming};

@@ -1,0 +1,134 @@
+//! Comparator-based ranking: tournament scoring and Round-Robin top-K.
+//!
+//! The comparator is a neural network and does not guarantee transitivity,
+//! so the paper selects the final top-K by Round-Robin win counting rather
+//! than a comparison sort (Section 3.3).
+
+use octs_comparator::Tahc;
+use octs_space::ArchHyper;
+use octs_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Full Round-Robin: each candidate plays every other; returns indices
+/// ordered by descending win count (stable on ties). `O(K²)` comparisons.
+pub fn round_robin_rank(
+    tahc: &mut Tahc,
+    prelim: Option<&Tensor>,
+    candidates: &[ArchHyper],
+) -> Vec<usize> {
+    let k = candidates.len();
+    let mut wins = vec![0usize; k];
+    for i in 0..k {
+        for j in i + 1..k {
+            if tahc.compare(prelim, &candidates[i], &candidates[j]) {
+                wins[i] += 1;
+            } else {
+                wins[j] += 1;
+            }
+        }
+    }
+    order_by_wins(&wins)
+}
+
+/// Sparse tournament: each candidate plays `rounds` random opponents; cheap
+/// pre-ranking used to seed the evolutionary population when the candidate
+/// pool is large (the paper's `K_s` reaches 300 000).
+pub fn tournament_rank(
+    tahc: &mut Tahc,
+    prelim: Option<&Tensor>,
+    candidates: &[ArchHyper],
+    rounds: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let k = candidates.len();
+    if k <= 1 {
+        return (0..k).collect();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut wins = vec![0usize; k];
+    let mut opponents: Vec<usize> = (0..k).collect();
+    for i in 0..k {
+        opponents.shuffle(&mut rng);
+        let mut played = 0usize;
+        for &j in opponents.iter() {
+            if j == i {
+                continue;
+            }
+            if tahc.compare(prelim, &candidates[i], &candidates[j]) {
+                wins[i] += 1;
+            } else {
+                wins[j] += 1;
+            }
+            played += 1;
+            if played >= rounds {
+                break;
+            }
+        }
+    }
+    order_by_wins(&wins)
+}
+
+/// Indices sorted by descending wins (ties keep original order).
+fn order_by_wins(wins: &[usize]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..wins.len()).collect();
+    idx.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
+    idx
+}
+
+/// Number of comparator invocations a full round-robin over `k` needs.
+pub fn round_robin_cost(k: usize) -> usize {
+    k * (k - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_comparator::TahcConfig;
+    use octs_space::JointSpace;
+
+    fn untrained_fixture(k: usize) -> (Tahc, Vec<ArchHyper>) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ahs = space.sample_distinct(k, &mut rng);
+        let cfg = TahcConfig { task_aware: false, ..TahcConfig::test() };
+        (Tahc::new(cfg, space.hyper.clone(), 0), ahs)
+    }
+
+    #[test]
+    fn round_robin_is_a_permutation() {
+        let (mut tahc, ahs) = untrained_fixture(6);
+        let order = round_robin_rank(&mut tahc, None, &ahs);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tournament_is_a_permutation_and_cheaper() {
+        let (mut tahc, ahs) = untrained_fixture(10);
+        let order = tournament_rank(&mut tahc, None, &ahs, 2, 7);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        assert!(round_robin_cost(10) > 10 * 2);
+    }
+
+    #[test]
+    fn deterministic_rankings() {
+        let (mut tahc, ahs) = untrained_fixture(5);
+        let a = round_robin_rank(&mut tahc, None, &ahs);
+        let b = round_robin_rank(&mut tahc, None, &ahs);
+        assert_eq!(a, b);
+        let t1 = tournament_rank(&mut tahc, None, &ahs, 2, 9);
+        let t2 = tournament_rank(&mut tahc, None, &ahs, 2, 9);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn order_by_wins_ties_stable() {
+        assert_eq!(order_by_wins(&[2, 3, 2]), vec![1, 0, 2]);
+        assert_eq!(order_by_wins(&[1, 1, 1]), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Algorithm 2: zero-shot search for an unseen task — embed, rank, train
+//! the top-K, keep the validation winner.
+
+use crate::evolve::{evolve_search, EvolveConfig};
+use octs_comparator::{Tahc, TaskEmbedder};
+use octs_data::ForecastTask;
+use octs_model::{train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport};
+use octs_space::{ArchHyper, JointSpace};
+use std::time::{Duration, Instant};
+
+/// Wall-clock breakdown of one zero-shot search (drives Fig. 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchTiming {
+    /// Task-embedding time (TS2Vec encoding of the unseen task).
+    pub embed: Duration,
+    /// Comparator ranking time (tournament + evolution + round-robin).
+    pub rank: Duration,
+    /// Final training time of the top-K candidates.
+    pub train: Duration,
+}
+
+impl SearchTiming {
+    /// Search latency as the paper defines it: embedding + ranking.
+    pub fn search(&self) -> Duration {
+        self.embed + self.rank
+    }
+}
+
+/// Outcome of a zero-shot search.
+#[derive(Clone)]
+pub struct SearchOutcome {
+    /// The selected arch-hyper `ah*`.
+    pub best: ArchHyper,
+    /// Training report of the winner.
+    pub best_report: TrainReport,
+    /// All trained finalists `(candidate, report)`, ranked by comparator.
+    pub finalists: Vec<(ArchHyper, TrainReport)>,
+    /// Wall-clock breakdown.
+    pub timing: SearchTiming,
+}
+
+/// Runs Algorithm 2 on an unseen task with a pre-trained T-AHC.
+///
+/// The task's preliminary embedding is produced by the *frozen* embedder (a
+/// few seconds), candidates are ranked zero-shot by the comparator, and only
+/// the `top_k` finalists are actually trained — this is where the paper's
+/// orders-of-magnitude GPU-hour savings come from.
+pub fn zero_shot_search(
+    tahc: &mut Tahc,
+    embedder: &mut TaskEmbedder,
+    task: &ForecastTask,
+    space: &JointSpace,
+    evolve_cfg: &EvolveConfig,
+    train_cfg: &TrainConfig,
+) -> SearchOutcome {
+    let t0 = Instant::now();
+    let prelim = embedder.preliminary(task);
+    let embed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let top = evolve_search(tahc, Some(&prelim), space, evolve_cfg);
+    let rank = t1.elapsed();
+
+    let t2 = Instant::now();
+    let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
+    let mut finalists = Vec::with_capacity(top.len());
+    for (i, ah) in top.into_iter().enumerate() {
+        let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, train_cfg.seed ^ (i as u64 + 1));
+        let report = train_forecaster(&mut fc, task, train_cfg);
+        finalists.push((ah, report));
+    }
+    let train = t2.elapsed();
+
+    let best_idx = finalists
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.1.best_val_mae.partial_cmp(&b.1.best_val_mae).expect("finite MAEs")
+        })
+        .map(|(i, _)| i)
+        .expect("top_k >= 1");
+    let (best, best_report) = finalists[best_idx].clone();
+
+    SearchOutcome { best, best_report, finalists, timing: SearchTiming { embed, rank, train } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octs_comparator::{TahcConfig, TaskEmbedConfig, Ts2VecConfig};
+    use octs_data::{DatasetProfile, Domain, ForecastSetting};
+
+    fn small_task() -> ForecastTask {
+        let p = DatasetProfile::custom("zs", Domain::Traffic, 4, 220, 24, 0.3, 0.1, 10.0, 9);
+        ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 2)
+    }
+
+    #[test]
+    fn end_to_end_zero_shot_search() {
+        let space = JointSpace::tiny();
+        let mut tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let mut embedder = TaskEmbedder::new(TaskEmbedConfig::test(), Ts2VecConfig::test(), 1);
+        let task = small_task();
+        let evolve_cfg = EvolveConfig { k_s: 12, generations: 1, top_k: 2, ..EvolveConfig::test() };
+        let train_cfg = TrainConfig::test();
+        let out = zero_shot_search(&mut tahc, &mut embedder, &task, &space, &evolve_cfg, &train_cfg);
+        assert_eq!(out.finalists.len(), 2);
+        assert!(out.best_report.best_val_mae.is_finite());
+        // winner must be the min-val finalist
+        let min = out
+            .finalists
+            .iter()
+            .map(|(_, r)| r.best_val_mae)
+            .fold(f32::INFINITY, f32::min);
+        assert_eq!(out.best_report.best_val_mae, min);
+        assert!(out.timing.search() > Duration::ZERO);
+        assert!(out.timing.train > Duration::ZERO);
+    }
+}

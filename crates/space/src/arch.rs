@@ -1,0 +1,304 @@
+//! The architecture search space: ST-block DAGs (Section 3.1.1).
+
+use crate::ops::OpKind;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Maximum in-degree per latent node, matching the derivation rule of the
+/// supernet frameworks ("at most two incoming edges for each node").
+pub const MAX_IN_DEGREE: usize = 2;
+
+/// One operator edge `h_from --op--> h_to` with `from < to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source latent node.
+    pub from: usize,
+    /// Destination latent node.
+    pub to: usize,
+    /// The operator applied along this edge.
+    pub op: OpKind,
+}
+
+/// An ST-block architecture: a DAG over `c` latent nodes, node 0 being the
+/// block input. Edges obey the topological rules of Section 3.1.1:
+/// at most one edge per ordered node pair, `from < to`, and every non-input
+/// node has between 1 and [`MAX_IN_DEGREE`] incoming edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchDag {
+    c: usize,
+    edges: Vec<Edge>,
+}
+
+/// Why an edge list fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// An edge references a node `>= c` or violates `from < to`.
+    BadEdge(Edge),
+    /// Two edges connect the same ordered pair.
+    DuplicatePair(usize, usize),
+    /// A non-input node has no incoming edge.
+    Unreachable(usize),
+    /// A node exceeds [`MAX_IN_DEGREE`].
+    TooManyIn(usize),
+    /// Fewer than 2 nodes.
+    TooSmall,
+}
+
+impl std::fmt::Display for ArchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchError::BadEdge(e) => write!(f, "invalid edge {}->{}", e.from, e.to),
+            ArchError::DuplicatePair(i, j) => write!(f, "duplicate edge pair {i}->{j}"),
+            ArchError::Unreachable(n) => write!(f, "node {n} has no incoming edge"),
+            ArchError::TooManyIn(n) => write!(f, "node {n} exceeds max in-degree"),
+            ArchError::TooSmall => write!(f, "architecture needs at least 2 nodes"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl ArchDag {
+    /// Validates and constructs an architecture. Edges are stored sorted by
+    /// `(to, from)` so equal DAGs compare equal.
+    pub fn new(c: usize, mut edges: Vec<Edge>) -> Result<Self, ArchError> {
+        if c < 2 {
+            return Err(ArchError::TooSmall);
+        }
+        let mut in_deg = vec![0usize; c];
+        let mut seen = std::collections::HashSet::new();
+        for e in &edges {
+            if e.from >= e.to || e.to >= c {
+                return Err(ArchError::BadEdge(*e));
+            }
+            if !seen.insert((e.from, e.to)) {
+                return Err(ArchError::DuplicatePair(e.from, e.to));
+            }
+            in_deg[e.to] += 1;
+        }
+        for (node, &deg) in in_deg.iter().enumerate().skip(1) {
+            if deg == 0 {
+                return Err(ArchError::Unreachable(node));
+            }
+            if deg > MAX_IN_DEGREE {
+                return Err(ArchError::TooManyIn(node));
+            }
+        }
+        edges.sort_by_key(|e| (e.to, e.from));
+        Ok(Self { c, edges })
+    }
+
+    /// Number of latent nodes `C`.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// The operator edges, sorted by `(to, from)`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, node: usize) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.to == node)
+    }
+
+    /// True if the architecture contains at least one spatial and one
+    /// temporal operator — the search-time admissibility filter
+    /// (Section 3.3: purely-spatial or purely-temporal blocks forecast poorly).
+    pub fn has_both_st(&self) -> bool {
+        self.edges.iter().any(|e| e.op.is_spatial()) && self.edges.iter().any(|e| e.op.is_temporal())
+    }
+
+    /// Count of operator edges (the dual graph's operator-node count).
+    pub fn num_ops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Uniformly samples a valid architecture with `c` nodes: each non-input
+    /// node draws 1 or 2 predecessors and operators for them.
+    pub fn sample(c: usize, rng: &mut impl Rng) -> ArchDag {
+        assert!(c >= 2);
+        let mut edges = Vec::new();
+        for to in 1..c {
+            let max_deg = MAX_IN_DEGREE.min(to);
+            let deg = rng.gen_range(1..=max_deg);
+            let mut froms: Vec<usize> = (0..to).collect();
+            froms.shuffle(rng);
+            for &from in froms.iter().take(deg) {
+                let op = *OpKind::ALL.choose(rng).expect("ops nonempty");
+                edges.push(Edge { from, to, op });
+            }
+        }
+        ArchDag::new(c, edges).expect("sampled architecture must be valid")
+    }
+
+    /// Samples until the S/T admissibility filter passes.
+    pub fn sample_admissible(c: usize, rng: &mut impl Rng) -> ArchDag {
+        loop {
+            let a = Self::sample(c, rng);
+            if a.has_both_st() {
+                return a;
+            }
+        }
+    }
+
+    /// Mutates the architecture: either swaps one edge's operator or rewires
+    /// one edge to a different predecessor. Always returns a valid DAG.
+    pub fn mutate(&self, rng: &mut impl Rng) -> ArchDag {
+        let mut edges = self.edges.clone();
+        let idx = rng.gen_range(0..edges.len());
+        let e = edges[idx];
+        let rewire = rng.gen_bool(0.5) && e.to > 1;
+        if rewire {
+            // choose a new predecessor not already used by this destination
+            let used: Vec<usize> =
+                edges.iter().filter(|x| x.to == e.to).map(|x| x.from).collect();
+            let candidates: Vec<usize> = (0..e.to).filter(|f| !used.contains(f)).collect();
+            if let Some(&new_from) = candidates.choose(rng) {
+                edges[idx].from = new_from;
+            } else {
+                // fully used: fall back to an op swap
+                edges[idx].op = random_other_op(e.op, rng);
+            }
+        } else {
+            edges[idx].op = random_other_op(e.op, rng);
+        }
+        ArchDag::new(self.c, edges).expect("mutation preserves validity")
+    }
+
+    /// Single-point crossover on the per-node in-edge groups: each non-input
+    /// node inherits its incoming edges from one parent. Requires equal `c`.
+    pub fn crossover(&self, other: &ArchDag, rng: &mut impl Rng) -> ArchDag {
+        assert_eq!(self.c, other.c, "crossover requires equal node counts");
+        let mut edges = Vec::new();
+        for node in 1..self.c {
+            let donor = if rng.gen_bool(0.5) { self } else { other };
+            edges.extend(donor.in_edges(node).copied());
+        }
+        ArchDag::new(self.c, edges).expect("crossover preserves validity")
+    }
+}
+
+fn random_other_op(cur: OpKind, rng: &mut impl Rng) -> OpKind {
+    loop {
+        let op = *OpKind::ALL.choose(rng).expect("ops nonempty");
+        if op != cur {
+            return op;
+        }
+    }
+}
+
+/// Number of distinct architectures with `c` nodes under the topology rules.
+pub fn arch_cardinality(c: usize) -> u128 {
+    // Per node `to`, choose 1 predecessor (to ways) with an op (|O|), or 2
+    // distinct predecessors (C(to,2)) each with an op (|O|^2).
+    let o = OpKind::COUNT as u128;
+    let mut total: u128 = 1;
+    for to in 1..c as u128 {
+        let one = to * o;
+        let two = if to >= 2 { to * (to - 1) / 2 * o * o } else { 0 };
+        total = total.saturating_mul(one + two);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn validation_rules() {
+        // from >= to
+        let bad = ArchDag::new(3, vec![Edge { from: 2, to: 1, op: OpKind::Gdcc }]);
+        assert!(matches!(bad, Err(ArchError::BadEdge(_))));
+        // unreachable node 2
+        let bad = ArchDag::new(3, vec![Edge { from: 0, to: 1, op: OpKind::Gdcc }]);
+        assert!(matches!(bad, Err(ArchError::Unreachable(2))));
+        // duplicate pair
+        let bad = ArchDag::new(
+            2,
+            vec![
+                Edge { from: 0, to: 1, op: OpKind::Gdcc },
+                Edge { from: 0, to: 1, op: OpKind::Dgcn },
+            ],
+        );
+        assert!(matches!(bad, Err(ArchError::DuplicatePair(0, 1))));
+        // too many in-edges
+        let bad = ArchDag::new(
+            4,
+            vec![
+                Edge { from: 0, to: 1, op: OpKind::Gdcc },
+                Edge { from: 0, to: 2, op: OpKind::Gdcc },
+                Edge { from: 0, to: 3, op: OpKind::Gdcc },
+                Edge { from: 1, to: 3, op: OpKind::Gdcc },
+                Edge { from: 2, to: 3, op: OpKind::Dgcn },
+            ],
+        );
+        assert!(matches!(bad, Err(ArchError::TooManyIn(3))));
+    }
+
+    #[test]
+    fn sampling_always_valid_and_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let c = *[3usize, 5, 7].choose(&mut rng).unwrap();
+            let a = ArchDag::sample(c, &mut rng);
+            assert_eq!(a.c(), c);
+            assert!(a.num_ops() >= c - 1);
+            assert!(a.num_ops() <= 2 * (c - 1));
+        }
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(ArchDag::sample(5, &mut r1), ArchDag::sample(5, &mut r2));
+    }
+
+    #[test]
+    fn admissible_sampling_has_both_op_families() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..50 {
+            let a = ArchDag::sample_admissible(4, &mut rng);
+            assert!(a.has_both_st());
+        }
+    }
+
+    #[test]
+    fn mutation_stays_valid_and_differs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = ArchDag::sample(5, &mut rng);
+        let mut changed = 0;
+        for _ in 0..20 {
+            let m = a.mutate(&mut rng);
+            assert_eq!(m.c(), 5);
+            if m != a {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "mutations should usually change the DAG");
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let a = ArchDag::sample(6, &mut rng);
+        let b = ArchDag::sample(6, &mut rng);
+        let child = a.crossover(&b, &mut rng);
+        assert_eq!(child.c(), 6);
+        // every node's in-edge group comes verbatim from one of the parents
+        for node in 1..6 {
+            let ca: Vec<_> = a.in_edges(node).copied().collect();
+            let cb: Vec<_> = b.in_edges(node).copied().collect();
+            let cc: Vec<_> = child.in_edges(node).copied().collect();
+            assert!(cc == ca || cc == cb, "node {node} in-edges from neither parent");
+        }
+    }
+
+    #[test]
+    fn cardinality_grows_with_c() {
+        assert!(arch_cardinality(5) > 1_000);
+        assert!(arch_cardinality(7) > arch_cardinality(5) * 100);
+    }
+}

@@ -1,0 +1,209 @@
+//! Arch-hyper pairs and their dual-graph encoding (Section 3.1.3, Fig. 3).
+//!
+//! An [`ArchHyper`] combines an [`ArchDag`] with a [`HyperParams`]. For the
+//! comparator it is encoded as a single DAG `G_a`:
+//! - the architecture DAG is converted to its *dual*: operator edges become
+//!   nodes, information flow between consecutive operators becomes edges;
+//! - one extra "Hyper" node carries the normalized hyperparameter vector and
+//!   connects to every operator node;
+//! - the result is padded with zeros to [`MAX_ENC_NODES`] so all encodings
+//!   share one shape (the paper pads to 14).
+
+use crate::arch::ArchDag;
+use crate::hyper::{HyperParams, HyperSpace};
+use crate::ops::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Fixed encoding size: `2·(C_max − 1)` operator nodes for `C_max = 7` plus
+/// one Hyper node, padded to 14 exactly as in the paper.
+pub const MAX_ENC_NODES: usize = 14;
+
+/// A candidate point in the joint search space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchHyper {
+    /// The ST-block architecture.
+    pub arch: ArchDag,
+    /// The accompanying hyperparameters (with `hyper.c == arch.c()`).
+    pub hyper: HyperParams,
+}
+
+impl ArchHyper {
+    /// Constructs, checking the coupling `hyper.c == arch.c()`.
+    pub fn new(arch: ArchDag, hyper: HyperParams) -> Self {
+        assert_eq!(arch.c(), hyper.c, "hyperparameter C must match the architecture's node count");
+        Self { arch, hyper }
+    }
+
+    /// Stable short fingerprint for dedup / reporting.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Dense encoding of one arch-hyper graph, ready for the GIN encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchHyperEncoding {
+    /// `MAX_ENC_NODES × MAX_ENC_NODES` adjacency (row-major) with
+    /// self-connections on active nodes; padded region is zero.
+    pub adj: Vec<f32>,
+    /// Operator index per operator node (length `num_ops`).
+    pub op_ids: Vec<usize>,
+    /// Number of active operator nodes.
+    pub num_ops: usize,
+    /// Index of the Hyper node (`num_ops`).
+    pub hyper_index: usize,
+    /// Min–max normalized hyperparameter vector (Eq. 7's `norm(H_o)`).
+    pub hyper_norm: [f32; HyperParams::R],
+}
+
+impl ArchHyper {
+    /// Builds the padded dual-graph encoding. Normalization ranges come from
+    /// `space` so encodings are comparable across the whole search space.
+    pub fn encode(&self, space: &HyperSpace) -> ArchHyperEncoding {
+        let edges = self.arch.edges();
+        let num_ops = edges.len();
+        assert!(
+            num_ops < MAX_ENC_NODES,
+            "architecture too large to encode: {num_ops} ops"
+        );
+        let hyper_index = num_ops;
+        let mut adj = vec![0.0f32; MAX_ENC_NODES * MAX_ENC_NODES];
+        // Dual edges: operator a feeds operator b iff a.to == b.from.
+        for (a, ea) in edges.iter().enumerate() {
+            for (b, eb) in edges.iter().enumerate() {
+                if ea.to == eb.from {
+                    adj[a * MAX_ENC_NODES + b] = 1.0;
+                }
+            }
+        }
+        // Hyper node connects to all operator nodes, both directions, so its
+        // GIN readout aggregates the whole graph.
+        for a in 0..num_ops {
+            adj[a * MAX_ENC_NODES + hyper_index] = 1.0;
+            adj[hyper_index * MAX_ENC_NODES + a] = 1.0;
+        }
+        // Self-connections on active nodes.
+        for a in 0..=num_ops {
+            adj[a * MAX_ENC_NODES + a] = 1.0;
+        }
+        ArchHyperEncoding {
+            adj,
+            op_ids: edges.iter().map(|e| e.op.index()).collect(),
+            num_ops,
+            hyper_index,
+            hyper_norm: space.normalize(&self.hyper),
+        }
+    }
+}
+
+impl ArchHyperEncoding {
+    /// One-hot feature rows for the operator nodes: `[num_ops, |O|]` row-major.
+    pub fn op_one_hot(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.num_ops * OpKind::COUNT];
+        for (row, &op) in self.op_ids.iter().enumerate() {
+            out[row * OpKind::COUNT + op] = 1.0;
+        }
+        out
+    }
+
+    /// Total active nodes (operators + hyper).
+    pub fn num_active(&self) -> usize {
+        self.num_ops + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Edge;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_ah() -> ArchHyper {
+        // 0 -GDCC-> 1 -DGCN-> 2, 0 -Id-> 2
+        let arch = ArchDag::new(
+            3,
+            vec![
+                Edge { from: 0, to: 1, op: OpKind::Gdcc },
+                Edge { from: 1, to: 2, op: OpKind::Dgcn },
+                Edge { from: 0, to: 2, op: OpKind::Identity },
+            ],
+        )
+        .unwrap();
+        let hyper = HyperParams { b: 1, c: 3, h: 4, i: 8, u: 0, delta: 0 };
+        ArchHyper::new(arch, hyper)
+    }
+
+    #[test]
+    fn dual_graph_edges_follow_information_flow() {
+        let ah = small_ah();
+        let enc = ah.encode(&HyperSpace::tiny());
+        // edges sorted by (to, from): [0->1 GDCC]=op0, [0->2 Id]=op1, [1->2 DGCN]=op2
+        assert_eq!(enc.num_ops, 3);
+        assert_eq!(enc.op_ids, vec![OpKind::Gdcc.index(), OpKind::Identity.index(), OpKind::Dgcn.index()]);
+        let at = |i: usize, j: usize| enc.adj[i * MAX_ENC_NODES + j];
+        // op0 (0->1) feeds op2 (1->2)
+        assert_eq!(at(0, 2), 1.0);
+        // op0 does not feed op1 (0->2): op1.from == 0 != op0.to
+        assert_eq!(at(0, 1), 0.0);
+        // hyper node (index 3) bidirectional to all ops
+        for op in 0..3 {
+            assert_eq!(at(op, 3), 1.0);
+            assert_eq!(at(3, op), 1.0);
+        }
+        // self loops on active nodes
+        for a in 0..=3 {
+            assert_eq!(at(a, a), 1.0);
+        }
+        // padded region is zero
+        for i in 4..MAX_ENC_NODES {
+            for j in 0..MAX_ENC_NODES {
+                assert_eq!(at(i, j), 0.0);
+                assert_eq!(at(j, i), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn max_sized_arch_fits_padding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..50 {
+            let arch = ArchDag::sample(7, &mut rng);
+            let hyper = HyperParams { b: 2, c: 7, h: 32, i: 64, u: 0, delta: 0 };
+            let ah = ArchHyper::new(arch, hyper);
+            let enc = ah.encode(&HyperSpace::paper());
+            assert!(enc.num_active() <= MAX_ENC_NODES);
+        }
+    }
+
+    #[test]
+    fn one_hot_rows() {
+        let enc = small_ah().encode(&HyperSpace::tiny());
+        let oh = enc.op_one_hot();
+        assert_eq!(oh.len(), 3 * OpKind::COUNT);
+        // row 0 = GDCC
+        assert_eq!(oh[0], 1.0);
+        assert_eq!(oh[1..OpKind::COUNT].iter().sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_c_panics() {
+        let arch = ArchDag::sample(3, &mut ChaCha8Rng::seed_from_u64(1));
+        let hyper = HyperParams { b: 1, c: 4, h: 4, i: 8, u: 0, delta: 0 };
+        ArchHyper::new(arch, hyper);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes() {
+        let a = small_ah();
+        let mut b = small_ah();
+        b.hyper.h = 8;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), small_ah().fingerprint());
+    }
+}

@@ -1,0 +1,265 @@
+//! The hyperparameter search space (Section 3.1.2, Table 2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A concrete hyperparameter assignment for one arch-hyper.
+///
+/// Mirrors Table 2: structural hyperparameters (B, C, H, I, U) plus the
+/// training hyperparameter δ (dropout on/off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HyperParams {
+    /// Number of ST-blocks in the backbone.
+    pub b: usize,
+    /// Number of nodes per ST-block.
+    pub c: usize,
+    /// Hidden dimension of the S/T-operators.
+    pub h: usize,
+    /// Output (skip/end) dimension of the output module.
+    pub i: usize,
+    /// Output mode: 0 = last node, 1 = sum of all intermediate nodes.
+    pub u: usize,
+    /// Dropout flag: 0 = off, 1 = on.
+    pub delta: usize,
+}
+
+impl HyperParams {
+    /// Dimensionality `r` of the hyperparameter vector.
+    pub const R: usize = 6;
+
+    /// The raw `r`-dimensional vector `[B, C, H, I, U, δ]`.
+    pub fn to_vec(self) -> [f32; Self::R] {
+        [self.b as f32, self.c as f32, self.h as f32, self.i as f32, self.u as f32, self.delta as f32]
+    }
+
+    /// Dropout rate implied by δ (the paper toggles dropout; rate 0.3 on).
+    pub fn dropout_rate(self) -> f32 {
+        if self.delta == 1 {
+            0.3
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for HyperParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "B={}, C={}, H={}, I={}, U={}, δ={}",
+            self.b, self.c, self.h, self.i, self.u, self.delta
+        )
+    }
+}
+
+/// The set of admissible values per hyperparameter (Table 2).
+///
+/// # Examples
+/// ```
+/// use octs_space::HyperSpace;
+///
+/// // Table 2 has 3·2·3·3·2·2 = 216 hyperparameter combinations
+/// assert_eq!(HyperSpace::paper().cardinality(), 216);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HyperSpace {
+    /// Choices for `B`.
+    pub b: Vec<usize>,
+    /// Choices for `C`.
+    pub c: Vec<usize>,
+    /// Choices for `H`.
+    pub h: Vec<usize>,
+    /// Choices for `I`.
+    pub i: Vec<usize>,
+    /// Choices for `U`.
+    pub u: Vec<usize>,
+    /// Choices for `δ`.
+    pub delta: Vec<usize>,
+}
+
+impl HyperSpace {
+    /// The paper's Table 2 space (GPU scale).
+    pub fn paper() -> Self {
+        Self {
+            b: vec![2, 4, 6],
+            c: vec![5, 7],
+            h: vec![32, 48, 64],
+            i: vec![64, 128, 256],
+            u: vec![0, 1],
+            delta: vec![0, 1],
+        }
+    }
+
+    /// The CPU-scaled space used by the experiments here: identical structure
+    /// (three B choices, two C choices, three H/I choices, binary U/δ) with
+    /// dimensions shrunk ~4× so candidate training stays sub-second.
+    pub fn scaled() -> Self {
+        Self {
+            b: vec![1, 2, 3],
+            c: vec![5, 7],
+            h: vec![8, 12, 16],
+            i: vec![16, 32, 48],
+            u: vec![0, 1],
+            delta: vec![0, 1],
+        }
+    }
+
+    /// An even smaller space for unit tests.
+    pub fn tiny() -> Self {
+        Self { b: vec![1], c: vec![3, 4], h: vec![4, 8], i: vec![8], u: vec![0, 1], delta: vec![0] }
+    }
+
+    /// Number of hyperparameter combinations.
+    pub fn cardinality(&self) -> usize {
+        self.b.len() * self.c.len() * self.h.len() * self.i.len() * self.u.len() * self.delta.len()
+    }
+
+    /// Uniformly samples a hyperparameter assignment.
+    pub fn sample(&self, rng: &mut impl Rng) -> HyperParams {
+        HyperParams {
+            b: *self.b.choose(rng).expect("empty b"),
+            c: *self.c.choose(rng).expect("empty c"),
+            h: *self.h.choose(rng).expect("empty h"),
+            i: *self.i.choose(rng).expect("empty i"),
+            u: *self.u.choose(rng).expect("empty u"),
+            delta: *self.delta.choose(rng).expect("empty delta"),
+        }
+    }
+
+    /// True when `hp` draws every coordinate from this space.
+    pub fn contains(&self, hp: &HyperParams) -> bool {
+        self.b.contains(&hp.b)
+            && self.c.contains(&hp.c)
+            && self.h.contains(&hp.h)
+            && self.i.contains(&hp.i)
+            && self.u.contains(&hp.u)
+            && self.delta.contains(&hp.delta)
+    }
+
+    /// Mutates exactly one coordinate of `hp` to another admissible value
+    /// (no-op on coordinates with a single choice).
+    pub fn mutate(&self, hp: &HyperParams, rng: &mut impl Rng) -> HyperParams {
+        let mut out = *hp;
+        // pick a coordinate with >1 choice
+        let dims: Vec<usize> = [
+            self.b.len(),
+            self.c.len(),
+            self.h.len(),
+            self.i.len(),
+            self.u.len(),
+            self.delta.len(),
+        ]
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 1)
+        .map(|(i, _)| i)
+        .collect();
+        let Some(&dim) = dims.choose(rng) else { return out };
+        let pick = |choices: &[usize], cur: usize, rng: &mut dyn rand::RngCore| -> usize {
+            loop {
+                let v = *choices.choose(rng).expect("nonempty");
+                if v != cur {
+                    return v;
+                }
+            }
+        };
+        match dim {
+            0 => out.b = pick(&self.b, hp.b, rng),
+            1 => out.c = pick(&self.c, hp.c, rng),
+            2 => out.h = pick(&self.h, hp.h, rng),
+            3 => out.i = pick(&self.i, hp.i, rng),
+            4 => out.u = pick(&self.u, hp.u, rng),
+            _ => out.delta = pick(&self.delta, hp.delta, rng),
+        }
+        out
+    }
+
+    /// Min–max normalizes an assignment into `[0, 1]^r` (Eq. 7's `norm`),
+    /// using this space's ranges. Constant dimensions map to 0.
+    pub fn normalize(&self, hp: &HyperParams) -> [f32; HyperParams::R] {
+        let norm = |choices: &[usize], v: usize| -> f32 {
+            let lo = *choices.iter().min().expect("nonempty") as f32;
+            let hi = *choices.iter().max().expect("nonempty") as f32;
+            if hi > lo {
+                (v as f32 - lo) / (hi - lo)
+            } else {
+                0.0
+            }
+        };
+        [
+            norm(&self.b, hp.b),
+            norm(&self.c, hp.c),
+            norm(&self.h, hp.h),
+            norm(&self.i, hp.i),
+            norm(&self.u, hp.u),
+            norm(&self.delta, hp.delta),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_cardinality_matches_table2() {
+        // 3 * 2 * 3 * 3 * 2 * 2 = 216 hyper combinations
+        assert_eq!(HyperSpace::paper().cardinality(), 216);
+        assert_eq!(HyperSpace::scaled().cardinality(), 216);
+    }
+
+    #[test]
+    fn sample_is_contained() {
+        let space = HyperSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let hp = space.sample(&mut rng);
+            assert!(space.contains(&hp));
+        }
+    }
+
+    #[test]
+    fn mutate_changes_exactly_one_coordinate() {
+        let space = HyperSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let hp = space.sample(&mut rng);
+        for _ in 0..20 {
+            let m = space.mutate(&hp, &mut rng);
+            let a = hp.to_vec();
+            let b = m.to_vec();
+            let diffs = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+            assert_eq!(diffs, 1, "{hp:?} -> {m:?}");
+            assert!(space.contains(&m));
+        }
+    }
+
+    #[test]
+    fn normalize_bounds() {
+        let space = HyperSpace::paper();
+        let lo = HyperParams { b: 2, c: 5, h: 32, i: 64, u: 0, delta: 0 };
+        let hi = HyperParams { b: 6, c: 7, h: 64, i: 256, u: 1, delta: 1 };
+        assert_eq!(space.normalize(&lo), [0.0; 6]);
+        assert_eq!(space.normalize(&hi), [1.0; 6]);
+        let mid = HyperParams { b: 4, c: 5, h: 48, i: 128, u: 1, delta: 0 };
+        let n = space.normalize(&mid);
+        assert!((n[0] - 0.5).abs() < 1e-6);
+        assert!(n[3] > 0.3 && n[3] < 0.4); // (128-64)/192
+    }
+
+    #[test]
+    fn dropout_rate_follows_delta() {
+        let mut hp = HyperParams { b: 2, c: 5, h: 32, i: 64, u: 0, delta: 0 };
+        assert_eq!(hp.dropout_rate(), 0.0);
+        hp.delta = 1;
+        assert!(hp.dropout_rate() > 0.0);
+    }
+
+    #[test]
+    fn display_matches_case_study_format() {
+        let hp = HyperParams { b: 6, c: 7, h: 32, i: 128, u: 1, delta: 0 };
+        assert_eq!(format!("{hp}"), "B=6, C=7, H=32, I=128, U=1, δ=0");
+    }
+}

@@ -1,0 +1,26 @@
+//! # octs-space
+//!
+//! The joint architecture–hyperparameter search space of AutoCTS+
+//! (Section 3.1): candidate operators, ST-block DAG topology rules, the
+//! Table 2 hyperparameter grid, the dual-graph arch-hyper encoding that the
+//! comparator consumes, and the sampling / mutation / crossover operators the
+//! evolutionary search uses.
+//!
+//! This crate is pure combinatorics — no tensors — so it stays dependency-light
+//! and every structure is serializable for experiment artifacts.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod archhyper;
+pub mod hyper;
+pub mod ops;
+pub mod render;
+pub mod space;
+
+pub use arch::{arch_cardinality, ArchDag, ArchError, Edge, MAX_IN_DEGREE};
+pub use archhyper::{ArchHyper, ArchHyperEncoding, MAX_ENC_NODES};
+pub use hyper::{HyperParams, HyperSpace};
+pub use ops::OpKind;
+pub use render::{render, render_dot};
+pub use space::JointSpace;

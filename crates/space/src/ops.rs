@@ -1,0 +1,95 @@
+//! The candidate operator set `O` (Section 3.1.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate S/T-operator for ST-block edges.
+///
+/// The paper's set: two T-operators (GDCC, INF-T), two S-operators
+/// (DGCN, INF-S) and Identity for skip connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Gated Dilated Causal Convolution — short-term temporal dependencies.
+    Gdcc,
+    /// Informer-style temporal attention — long-term temporal dependencies.
+    InfT,
+    /// Diffusion Graph Convolution — static spatial correlations.
+    Dgcn,
+    /// Informer-style spatial attention — dynamic spatial correlations.
+    InfS,
+    /// Identity / skip connection.
+    Identity,
+}
+
+impl OpKind {
+    /// All candidate operators, in canonical (one-hot) order.
+    pub const ALL: [OpKind; 5] = [OpKind::Gdcc, OpKind::InfT, OpKind::Dgcn, OpKind::InfS, OpKind::Identity];
+
+    /// Number of candidate operators `|O|`.
+    pub const COUNT: usize = 5;
+
+    /// Canonical index used for one-hot encodings.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Gdcc => 0,
+            OpKind::InfT => 1,
+            OpKind::Dgcn => 2,
+            OpKind::InfS => 3,
+            OpKind::Identity => 4,
+        }
+    }
+
+    /// Inverse of [`OpKind::index`].
+    pub fn from_index(i: usize) -> OpKind {
+        Self::ALL[i]
+    }
+
+    /// True for temporal feature extractors.
+    pub fn is_temporal(self) -> bool {
+        matches!(self, OpKind::Gdcc | OpKind::InfT)
+    }
+
+    /// True for spatial feature extractors.
+    pub fn is_spatial(self) -> bool {
+        matches!(self, OpKind::Dgcn | OpKind::InfS)
+    }
+
+    /// Short label used in rendered case studies (Figs. 8–9).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Gdcc => "GDCC",
+            OpKind::InfT => "INF-T",
+            OpKind::Dgcn => "DGCN",
+            OpKind::InfS => "INF-S",
+            OpKind::Identity => "Id",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, op) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(OpKind::from_index(i), *op);
+        }
+    }
+
+    #[test]
+    fn st_partition() {
+        let temporal: Vec<_> = OpKind::ALL.iter().filter(|o| o.is_temporal()).collect();
+        let spatial: Vec<_> = OpKind::ALL.iter().filter(|o| o.is_spatial()).collect();
+        assert_eq!(temporal.len(), 2);
+        assert_eq!(spatial.len(), 2);
+        assert!(!OpKind::Identity.is_temporal());
+        assert!(!OpKind::Identity.is_spatial());
+    }
+}

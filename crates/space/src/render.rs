@@ -1,0 +1,71 @@
+//! Textual rendering of searched ST-blocks, mirroring the case-study figures.
+
+use crate::archhyper::ArchHyper;
+
+/// Renders an arch-hyper in the style of Figs. 8–9: the hyperparameter line
+/// followed by one line per latent node listing its incoming operators.
+pub fn render(ah: &ArchHyper) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Hyper: {}\n", ah.hyper));
+    for node in 0..ah.arch.c() {
+        if node == 0 {
+            out.push_str("  h0 <- input\n");
+            continue;
+        }
+        let ins: Vec<String> =
+            ah.arch.in_edges(node).map(|e| format!("{}(h{})", e.op.label(), e.from)).collect();
+        out.push_str(&format!("  h{} <- {}\n", node, ins.join(" + ")));
+    }
+    out
+}
+
+/// Graphviz DOT output for the same block (handy for documentation).
+pub fn render_dot(ah: &ArchHyper) -> String {
+    let mut out = String::from("digraph st_block {\n  rankdir=LR;\n");
+    for node in 0..ah.arch.c() {
+        out.push_str(&format!("  h{node} [shape=circle];\n"));
+    }
+    for e in ah.arch.edges() {
+        out.push_str(&format!("  h{} -> h{} [label=\"{}\"];\n", e.from, e.to, e.op.label()));
+    }
+    out.push_str(&format!("  label=\"{}\";\n}}\n", ah.hyper));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchDag, Edge};
+    use crate::hyper::HyperParams;
+    use crate::ops::OpKind;
+
+    fn ah() -> ArchHyper {
+        let arch = ArchDag::new(
+            3,
+            vec![
+                Edge { from: 0, to: 1, op: OpKind::Gdcc },
+                Edge { from: 0, to: 2, op: OpKind::Identity },
+                Edge { from: 1, to: 2, op: OpKind::InfS },
+            ],
+        )
+        .unwrap();
+        ArchHyper::new(arch, HyperParams { b: 2, c: 3, h: 16, i: 32, u: 1, delta: 0 })
+    }
+
+    #[test]
+    fn text_render_lists_all_nodes_and_ops() {
+        let s = render(&ah());
+        assert!(s.contains("Hyper: B=2, C=3"));
+        assert!(s.contains("h1 <- GDCC(h0)"));
+        assert!(s.contains("h2 <- Id(h0) + INF-S(h1)"));
+    }
+
+    #[test]
+    fn dot_render_is_wellformed() {
+        let s = render_dot(&ah());
+        assert!(s.starts_with("digraph"));
+        assert!(s.contains("h0 -> h1"));
+        assert!(s.ends_with("}\n"));
+        assert_eq!(s.matches("->").count(), 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! The joint search space: sampling, evolution operators and cardinality.
+
+use crate::arch::{arch_cardinality, ArchDag};
+use crate::archhyper::ArchHyper;
+use crate::hyper::HyperSpace;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The joint architecture–hyperparameter search space `Ω` of Section 3.1.
+///
+/// # Examples
+/// ```
+/// use octs_space::JointSpace;
+/// use rand::SeedableRng;
+///
+/// let space = JointSpace::scaled();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let ah = space.sample(&mut rng);
+/// // every sample couples the hyperparameter C to the architecture size
+/// assert_eq!(ah.arch.c(), ah.hyper.c);
+/// // and passes the S/T admissibility filter
+/// assert!(ah.arch.has_both_st());
+/// // the space is astronomically larger than any sweep
+/// assert!(space.cardinality() > 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JointSpace {
+    /// Admissible hyperparameter values.
+    pub hyper: HyperSpace,
+    /// When true, sampling rejects arch-hypers lacking either spatial or
+    /// temporal operators (applied during search per Section 3.3).
+    pub require_both_st: bool,
+}
+
+impl JointSpace {
+    /// Paper-scale space.
+    pub fn paper() -> Self {
+        Self { hyper: HyperSpace::paper(), require_both_st: true }
+    }
+
+    /// CPU-scaled space used by the experiments in this repository.
+    pub fn scaled() -> Self {
+        Self { hyper: HyperSpace::scaled(), require_both_st: true }
+    }
+
+    /// Tiny space for unit tests.
+    pub fn tiny() -> Self {
+        Self { hyper: HyperSpace::tiny(), require_both_st: false }
+    }
+
+    /// Uniformly samples an arch-hyper: hyperparameters first (fixing `C`),
+    /// then an architecture with that many nodes.
+    pub fn sample(&self, rng: &mut impl Rng) -> ArchHyper {
+        let hyper = self.hyper.sample(rng);
+        let arch = if self.require_both_st {
+            ArchDag::sample_admissible(hyper.c, rng)
+        } else {
+            ArchDag::sample(hyper.c, rng)
+        };
+        ArchHyper::new(arch, hyper)
+    }
+
+    /// Samples `k` distinct arch-hypers (by fingerprint).
+    pub fn sample_distinct(&self, k: usize, rng: &mut impl Rng) -> Vec<ArchHyper> {
+        let mut out = Vec::with_capacity(k);
+        let mut seen = std::collections::HashSet::new();
+        let mut guard = 0usize;
+        while out.len() < k {
+            let ah = self.sample(rng);
+            if seen.insert(ah.fingerprint()) {
+                out.push(ah);
+            }
+            guard += 1;
+            assert!(guard < k * 1000 + 1000, "space too small for {k} distinct samples");
+        }
+        out
+    }
+
+    /// Mutates either the architecture or one hyperparameter. Changing `C`
+    /// resamples the architecture at the new size (the old one is invalid).
+    pub fn mutate(&self, ah: &ArchHyper, rng: &mut impl Rng) -> ArchHyper {
+        if rng.gen_bool(0.5) {
+            // architecture mutation
+            let arch = loop {
+                let m = ah.arch.mutate(rng);
+                if !self.require_both_st || m.has_both_st() {
+                    break m;
+                }
+            };
+            ArchHyper::new(arch, ah.hyper)
+        } else {
+            let hyper = self.hyper.mutate(&ah.hyper, rng);
+            let arch = if hyper.c == ah.arch.c() {
+                ah.arch.clone()
+            } else if self.require_both_st {
+                ArchDag::sample_admissible(hyper.c, rng)
+            } else {
+                ArchDag::sample(hyper.c, rng)
+            };
+            ArchHyper::new(arch, hyper)
+        }
+    }
+
+    /// Crossover of two arch-hypers: hyperparameters mix coordinate-wise;
+    /// architectures cross over when the parents share `C`, otherwise the
+    /// child keeps the architecture of the parent whose `C` was chosen.
+    pub fn crossover(&self, a: &ArchHyper, b: &ArchHyper, rng: &mut impl Rng) -> ArchHyper {
+        let mut hyper = a.hyper;
+        if rng.gen_bool(0.5) {
+            hyper.b = b.hyper.b;
+        }
+        if rng.gen_bool(0.5) {
+            hyper.h = b.hyper.h;
+        }
+        if rng.gen_bool(0.5) {
+            hyper.i = b.hyper.i;
+        }
+        if rng.gen_bool(0.5) {
+            hyper.u = b.hyper.u;
+        }
+        if rng.gen_bool(0.5) {
+            hyper.delta = b.hyper.delta;
+        }
+        let (arch, c) = if a.arch.c() == b.arch.c() {
+            let mixed = a.arch.crossover(&b.arch, rng);
+            // degenerate mixes (losing an operator family) fall back to a parent
+            let child = if !self.require_both_st || mixed.has_both_st() {
+                mixed
+            } else if rng.gen_bool(0.5) {
+                a.arch.clone()
+            } else {
+                b.arch.clone()
+            };
+            let c = child.c();
+            (child, c)
+        } else if rng.gen_bool(0.5) {
+            (a.arch.clone(), a.arch.c())
+        } else {
+            (b.arch.clone(), b.arch.c())
+        };
+        hyper.c = c;
+        ArchHyper::new(arch, hyper)
+    }
+
+    /// Total number of points in the joint space (architectures × the
+    /// non-`C` hyperparameter combinations, summed over `C` choices).
+    pub fn cardinality(&self) -> u128 {
+        let non_c: u128 = (self.hyper.b.len()
+            * self.hyper.h.len()
+            * self.hyper.i.len()
+            * self.hyper.u.len()
+            * self.hyper.delta.len()) as u128;
+        self.hyper.c.iter().map(|&c| arch_cardinality(c).saturating_mul(non_c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn samples_respect_constraints() {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let ah = space.sample(&mut rng);
+            assert!(space.hyper.contains(&ah.hyper));
+            assert_eq!(ah.arch.c(), ah.hyper.c);
+            assert!(ah.arch.has_both_st());
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_dedups() {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let xs = space.sample_distinct(40, &mut rng);
+        let fps: std::collections::HashSet<_> = xs.iter().map(ArchHyper::fingerprint).collect();
+        assert_eq!(fps.len(), 40);
+    }
+
+    #[test]
+    fn mutation_keeps_coupling_invariant() {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut ah = space.sample(&mut rng);
+        for _ in 0..100 {
+            ah = space.mutate(&ah, &mut rng);
+            assert_eq!(ah.arch.c(), ah.hyper.c);
+            assert!(ah.arch.has_both_st());
+        }
+    }
+
+    #[test]
+    fn crossover_keeps_coupling_invariant() {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..50 {
+            let a = space.sample(&mut rng);
+            let b = space.sample(&mut rng);
+            let c = space.crossover(&a, &b, &mut rng);
+            assert_eq!(c.arch.c(), c.hyper.c);
+            assert!(space.hyper.contains(&c.hyper));
+        }
+    }
+
+    #[test]
+    fn cardinality_is_astronomical() {
+        // The paper samples 300k from the joint space; ours must dwarf that.
+        let space = JointSpace::scaled();
+        assert!(space.cardinality() > 1_000_000_000);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the joint search space: every generated,
+//! mutated or crossed-over arch-hyper must satisfy the topology rules, the
+//! coupling invariant and the encoding contract.
+
+use octs_space::{ArchDag, ArchHyper, HyperSpace, JointSpace, OpKind, MAX_ENC_NODES, MAX_IN_DEGREE};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn assert_valid(ah: &ArchHyper, space: &JointSpace) {
+    assert_eq!(ah.arch.c(), ah.hyper.c, "C coupling");
+    assert!(space.hyper.contains(&ah.hyper), "hyper in space");
+    // topology rules
+    for node in 1..ah.arch.c() {
+        let deg = ah.arch.in_edges(node).count();
+        assert!((1..=MAX_IN_DEGREE).contains(&deg), "node {node} degree {deg}");
+    }
+    for e in ah.arch.edges() {
+        assert!(e.from < e.to, "forward flow");
+        assert!(e.to < ah.arch.c(), "node range");
+    }
+    if space.require_both_st {
+        assert!(ah.arch.has_both_st(), "S/T admissibility");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sampled_archhypers_always_valid(seed in 0u64..10_000) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ah = space.sample(&mut rng);
+        assert_valid(&ah, &space);
+    }
+
+    #[test]
+    fn mutation_chains_preserve_invariants(seed in 0u64..10_000, steps in 1usize..12) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ah = space.sample(&mut rng);
+        for _ in 0..steps {
+            ah = space.mutate(&ah, &mut rng);
+            assert_valid(&ah, &space);
+        }
+    }
+
+    #[test]
+    fn crossover_preserves_invariants(seed in 0u64..10_000) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let child = space.crossover(&a, &b, &mut rng);
+        assert_valid(&child, &space);
+    }
+
+    #[test]
+    fn encoding_contract_holds(seed in 0u64..10_000) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ah = space.sample(&mut rng);
+        let enc = ah.encode(&space.hyper);
+        // active block fits the padding
+        prop_assert!(enc.num_active() <= MAX_ENC_NODES);
+        prop_assert_eq!(enc.hyper_index, enc.num_ops);
+        // adjacency is zero outside the active block
+        for i in 0..MAX_ENC_NODES {
+            for j in 0..MAX_ENC_NODES {
+                let v = enc.adj[i * MAX_ENC_NODES + j];
+                if i > enc.hyper_index || j > enc.hyper_index {
+                    prop_assert_eq!(v, 0.0, "padding at ({}, {})", i, j);
+                } else {
+                    prop_assert!(v == 0.0 || v == 1.0);
+                }
+            }
+        }
+        // self loops on all active nodes
+        for i in 0..=enc.hyper_index {
+            prop_assert_eq!(enc.adj[i * MAX_ENC_NODES + i], 1.0);
+        }
+        // normalized hyper vector in [0, 1]
+        prop_assert!(enc.hyper_norm.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // every op id indexes the candidate set
+        prop_assert!(enc.op_ids.iter().all(|&o| o < OpKind::COUNT));
+    }
+
+    #[test]
+    fn dual_edges_match_information_flow(seed in 0u64..10_000) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ah = space.sample(&mut rng);
+        let enc = ah.encode(&space.hyper);
+        let edges = ah.arch.edges();
+        for (a, ea) in edges.iter().enumerate() {
+            for (b, eb) in edges.iter().enumerate() {
+                let expected = if ea.to == eb.from || a == b { 1.0 } else { 0.0 };
+                let got = enc.adj[a * MAX_ENC_NODES + b];
+                prop_assert_eq!(got, expected, "dual edge op{} -> op{}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_injective_enough(seed in 0u64..5_000) {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        prop_assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        let b = space.mutate(&a, &mut rng);
+        if a != b {
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn hyper_normalize_roundtrip_ordering(seed in 0u64..5_000) {
+        // normalization must be monotone per coordinate
+        let space = HyperSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let na = space.normalize(&a);
+        let nb = space.normalize(&b);
+        let av = a.to_vec();
+        let bv = b.to_vec();
+        for i in 0..av.len() {
+            if av[i] < bv[i] {
+                prop_assert!(na[i] <= nb[i], "coordinate {} not monotone", i);
+            }
+        }
+    }
+
+    #[test]
+    fn arch_sampling_covers_degree_range(c in 3usize..8, seed in 0u64..2_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let arch = ArchDag::sample(c, &mut rng);
+        prop_assert_eq!(arch.c(), c);
+        prop_assert!(arch.num_ops() >= c - 1);
+        prop_assert!(arch.num_ops() <= MAX_IN_DEGREE * (c - 1));
+    }
+}

@@ -1,0 +1,101 @@
+//! Numerical gradient checking for composite graphs.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Checks the analytic gradient of `f` w.r.t. a single input tensor against
+/// central finite differences.
+///
+/// `f` must build a scalar loss from the graph and the input var. Returns the
+/// maximum absolute deviation observed. Intended for tests; O(n) forward
+/// passes.
+pub fn check_gradient(
+    input: &Tensor,
+    eps: f32,
+    f: impl Fn(&Graph, &Var) -> Var,
+) -> f32 {
+    // Analytic gradient.
+    let g = Graph::new();
+    let x = g.input(input.clone());
+    let loss = f(&g, &x);
+    assert_eq!(loss.value().len(), 1, "gradient check requires a scalar loss");
+    g.backward(&loss);
+    let analytic = g.grad_of(&x).expect("input did not receive a gradient");
+
+    // Numeric gradient.
+    let mut max_dev = 0.0f32;
+    for i in 0..input.len() {
+        let eval = |delta: f32| -> f32 {
+            let mut t = input.clone();
+            t.data_mut()[i] += delta;
+            let g = Graph::new();
+            let x = g.input(t);
+            f(&g, &x).value().item()
+        };
+        let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+        let dev = (numeric - analytic.data()[i]).abs();
+        max_dev = max_dev.max(dev);
+    }
+    max_dev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(n: usize) -> Tensor {
+        Tensor::new(vec![n], (0..n).map(|i| 0.31 * i as f32 - 0.7).collect())
+    }
+
+    #[test]
+    fn composite_activation_chain() {
+        let x = input(6);
+        let dev = check_gradient(&x, 1e-3, |_, v| v.tanh().sigmoid().mul_scalar(2.0).sum_all());
+        assert!(dev < 1e-3, "max deviation {dev}");
+    }
+
+    #[test]
+    fn softmax_weighted_sum() {
+        let x = input(5);
+        let dev = check_gradient(&x, 1e-3, |g, v| {
+            let w = g.constant(Tensor::from_slice(&[0.1, -0.5, 0.7, 0.2, -0.3]));
+            v.softmax().mul(&w).sum_all()
+        });
+        assert!(dev < 1e-3, "max deviation {dev}");
+    }
+
+    #[test]
+    fn matmul_pipeline() {
+        let x = Tensor::new([2, 3], vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]);
+        let dev = check_gradient(&x, 1e-3, |g, v| {
+            let w = g.constant(Tensor::new([3, 2], vec![0.5, -0.1, 0.2, 0.7, -0.3, 0.4]));
+            v.matmul(&w).relu().mean_all()
+        });
+        assert!(dev < 1e-3, "max deviation {dev}");
+    }
+
+    #[test]
+    fn conv_gated_unit() {
+        // The GDCC building block: tanh(conv(x)) * sigmoid(conv(x)).
+        let x = Tensor::new([1, 2, 6], (0..12).map(|i| 0.1 * i as f32 - 0.55).collect());
+        let dev = check_gradient(&x, 1e-3, |g, v| {
+            let w1 = g.constant(Tensor::new([2, 2, 2], vec![0.3; 8]));
+            let w2 = g.constant(Tensor::new([2, 2, 2], vec![-0.2; 8]));
+            let a = v.conv1d(&w1, None, 2).tanh();
+            let b = v.conv1d(&w2, None, 2).sigmoid();
+            a.mul(&b).mean_all()
+        });
+        assert!(dev < 1e-3, "max deviation {dev}");
+    }
+
+    #[test]
+    fn layernorm_linear_chain() {
+        let x = Tensor::new([2, 4], vec![0.5, -0.1, 0.8, 0.2, -0.6, 0.3, 0.9, -0.4]);
+        let dev = check_gradient(&x, 1e-3, |g, v| {
+            let gamma = g.constant(Tensor::from_slice(&[1.0, 0.9, 1.1, 1.0]));
+            let beta = g.constant(Tensor::from_slice(&[0.0, 0.1, -0.1, 0.0]));
+            v.layer_norm(&gamma, &beta, 1e-5).abs().mean_all()
+        });
+        assert!(dev < 5e-2, "max deviation {dev}");
+    }
+}

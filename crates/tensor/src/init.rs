@@ -1,0 +1,76 @@
+//! Weight initializers.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Uniform initialization in `[-bound, bound]`.
+pub fn uniform(shape: impl Into<Vec<usize>>, bound: f32, rng: &mut ChaCha8Rng) -> Tensor {
+    let shape = shape.into();
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Tensor::new(shape, data)
+}
+
+/// Xavier/Glorot-uniform for a `[fan_out, fan_in]`-style weight.
+///
+/// `fan_in`/`fan_out` are inferred from the first two dimensions, with any
+/// remaining dimensions (e.g. a conv kernel width) folded into `fan_in`.
+pub fn xavier(shape: impl Into<Vec<usize>>, rng: &mut ChaCha8Rng) -> Tensor {
+    let shape = shape.into();
+    let (fan_out, fan_in) = match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], 1),
+        _ => {
+            let rest: usize = shape[2..].iter().product();
+            (shape[0], shape[1] * rest)
+        }
+    };
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, bound, rng)
+}
+
+/// Small-normal initialization (mean 0, given std), Box–Muller.
+pub fn normal(shape: impl Into<Vec<usize>>, std: f32, rng: &mut ChaCha8Rng) -> Tensor {
+    let shape = shape.into();
+    let n: usize = shape.iter().product();
+    let data = (0..n)
+        .map(|_| {
+            let u1: f32 = rng.gen_range(1e-7..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+        })
+        .collect();
+    Tensor::new(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bound_scales_with_fanin() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let big = xavier([4, 1000], &mut rng);
+        let small = xavier([4, 4], &mut rng);
+        assert!(big.data().iter().all(|v| v.abs() < 0.1));
+        assert!(small.max() > 0.3, "small fan-in should allow larger weights");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = normal([10_000], 0.5, &mut rng);
+        assert!(t.mean().abs() < 0.02);
+        let var = t.data().iter().map(|v| v * v).sum::<f32>() / t.len() as f32;
+        assert!((var.sqrt() - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(xavier([3, 3], &mut a), xavier([3, 3], &mut b));
+    }
+}

@@ -1,0 +1,115 @@
+//! Elementwise activations and their derivatives.
+
+/// Rectified linear unit.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU w.r.t. its input, expressed via the input.
+pub fn relu_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Leaky ReLU with slope `alpha` for negative inputs.
+pub fn leaky_relu(x: f32, alpha: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        alpha * x
+    }
+}
+
+/// Derivative of leaky ReLU w.r.t. its input.
+pub fn leaky_relu_grad(x: f32, alpha: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        alpha
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid, expressed via the *output* `y = sigmoid(x)`.
+pub fn sigmoid_grad_from_output(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of tanh, expressed via the *output* `y = tanh(x)`.
+pub fn tanh_grad_from_output(y: f32) -> f32 {
+    1.0 - y * y
+}
+
+/// Gaussian error linear unit (tanh approximation).
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU w.r.t. its input.
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+/// Sub-gradient of `|x|` (0 at the kink).
+pub fn abs_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_grad(f: impl Fn(f32) -> f32, g: impl Fn(f32) -> f32, xs: &[f32], tol: f32) {
+        let eps = 1e-3;
+        for &x in xs {
+            let num = (f(x + eps) - f(x - eps)) / (2.0 * eps);
+            let ana = g(x);
+            assert!((num - ana).abs() < tol, "x={x}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 1e-3);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gradients_match_numeric() {
+        let xs = [-2.0, -0.5, 0.3, 1.7];
+        check_grad(relu, relu_grad, &xs, 1e-3);
+        check_grad(|x| leaky_relu(x, 0.1), |x| leaky_relu_grad(x, 0.1), &xs, 1e-3);
+        check_grad(sigmoid, |x| sigmoid_grad_from_output(sigmoid(x)), &xs, 1e-3);
+        check_grad(tanh, |x| tanh_grad_from_output(tanh(x)), &xs, 1e-3);
+        check_grad(gelu, gelu_grad, &xs, 1e-2);
+    }
+}

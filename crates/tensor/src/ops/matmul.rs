@@ -1,0 +1,214 @@
+//! Matrix-multiply kernels (plain and batched) and their gradients.
+
+/// `out[m,n] += a[m,k] * b[k,n]` over contiguous row-major slices.
+///
+/// `out` must be zero-initialized by the caller if a pure product is wanted.
+pub fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    // ikj loop order: streams through b and out rows contiguously.
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[k,m]^T * b[k,n]` (i.e. `aᵀ·b`) without materializing the transpose.
+pub fn matmul_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// `out[m,k] += a[m,n] * b[k,n]^T` (i.e. `a·bᵀ`) without materializing the transpose.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * k);
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        let out_row = &mut out[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// Describes how the batch dimensions of the two matmul operands relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchKind {
+    /// Both operands carry the same batch dimensions (possibly none).
+    Matched,
+    /// The left operand is a plain matrix shared across the right's batches.
+    BroadcastLhs,
+    /// The right operand is a plain matrix shared across the left's batches.
+    BroadcastRhs,
+}
+
+/// Resolves batch semantics for shapes `[b.., m, k] × [b.., k, n]`.
+///
+/// Returns `(kind, batch, m, k, n)`.
+///
+/// # Panics
+/// Panics on rank < 2, inner-dimension mismatch or incompatible batch dims.
+pub fn resolve_batch(lhs: &[usize], rhs: &[usize]) -> (BatchKind, usize, usize, usize, usize) {
+    assert!(lhs.len() >= 2 && rhs.len() >= 2, "matmul needs rank >= 2: {lhs:?} x {rhs:?}");
+    let (lb, m, k1) = crate::shape::split_matrix(lhs).unwrap();
+    let (rb, k2, n) = crate::shape::split_matrix(rhs).unwrap();
+    assert_eq!(k1, k2, "matmul inner dims {lhs:?} x {rhs:?}");
+    if lhs.len() == 2 && rhs.len() > 2 {
+        (BatchKind::BroadcastLhs, rb, m, k1, n)
+    } else if rhs.len() == 2 && lhs.len() > 2 {
+        (BatchKind::BroadcastRhs, lb, m, k1, n)
+    } else {
+        assert_eq!(
+            &lhs[..lhs.len() - 2],
+            &rhs[..rhs.len() - 2],
+            "matmul batch dims {lhs:?} x {rhs:?}"
+        );
+        (BatchKind::Matched, lb, m, k1, n)
+    }
+}
+
+/// Batched forward matmul following [`resolve_batch`] semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_forward(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    kind: BatchKind,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for bi in 0..batch {
+        let a_off = match kind {
+            BatchKind::BroadcastLhs => 0,
+            _ => bi * m * k,
+        };
+        let b_off = match kind {
+            BatchKind::BroadcastRhs => 0,
+            _ => bi * k * n,
+        };
+        matmul_kernel(
+            &a[a_off..a_off + m * k],
+            &b[b_off..b_off + k * n],
+            &mut out[bi * m * n..(bi + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+}
+
+/// Gradients of the batched matmul.
+///
+/// `da` and `db` are accumulated into (callers pass zero-filled buffers when a
+/// fresh gradient is desired); broadcast operands accumulate over batches.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_backward(
+    a: &[f32],
+    b: &[f32],
+    dout: &[f32],
+    da: &mut [f32],
+    db: &mut [f32],
+    kind: BatchKind,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for bi in 0..batch {
+        let a_off = match kind {
+            BatchKind::BroadcastLhs => 0,
+            _ => bi * m * k,
+        };
+        let b_off = match kind {
+            BatchKind::BroadcastRhs => 0,
+            _ => bi * k * n,
+        };
+        let g = &dout[bi * m * n..(bi + 1) * m * n];
+        // dA = dOut · Bᵀ
+        matmul_a_bt(g, &b[b_off..b_off + k * n], &mut da[a_off..a_off + m * k], m, n, k);
+        // dB = Aᵀ · dOut
+        matmul_at_b(&a[a_off..a_off + m * k], g, &mut db[b_off..b_off + k * n], m, k, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_matches_naive() {
+        let a = [1., 2., 3., 4., 5., 6.]; // 2x3
+        let b = [7., 8., 9., 10., 11., 12.]; // 3x2
+        let mut out = [0.0; 4];
+        matmul_kernel(&a, &b, &mut out, 2, 3, 2);
+        assert_eq!(out, [58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn at_b_equals_transpose_then_mul() {
+        // a: 3x2, compute aᵀ·b where b: 3x2 -> 2x2
+        let a = [1., 2., 3., 4., 5., 6.];
+        let b = [1., 0., 0., 1., 1., 1.];
+        let mut out = [0.0; 4];
+        matmul_at_b(&a, &b, &mut out, 3, 2, 2);
+        // aᵀ = [[1,3,5],[2,4,6]]; aᵀ·b = [[1+5, 3+5],[2+6, 4+6]]
+        assert_eq!(out, [6., 8., 8., 10.]);
+    }
+
+    #[test]
+    fn a_bt_equals_mul_transpose() {
+        // a: 2x3, b: 2x3, a·bᵀ -> 2x2
+        let a = [1., 2., 3., 4., 5., 6.];
+        let b = [1., 1., 1., 0., 1., 0.];
+        let mut out = [0.0; 4];
+        matmul_a_bt(&a, &b, &mut out, 2, 3, 2);
+        assert_eq!(out, [6., 2., 15., 5.]);
+    }
+
+    #[test]
+    fn resolve_batch_kinds() {
+        assert_eq!(resolve_batch(&[3, 4], &[4, 5]), (BatchKind::Matched, 1, 3, 4, 5));
+        assert_eq!(resolve_batch(&[2, 3, 4], &[2, 4, 5]), (BatchKind::Matched, 2, 3, 4, 5));
+        assert_eq!(resolve_batch(&[3, 4], &[2, 4, 5]), (BatchKind::BroadcastLhs, 2, 3, 4, 5));
+        assert_eq!(resolve_batch(&[2, 3, 4], &[4, 5]), (BatchKind::BroadcastRhs, 2, 3, 4, 5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn resolve_batch_rejects_mismatch() {
+        resolve_batch(&[2, 3, 4], &[3, 4, 5]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Layer normalization over the trailing dimension.
+
+/// Saved statistics from the layer-norm forward pass, needed by the backward.
+#[derive(Debug, Clone)]
+pub struct LayerNormSaved {
+    /// Per-row mean.
+    pub mean: Vec<f32>,
+    /// Per-row reciprocal standard deviation.
+    pub rstd: Vec<f32>,
+}
+
+/// Forward layer-norm: per length-`d` row, `out = (x - mean) / std * gamma + beta`.
+pub fn layernorm_forward(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    d: usize,
+    eps: f32,
+) -> LayerNormSaved {
+    debug_assert_eq!(gamma.len(), d);
+    debug_assert_eq!(beta.len(), d);
+    let rows = x.len() / d;
+    let mut mean = Vec::with_capacity(rows);
+    let mut rstd = Vec::with_capacity(rows);
+    for (xr, or) in x.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+        let mu = xr.iter().sum::<f32>() / d as f32;
+        let var = xr.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+        let rs = 1.0 / (var + eps).sqrt();
+        for ((o, &v), (&g, &b)) in or.iter_mut().zip(xr).zip(gamma.iter().zip(beta)) {
+            *o = (v - mu) * rs * g + b;
+        }
+        mean.push(mu);
+        rstd.push(rs);
+    }
+    LayerNormSaved { mean, rstd }
+}
+
+/// Backward of layer-norm. Accumulates into `dx`, `dgamma`, `dbeta`.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward(
+    x: &[f32],
+    gamma: &[f32],
+    dout: &[f32],
+    saved: &LayerNormSaved,
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    d: usize,
+) {
+    for (row, ((xr, gr), dxr)) in
+        x.chunks_exact(d).zip(dout.chunks_exact(d)).zip(dx.chunks_exact_mut(d)).enumerate()
+    {
+        let mu = saved.mean[row];
+        let rs = saved.rstd[row];
+        // xhat = (x - mu) * rs; dl/dxhat = dout * gamma
+        let mut sum_dxhat = 0.0f32;
+        let mut sum_dxhat_xhat = 0.0f32;
+        for j in 0..d {
+            let xhat = (xr[j] - mu) * rs;
+            let dxhat = gr[j] * gamma[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat;
+            dgamma[j] += gr[j] * xhat;
+            dbeta[j] += gr[j];
+        }
+        let inv_d = 1.0 / d as f32;
+        for j in 0..d {
+            let xhat = (xr[j] - mu) * rs;
+            let dxhat = gr[j] * gamma[j];
+            dxr[j] += rs * (dxhat - inv_d * sum_dxhat - xhat * inv_d * sum_dxhat_xhat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_normalized_with_unit_gamma() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let gamma = [1.0; 4];
+        let beta = [0.0; 4];
+        let mut out = [0.0; 4];
+        layernorm_forward(&x, &gamma, &beta, &mut out, 4, 1e-5);
+        let mu: f32 = out.iter().sum::<f32>() / 4.0;
+        let var: f32 = out.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / 4.0;
+        assert!(mu.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_numeric() {
+        let d = 4;
+        let x: Vec<f32> = vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4, 0.0, 0.9];
+        let gamma = [1.2, 0.8, -0.5, 1.0];
+        let beta = [0.1, -0.2, 0.0, 0.3];
+        let dout: Vec<f32> = vec![0.3, -0.1, 0.7, 0.2, -0.5, 0.4, 0.1, -0.2];
+        let loss = |x: &[f32], gamma: &[f32], beta: &[f32]| -> f32 {
+            let mut out = vec![0.0; x.len()];
+            layernorm_forward(x, gamma, beta, &mut out, d, 1e-5);
+            out.iter().zip(&dout).map(|(a, b)| a * b).sum()
+        };
+
+        let mut out = vec![0.0; x.len()];
+        let saved = layernorm_forward(&x, &gamma, &beta, &mut out, d, 1e-5);
+        let mut dx = vec![0.0; x.len()];
+        let mut dg = vec![0.0; d];
+        let mut db = vec![0.0; d];
+        layernorm_backward(&x, &gamma, &dout, &saved, &mut dx, &mut dg, &mut db, d);
+
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 2e-2, "dx[{i}]: {num} vs {}", dx[i]);
+        }
+        for j in 0..d {
+            let mut gp = gamma;
+            gp[j] += eps;
+            let mut gm = gamma;
+            gm[j] -= eps;
+            let num = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((num - dg[j]).abs() < 2e-2, "dgamma[{j}]: {num} vs {}", dg[j]);
+            let mut bp = beta;
+            bp[j] += eps;
+            let mut bm = beta;
+            bm[j] -= eps;
+            let num = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((num - db[j]).abs() < 2e-2, "dbeta[{j}]: {num} vs {}", db[j]);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Axis reductions (sum/mean) and their broadcast gradients.
+
+use crate::tensor::Tensor;
+
+/// Sums `x` over `axis`, dropping that axis (a rank-1 input reduces to `[1]`).
+pub fn sum_axis(x: &Tensor, axis: usize) -> Tensor {
+    let shape = x.shape();
+    assert!(axis < shape.len(), "axis {axis} out of range for {shape:?}");
+    let outer: usize = shape[..axis].iter().product();
+    let d = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    let mut out_shape: Vec<usize> = shape.to_vec();
+    out_shape.remove(axis);
+    if out_shape.is_empty() {
+        out_shape.push(1);
+    }
+    let mut out = Tensor::zeros(out_shape);
+    let xd = x.data();
+    let od = out.data_mut();
+    for o in 0..outer {
+        for j in 0..d {
+            let base = (o * d + j) * inner;
+            let obase = o * inner;
+            for i in 0..inner {
+                od[obase + i] += xd[base + i];
+            }
+        }
+    }
+    out
+}
+
+/// Mean over `axis`, dropping that axis.
+pub fn mean_axis(x: &Tensor, axis: usize) -> Tensor {
+    let d = x.shape()[axis] as f32;
+    let mut out = sum_axis(x, axis);
+    for v in out.data_mut() {
+        *v /= d;
+    }
+    out
+}
+
+/// Scatters `dout` (shape of `x` minus `axis`) back over `axis`, scaled by
+/// `scale`, accumulating into `dx` (shape of `x`).
+pub fn broadcast_axis_backward(dout: &[f32], dx: &mut [f32], outer: usize, d: usize, inner: usize, scale: f32) {
+    debug_assert_eq!(dout.len(), outer * inner);
+    debug_assert_eq!(dx.len(), outer * d * inner);
+    for o in 0..outer {
+        let g = &dout[o * inner..(o + 1) * inner];
+        for j in 0..d {
+            let base = (o * d + j) * inner;
+            for i in 0..inner {
+                dx[base + i] += g[i] * scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_middle_axis() {
+        let x = Tensor::new([2, 3, 2], (1..=12).map(|v| v as f32).collect());
+        let s = sum_axis(&x, 1);
+        assert_eq!(s.shape(), &[2, 2]);
+        // first outer block rows: [1,2],[3,4],[5,6] -> [9,12]
+        assert_eq!(s.data(), &[9., 12., 27., 30.]);
+    }
+
+    #[test]
+    fn mean_last_axis() {
+        let x = Tensor::new([2, 4], vec![1., 2., 3., 4., 5., 5., 5., 5.]);
+        let m = mean_axis(&x, 1);
+        assert_eq!(m.shape(), &[2]);
+        assert_eq!(m.data(), &[2.5, 5.0]);
+    }
+
+    #[test]
+    fn reduce_rank1_gives_scalar_shape() {
+        let x = Tensor::from_slice(&[1., 2., 3.]);
+        let s = sum_axis(&x, 0);
+        assert_eq!(s.shape(), &[1]);
+        assert_eq!(s.item(), 6.0);
+    }
+
+    #[test]
+    fn broadcast_backward_spreads_gradient() {
+        // x shape [2,3], sum over axis 1 -> out [2]; dout [2]
+        let dout = [1.0, 2.0];
+        let mut dx = [0.0; 6];
+        broadcast_axis_backward(&dout, &mut dx, 2, 3, 1, 1.0);
+        assert_eq!(dx, [1., 1., 1., 2., 2., 2.]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Softmax over the trailing dimension, forward and backward.
+
+/// In-place-style softmax: writes softmax of each length-`d` row of `x` to `out`.
+pub fn softmax_forward(x: &[f32], out: &mut [f32], d: usize) {
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(x.len() % d, 0);
+    for (xr, or) in x.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+        let m = xr.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (o, &v) in or.iter_mut().zip(xr) {
+            let e = (v - m).exp();
+            *o = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for o in or.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// Backward of softmax given the *output* `y` and upstream `dout`.
+///
+/// `dx[i] = y[i] * (dout[i] - Σ_j dout[j]·y[j])` per row. Accumulates into `dx`.
+pub fn softmax_backward(y: &[f32], dout: &[f32], dx: &mut [f32], d: usize) {
+    for ((yr, gr), dr) in y.chunks_exact(d).zip(dout.chunks_exact(d)).zip(dx.chunks_exact_mut(d)) {
+        let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+        for ((dxv, &yv), &gv) in dr.iter_mut().zip(yr).zip(gr) {
+            *dxv += yv * (gv - dot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let x = [1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let mut y = [0.0; 6];
+        softmax_forward(&x, &mut y, 3);
+        let s1: f32 = y[..3].iter().sum();
+        let s2: f32 = y[3..].iter().sum();
+        assert!((s1 - 1.0).abs() < 1e-6);
+        assert!((s2 - 1.0).abs() < 1e-6);
+        assert!(y[2] > y[1] && y[1] > y[0]);
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let x = [1000.0, 1001.0];
+        let mut y = [0.0; 2];
+        softmax_forward(&x, &mut y, 2);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!((y[0] + y[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_numeric() {
+        let x = [0.3, -0.7, 1.1];
+        let dout = [0.5, -0.2, 0.9];
+        let mut y = [0.0; 3];
+        softmax_forward(&x, &mut y, 3);
+        let mut dx = [0.0; 3];
+        softmax_backward(&y, &dout, &mut dx, 3);
+
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let mut yp = [0.0; 3];
+            let mut ym = [0.0; 3];
+            softmax_forward(&xp, &mut yp, 3);
+            softmax_forward(&xm, &mut ym, 3);
+            let fp: f32 = yp.iter().zip(&dout).map(|(a, b)| a * b).sum();
+            let fm: f32 = ym.iter().zip(&dout).map(|(a, b)| a * b).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-3, "i={i}: {num} vs {}", dx[i]);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Optimizers operating on a [`ParamStore`] given gradients from a backward pass.
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Plain stochastic gradient descent (used mostly in tests and sanity checks).
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one descent step: `p -= lr * g`.
+    pub fn step(&mut self, params: &mut ParamStore, grads: &[(String, Tensor)]) {
+        for (name, g) in grads {
+            if let Some(p) = params.get_mut(name) {
+                p.add_scaled(g, -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam with L2 weight decay — the optimizer the paper uses for both the
+/// forecasting models (lr 1e-3, wd 1e-4) and T-AHC pre-training (lr 1e-3,
+/// wd 5e-4).
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight decay coefficient (coupled, added to the gradient).
+    pub weight_decay: f32,
+    t: u64,
+    m: BTreeMap<String, Tensor>,
+    v: BTreeMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with standard betas.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update to every parameter present in `grads`.
+    pub fn step(&mut self, params: &mut ParamStore, grads: &[(String, Tensor)]) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (name, g) in grads {
+            let Some(p) = params.get_mut(name) else { continue };
+            let m = self.m.entry(name.clone()).or_insert_with(|| Tensor::zeros(g.shape().to_vec()));
+            let v = self.v.entry(name.clone()).or_insert_with(|| Tensor::zeros(g.shape().to_vec()));
+            let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            for i in 0..g.len() {
+                let grad = g.data()[i] + wd * p.data()[i];
+                let mi = b1 * m.data()[i] + (1.0 - b1) * grad;
+                let vi = b2 * v.data()[i] + (1.0 - b2) * grad * grad;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                p.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    /// Drops optimizer state (used when reusing an optimizer across restarts).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+/// Clips gradients by global L2 norm (in place), returning the pre-clip norm.
+pub fn clip_grad_norm(grads: &mut [(String, Tensor)], max_norm: f32) -> f32 {
+    let total: f32 =
+        grads.iter().map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f32>()).sum::<f32>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for (_, g) in grads.iter_mut() {
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::param::Init;
+
+    /// Minimizing (w - 3)^2 should converge to 3 with both optimizers.
+    fn run_quadratic(mut stepper: impl FnMut(&mut ParamStore, &[(String, Tensor)])) -> f32 {
+        let mut ps = ParamStore::new(0);
+        ps.set("w", Tensor::scalar(0.0));
+        for _ in 0..400 {
+            let g = Graph::new();
+            let w = ps.var(&g, "w", &[1], Init::Zeros);
+            let target = g.constant(Tensor::scalar(3.0));
+            let loss = w.sub(&target).mul(&w.sub(&target)).sum_all();
+            g.backward(&loss);
+            let grads = g.param_grads();
+            stepper(&mut ps, &grads);
+        }
+        ps.get("w").unwrap().item()
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.1);
+        let w = run_quadratic(|p, g| opt.step(p, g));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.05, 0.0);
+        let w = run_quadratic(|p, g| opt.step(p, g));
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_solution() {
+        let mut opt = Adam::new(0.05, 0.5);
+        let w = run_quadratic(|p, g| opt.step(p, g));
+        assert!(w < 2.9, "decay should bias below 3, got {w}");
+        assert!(w > 1.0);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut grads = vec![("a".to_string(), Tensor::from_slice(&[3.0, 4.0]))];
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post: f32 = grads[0].1.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_under_threshold() {
+        let mut grads = vec![("a".to_string(), Tensor::from_slice(&[0.3, 0.4]))];
+        clip_grad_norm(&mut grads, 1.0);
+        assert_eq!(grads[0].1.data(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Named parameter storage shared across forward passes.
+
+use crate::graph::{Graph, Var};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A store of named parameter tensors.
+///
+/// Layers call [`ParamStore::entry`] lazily during the first forward pass,
+/// which initializes the weight; subsequent passes reuse the stored value.
+/// The store owns an internal RNG so that a given seed fully determines all
+/// initializations regardless of call order *within one construction order*.
+#[derive(Serialize, Deserialize)]
+pub struct ParamStore {
+    params: BTreeMap<String, Tensor>,
+    rng: ChaCha8Rng,
+}
+
+/// How a parameter should be initialized on first use.
+#[derive(Debug, Clone, Copy)]
+pub enum Init {
+    /// Xavier/Glorot uniform.
+    Xavier,
+    /// Uniform in `[-bound, bound]`.
+    Uniform(f32),
+    /// Normal with the given standard deviation.
+    Normal(f32),
+    /// All zeros.
+    Zeros,
+    /// All ones.
+    Ones,
+}
+
+impl ParamStore {
+    /// Creates an empty store with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self { params: BTreeMap::new(), rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Gets (initializing if absent) the named parameter.
+    pub fn entry(&mut self, name: &str, shape: &[usize], init: Init) -> &Tensor {
+        if !self.params.contains_key(name) {
+            let t = match init {
+                Init::Xavier => init::xavier(shape.to_vec(), &mut self.rng),
+                Init::Uniform(b) => init::uniform(shape.to_vec(), b, &mut self.rng),
+                Init::Normal(s) => init::normal(shape.to_vec(), s, &mut self.rng),
+                Init::Zeros => Tensor::zeros(shape.to_vec()),
+                Init::Ones => Tensor::ones(shape.to_vec()),
+            };
+            self.params.insert(name.to_string(), t);
+        }
+        let t = &self.params[name];
+        assert_eq!(t.shape(), shape, "parameter {name} reused with a different shape");
+        t
+    }
+
+    /// Gets (initializing if absent) the parameter and attaches it to `g` as
+    /// a gradient-tracked leaf named after it.
+    pub fn var(&mut self, g: &Graph, name: &str, shape: &[usize], init: Init) -> Var {
+        let t = self.entry(name, shape, init).clone();
+        g.param(name, t)
+    }
+
+    /// Direct lookup of an existing parameter.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.params.get(name)
+    }
+
+    /// Mutable lookup of an existing parameter (used by optimizers).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Tensor> {
+        self.params.get_mut(name)
+    }
+
+    /// Overwrites (or creates) a parameter with an explicit value.
+    pub fn set(&mut self, name: &str, value: Tensor) {
+        self.params.insert(name.to_string(), value);
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if no parameters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.values().map(Tensor::len).sum()
+    }
+
+    /// Iterates over `(name, tensor)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor)> {
+        self.params.iter()
+    }
+
+    /// Parameter names in sorted order.
+    pub fn names(&self) -> Vec<String> {
+        self.params.keys().cloned().collect()
+    }
+
+    /// True if every stored value is finite — a cheap divergence tripwire.
+    pub fn all_finite(&self) -> bool {
+        self.params.values().all(Tensor::all_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_initializes_once() {
+        let mut ps = ParamStore::new(0);
+        let first = ps.entry("w", &[2, 2], Init::Xavier).clone();
+        let second = ps.entry("w", &[2, 2], Init::Xavier).clone();
+        assert_eq!(first, second);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn shape_conflict_panics() {
+        let mut ps = ParamStore::new(0);
+        ps.entry("w", &[2, 2], Init::Zeros);
+        ps.entry("w", &[3, 3], Init::Zeros);
+    }
+
+    #[test]
+    fn var_attaches_named_leaf() {
+        let mut ps = ParamStore::new(0);
+        let g = Graph::new();
+        let w = ps.var(&g, "w", &[2], Init::Ones);
+        let loss = w.mul_scalar(3.0).sum_all();
+        g.backward(&loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, "w");
+        assert_eq!(grads[0].1.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut ps = ParamStore::new(9);
+        ps.entry("a", &[3], Init::Normal(0.1));
+        let json = serde_json::to_string(&ps).unwrap();
+        let back: ParamStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("a"), ps.get("a"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Shape utilities: row-major strides, index arithmetic and validation.
+
+/// Computes row-major strides for `shape`.
+///
+/// The last dimension has stride 1; an empty shape yields an empty stride
+/// vector (scalar tensors are represented as shape `[1]` throughout this
+/// crate, so empty shapes only appear transiently).
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Total number of elements described by `shape`.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Converts a flat row-major offset into multi-dimensional indices.
+pub fn unravel(mut offset: usize, shape: &[usize]) -> Vec<usize> {
+    let strides = strides_for(shape);
+    let mut idx = vec![0; shape.len()];
+    for (i, &s) in strides.iter().enumerate() {
+        idx[i] = offset / s;
+        offset %= s;
+    }
+    idx
+}
+
+/// Converts multi-dimensional indices into a flat row-major offset.
+pub fn ravel(idx: &[usize], shape: &[usize]) -> usize {
+    debug_assert_eq!(idx.len(), shape.len());
+    let strides = strides_for(shape);
+    idx.iter().zip(&strides).map(|(&i, &s)| i * s).sum()
+}
+
+/// Splits a matmul-style shape `[batch.., m, k]` into `(batch_elems, m, k)`.
+///
+/// Returns `None` for tensors of rank < 2.
+pub fn split_matrix(shape: &[usize]) -> Option<(usize, usize, usize)> {
+    if shape.len() < 2 {
+        return None;
+    }
+    let k = shape[shape.len() - 1];
+    let m = shape[shape.len() - 2];
+    let batch = shape[..shape.len() - 2].iter().product();
+    Some((batch, m, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let shape = [2, 3, 4];
+        for off in 0..numel(&shape) {
+            let idx = unravel(off, &shape);
+            assert_eq!(ravel(&idx, &shape), off);
+        }
+    }
+
+    #[test]
+    fn split_matrix_shapes() {
+        assert_eq!(split_matrix(&[3, 4]), Some((1, 3, 4)));
+        assert_eq!(split_matrix(&[5, 3, 4]), Some((5, 3, 4)));
+        assert_eq!(split_matrix(&[2, 5, 3, 4]), Some((10, 3, 4)));
+        assert_eq!(split_matrix(&[7]), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! Dense row-major f32 tensors.
+
+use crate::shape::{numel, strides_for};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, `f32` tensor of arbitrary rank.
+///
+/// This is the value type flowing through the autograd [`crate::Graph`]; it is
+/// deliberately simple — owned contiguous storage, no views — because the
+/// AutoCTS+ workloads are small enough that copies are cheaper than the
+/// complexity of borrowed views.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and matching data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: impl Into<Vec<usize>>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            numel(&shape),
+            data.len(),
+            "shape {:?} does not match data length {}",
+            shape,
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates an all-zero tensor.
+    pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates an all-one tensor.
+    pub fn ones(shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        Self { shape, data: vec![1.0; n] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Vec<usize>>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        Self { shape, data: vec![value; n] }
+    }
+
+    /// Creates a scalar tensor of shape `[1]`.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![1], data: vec![value] }
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(values: &[f32]) -> Self {
+        Self { shape: vec![values.len()], data: values.to_vec() }
+    }
+
+    /// An `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros([n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value of a scalar (single-element) tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Element accessor by multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[crate::shape::ravel(idx, &self.shape)]
+    }
+
+    /// Mutable element accessor by multi-dimensional index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = crate::shape::ravel(idx, &self.shape);
+        &mut self.data[off]
+    }
+
+    /// Returns a copy with a new shape (same number of elements).
+    pub fn reshaped(&self, shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        assert_eq!(numel(&shape), self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        Self { shape, data: self.data.clone() }
+    }
+
+    /// In-place reshape (same number of elements).
+    pub fn reshape_in_place(&mut self, shape: impl Into<Vec<usize>>) {
+        let shape = shape.into();
+        assert_eq!(numel(&shape), self.data.len());
+        self.shape = shape;
+    }
+
+    /// Permutes axes, materializing a new contiguous tensor.
+    pub fn permuted(&self, axes: &[usize]) -> Self {
+        assert_eq!(axes.len(), self.shape.len());
+        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let old_strides = strides_for(&self.shape);
+        let new_strides_in_old: Vec<usize> = axes.iter().map(|&a| old_strides[a]).collect();
+        let mut out = Tensor::zeros(new_shape.clone());
+        let mut idx = vec![0usize; new_shape.len()];
+        for o in out.data.iter_mut() {
+            let off: usize = idx.iter().zip(&new_strides_in_old).map(|(&i, &s)| i * s).sum();
+            *o = self.data[off];
+            // increment odometer
+            for d in (0..idx.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < new_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// Transposes the last two axes.
+    pub fn transposed(&self) -> Self {
+        let r = self.rank();
+        assert!(r >= 2, "transpose needs rank >= 2");
+        let mut axes: Vec<usize> = (0..r).collect();
+        axes.swap(r - 1, r - 2);
+        self.permuted(&axes)
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Adds `other * scale` into `self` (axpy).
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (NaN-ignoring; -inf for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (NaN-ignoring; +inf for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Plain (non-autograd) 2-D matrix multiply, used by data utilities.
+    ///
+    /// # Panics
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    pub fn matmul2(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(other.rank(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul2 inner dims: {k} vs {k2}");
+        let mut out = Tensor::zeros([m, n]);
+        crate::ops::matmul::matmul_kernel(&self.data, &other.data, &mut out.data, m, k, n);
+        out
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.data.len() <= 16 {
+            write!(f, "Tensor{:?} {:?}", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor{:?} [{} elems, mean {:.4}, norm {:.4}]",
+                self.shape,
+                self.data.len(),
+                self.mean(),
+                self.norm()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.sum(), 21.0);
+        assert!((t.mean() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_shape_panics() {
+        let _ = Tensor::new([2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn permute_transpose() {
+        let t = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let tt = t.transposed();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]), 6.0);
+        assert_eq!(tt.at(&[0, 1]), 4.0);
+
+        let t3 = Tensor::new([2, 2, 2], (0..8).map(|x| x as f32).collect());
+        let p = t3.permuted(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[2, 2, 2]);
+        assert_eq!(p.at(&[1, 0, 1]), t3.at(&[0, 1, 1]));
+    }
+
+    #[test]
+    fn matmul2_identity() {
+        let a = Tensor::new([2, 2], vec![1., 2., 3., 4.]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul2(&i), a);
+        let b = Tensor::new([2, 3], vec![1., 0., 1., 0., 1., 0.]);
+        let c = a.matmul2(&b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1., 2., 1., 3., 4., 3.]);
+    }
+
+    #[test]
+    fn eye_and_full() {
+        let e = Tensor::eye(3);
+        assert_eq!(e.at(&[1, 1]), 1.0);
+        assert_eq!(e.at(&[0, 2]), 0.0);
+        let f = Tensor::full([2, 2], 7.0);
+        assert_eq!(f.sum(), 28.0);
+    }
+
+    #[test]
+    fn norm_and_finite() {
+        let t = Tensor::from_slice(&[3.0, 4.0]);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+        assert!(t.all_finite());
+        let bad = Tensor::from_slice(&[f32::NAN]);
+        assert!(!bad.all_finite());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the autograd engine: analytic gradients must
+//! match finite differences for randomized inputs and op compositions, and
+//! structural ops must satisfy algebraic identities.
+
+use octs_tensor::gradcheck::check_gradient;
+use octs_tensor::{Graph, Tensor};
+use proptest::prelude::*;
+
+fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn activation_chain_gradients(vals in small_vals(6)) {
+        let x = Tensor::new([6], vals);
+        let dev = check_gradient(&x, 1e-2, |_, v| v.tanh().mul_scalar(1.5).sigmoid().sum_all());
+        prop_assert!(dev < 5e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn softmax_gradients(vals in small_vals(8)) {
+        let x = Tensor::new([2, 4], vals);
+        let dev = check_gradient(&x, 1e-2, |g, v| {
+            let w = g.constant(Tensor::new([2, 4], vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2, 0.0, 0.6]));
+            v.softmax().mul(&w).sum_all()
+        });
+        prop_assert!(dev < 5e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn matmul_gradients(vals in small_vals(6)) {
+        let x = Tensor::new([2, 3], vals);
+        let dev = check_gradient(&x, 1e-2, |g, v| {
+            // tanh keeps the composite smooth (|·| and relu have kinks where
+            // finite differences disagree with subgradients)
+            let w = g.constant(Tensor::new([3, 2], vec![0.5, -0.1, 0.3, 0.2, -0.4, 0.6]));
+            v.matmul(&w).tanh().sum_all()
+        });
+        prop_assert!(dev < 5e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn conv_gradients(vals in small_vals(10)) {
+        let x = Tensor::new([1, 2, 5], vals);
+        let dev = check_gradient(&x, 1e-2, |g, v| {
+            let w = g.constant(Tensor::new([2, 2, 2], vec![0.3, -0.2, 0.1, 0.4, -0.1, 0.2, 0.5, -0.3]));
+            v.conv1d(&w, None, 1).tanh().sum_all()
+        });
+        prop_assert!(dev < 5e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn reduction_gradients(vals in small_vals(12)) {
+        let x = Tensor::new([3, 4], vals);
+        let dev = check_gradient(&x, 1e-2, |_, v| v.mean_axis(0).sum_axis(0).mul_scalar(2.0));
+        prop_assert!(dev < 5e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn add_is_commutative(a in small_vals(8), b in small_vals(8)) {
+        let g = Graph::new();
+        let va = g.constant(Tensor::new([8], a));
+        let vb = g.constant(Tensor::new([8], b));
+        prop_assert_eq!(va.add(&vb).value(), vb.add(&va).value());
+    }
+
+    #[test]
+    fn permute_roundtrip_identity(vals in small_vals(24)) {
+        let g = Graph::new();
+        let x = g.constant(Tensor::new([2, 3, 4], vals));
+        let y = x.permute(&[2, 0, 1]).permute(&[1, 2, 0]);
+        prop_assert_eq!(y.value(), x.value());
+    }
+
+    #[test]
+    fn concat_slice_inverse(a in small_vals(6), b in small_vals(9)) {
+        let g = Graph::new();
+        let va = g.constant(Tensor::new([3, 2], a));
+        let vb = g.constant(Tensor::new([3, 3], b));
+        let cat = octs_tensor::Var::concat(&[&va, &vb], 1);
+        prop_assert_eq!(cat.slice_axis(1, 0, 2).value(), va.value());
+        prop_assert_eq!(cat.slice_axis(1, 2, 3).value(), vb.value());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(vals in small_vals(12)) {
+        let g = Graph::new();
+        let x = g.constant(Tensor::new([3, 4], vals));
+        let y = x.softmax().value();
+        for row in y.data().chunks_exact(4) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn matmul_linear_in_scalars(vals in small_vals(4), k in -2.0f32..2.0) {
+        // (k·A)·B == k·(A·B)
+        let a = Tensor::new([2, 2], vals.clone());
+        let b = Tensor::new([2, 2], vec![0.5, -0.3, 0.2, 0.7]);
+        let g = Graph::new();
+        let va = g.constant(a);
+        let vb = g.constant(b);
+        let lhs = va.mul_scalar(k).matmul(&vb).value();
+        let rhs = va.matmul(&vb).mul_scalar(k).value();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bce_loss_nonnegative_and_finite(z in small_vals(6), bits in proptest::collection::vec(proptest::bool::ANY, 6)) {
+        let g = Graph::new();
+        let logits = g.input(Tensor::new([6], z));
+        let targets = Tensor::new([6], bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect());
+        let loss = logits.bce_with_logits(&targets);
+        prop_assert!(loss.value().item() >= 0.0);
+        prop_assert!(loss.value().item().is_finite());
+        g.backward(&loss);
+        let grad = g.grad_of(&logits).unwrap();
+        prop_assert!(grad.all_finite());
+    }
+}

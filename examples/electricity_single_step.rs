@@ -1,0 +1,61 @@
+//! Energy scenario: single-step forecasting (the paper's P-168/Q-1 (3rd)
+//! protocol, Table 8) on an Electricity-like dataset, reporting RRSE and
+//! CORR, with a decomposition-transformer baseline for comparison.
+//!
+//! ```sh
+//! cargo run --release --example electricity_single_step
+//! ```
+
+use autocts::prelude::*;
+use autocts::AutoCts;
+use octs_baselines::{DecompTransformerLite, DecompVariant};
+use octs_model::train_forecaster;
+
+fn main() {
+    // Pre-train on energy-domain sources.
+    let sources: Vec<ForecastTask> = ["ETTh1", "ETTm1", "Solar-Energy"]
+        .iter()
+        .map(|name| {
+            let mut p = octs_data::profile_by_name(name).expect("profile exists");
+            p.n = p.n.min(5);
+            p.t = p.t.min(700);
+            ForecastTask::new(p.generate(0), ForecastSetting::single(24, 3), 0.6, 0.2, 4)
+        })
+        .collect();
+
+    let mut cfg = AutoCtsConfig::test();
+    cfg.space = JointSpace::scaled();
+    let mut sys = AutoCts::new(cfg);
+    println!("pre-training on {} energy source tasks (single-step) ...", sources.len());
+    let pre = PretrainConfig {
+        l_shared: 5,
+        l_random: 5,
+        epochs: 5,
+        label_cfg: TrainConfig { epochs: 3, max_train_windows: 24, ..TrainConfig::test() },
+        ..PretrainConfig::test()
+    };
+    sys.pretrain(sources, &pre);
+
+    // The unseen Electricity-like target, single-step: predict the 3rd step
+    // after a long history (P scaled from the paper's 168).
+    let mut elec = octs_data::profile_by_name("Electricity").expect("profile exists");
+    elec.n = 6;
+    elec.t = 900;
+    let task = ForecastTask::new(elec.generate(1), ForecastSetting::single(24, 3), 0.6, 0.2, 4);
+    println!("unseen task: {}", task.id());
+
+    let train_cfg = TrainConfig { epochs: 5, max_train_windows: 48, ..TrainConfig::test() };
+    let evolve = EvolveConfig { k_s: 48, generations: 2, top_k: 2, ..EvolveConfig::test() };
+    let out = sys.search(&task, &evolve, &train_cfg);
+    println!(
+        "AutoCTS++ (zero-shot): RRSE {:.4}  CORR {:.4}",
+        out.best_report.test.rrse, out.best_report.test.corr
+    );
+
+    let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
+    let mut fed = DecompTransformerLite::new(dims, 12, 16, DecompVariant::Fedformer, 0);
+    let base = train_forecaster(&mut fed, &task, &train_cfg);
+    println!("FEDformer-lite:        RRSE {:.4}  CORR {:.4}", base.test.rrse, base.test.corr);
+
+    println!("\nselected ST-block:\n{}", autocts::render(&out.best));
+}

@@ -1,0 +1,61 @@
+//! Offline comparator pre-training with checkpointing: run Algorithm 1,
+//! save the pre-trained T-AHC, reload it in a fresh process-like state and
+//! verify it ranks identically — the deployment workflow the paper targets
+//! (pre-train once on GPUs, ship the comparator, search anywhere).
+//!
+//! ```sh
+//! cargo run --release --example pretrain_comparator -- /tmp/tahc.json
+//! ```
+
+use autocts::prelude::*;
+use autocts::AutoCts;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/autocts_tahc.json".to_string());
+
+    // Enrich a few source profiles into pre-training tasks.
+    let profiles: Vec<DatasetProfile> = octs_data::source_profiles()
+        .into_iter()
+        .take(3)
+        .map(|mut p| {
+            p.n = p.n.min(5);
+            p.t = p.t.min(600);
+            p
+        })
+        .collect();
+    let enrich = EnrichConfig {
+        subsets_per_dataset: 2,
+        settings: vec![ForecastSetting::multi(6, 3)],
+        stride: 4,
+        ..EnrichConfig::default()
+    };
+    let tasks = enrich_tasks(&profiles, &enrich);
+    println!("{} pre-training tasks from {} profiles", tasks.len(), profiles.len());
+
+    let mut sys = AutoCts::new(AutoCtsConfig::test());
+    let pre = PretrainConfig {
+        l_shared: 6,
+        l_random: 6,
+        epochs: 8,
+        label_cfg: TrainConfig { epochs: 3, max_train_windows: 24, ..TrainConfig::test() },
+        ..PretrainConfig::test()
+    };
+    let report = sys.pretrain(tasks.clone(), &pre);
+    println!("epoch losses: {:?}", report.epoch_losses);
+    println!("holdout pairwise accuracy: {:.3}", report.holdout_accuracy);
+
+    sys.save(&path).expect("checkpoint written");
+    println!("saved pre-trained comparator to {path}");
+
+    // Reload and verify identical ranking decisions.
+    let mut restored = AutoCts::load(&path).expect("checkpoint read");
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    let a = sys.cfg.space.sample(&mut rng);
+    let b = sys.cfg.space.sample(&mut rng);
+    let prelim = sys.embedder.preliminary(&tasks[0]);
+    let same = sys.tahc.compare(Some(&prelim), &a, &b)
+        == restored.tahc.compare(Some(&restored.embedder.preliminary(&tasks[0])), &a, &b);
+    println!("restored comparator agrees with the original: {same}");
+    assert!(same);
+}

@@ -1,0 +1,55 @@
+//! Quickstart: pre-train a tiny AutoCTS++ system and run a zero-shot search
+//! on an unseen task.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use autocts::prelude::*;
+use autocts::AutoCts;
+
+fn main() {
+    // 1. Build the system with small, fast settings.
+    let mut sys = AutoCts::new(AutoCtsConfig::test());
+
+    // 2. Pre-train once on a couple of source tasks. In production this is
+    //    the expensive offline step (Algorithm 1); here it takes seconds.
+    let source_tasks: Vec<ForecastTask> = [
+        ("metro-traffic", Domain::Traffic, 11u64),
+        ("city-energy", Domain::Energy, 12),
+    ]
+    .into_iter()
+    .map(|(name, domain, seed)| {
+        let profile = DatasetProfile::custom(name, domain, 4, 260, 24, 0.3, 0.1, 10.0, seed);
+        ForecastTask::new(profile.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2)
+    })
+    .collect();
+
+    println!("pre-training T-AHC on {} source tasks ...", source_tasks.len());
+    let report = sys.pretrain(source_tasks, &PretrainConfig::test());
+    println!(
+        "  pre-training done: {} epochs, holdout pairwise accuracy {:.2}",
+        report.epoch_losses.len(),
+        report.holdout_accuracy
+    );
+
+    // 3. Zero-shot search on an UNSEEN task (new dataset, new setting).
+    let unseen_profile =
+        DatasetProfile::custom("bike-demand", Domain::Demand, 4, 260, 24, 0.35, 0.2, 12.0, 99);
+    let unseen =
+        ForecastTask::new(unseen_profile.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2);
+
+    println!("zero-shot searching on unseen task {} ...", unseen.id());
+    let evolve = EvolveConfig { k_s: 32, generations: 2, top_k: 2, ..EvolveConfig::test() };
+    let outcome = sys.search(&unseen, &evolve, &TrainConfig::test());
+
+    println!(
+        "  search: embed {:?}, rank {:?}, train {:?}",
+        outcome.timing.embed, outcome.timing.rank, outcome.timing.train
+    );
+    println!("selected ST-block:\n{}", autocts::render(&outcome.best));
+    println!(
+        "test metrics: MAE {:.3}  RMSE {:.3}  MAPE {:.2}%",
+        outcome.best_report.test.mae, outcome.best_report.test.rmse, outcome.best_report.test.mape
+    );
+}

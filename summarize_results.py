@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Summarize results/*.csv into win counts for EXPERIMENTS.md."""
+import csv, glob, os, sys
+
+def wins(path, lower_better_metrics=("MAE","RMSE","MAPE%","RRSE"), higher=("CORR",)):
+    rows = list(csv.DictReader(open(path)))
+    models = [c for c in rows[0].keys() if c not in ("Dataset","Metric")]
+    count = {m:0 for m in models}
+    total = 0
+    for r in rows:
+        metric = r["Metric"]
+        vals = {}
+        for m in models:
+            try:
+                vals[m] = float(r[m].split("±")[0])
+            except ValueError:
+                pass
+        if not vals: continue
+        if metric in higher:
+            best = max(vals, key=vals.get)
+        else:
+            best = min(vals, key=vals.get)
+        count[best]+=1
+        total+=1
+    return count, total
+
+for path in sorted(glob.glob("results/table[5-9]_*.csv")) + sorted(glob.glob("results/table1[0-3]_*.csv")):
+    try:
+        count, total = wins(path)
+        ranked = sorted(count.items(), key=lambda kv:-kv[1])
+        summary = ", ".join(f"{k}:{v}" for k,v in ranked if v>0)
+        print(f"{os.path.basename(path)}: best-of-{total} rows -> {summary}")
+    except Exception as e:
+        print(f"{path}: skipped ({e})")
