@@ -106,7 +106,8 @@ mod tests {
         let dims = ModelDims { n: 3, f: 1, p: 5, out_steps: 2 };
         let mut m = AgcrnLite::new(dims, 4, 8, 0);
         let before = octs_model::val_mae_scaled(&mut m, &task, 8);
-        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        let report =
+            train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
         assert!(report.best_val_mae < before);
     }
 }

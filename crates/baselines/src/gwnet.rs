@@ -30,7 +30,14 @@ pub struct GraphWaveNetLite {
 impl GraphWaveNetLite {
     /// Builds the baseline over a predefined adjacency (a learned adaptive
     /// adjacency is mixed in as in the original).
-    pub fn new(dims: ModelDims, h: usize, layers: usize, i: usize, adjacency: &Adjacency, seed: u64) -> Self {
+    pub fn new(
+        dims: ModelDims,
+        h: usize,
+        layers: usize,
+        i: usize,
+        adjacency: &Adjacency,
+        seed: u64,
+    ) -> Self {
         assert_eq!(adjacency.n(), dims.n);
         Self {
             dims,
@@ -77,7 +84,10 @@ impl CtsForecastModel for GraphWaveNetLite {
             let xr = cur.permute(&[0, 2, 1, 3]).reshape([b * n, h, p]);
             let wf = self.ps.var(&g, &format!("l{l}/wf"), &[h, h, 2], Init::Xavier);
             let wg = self.ps.var(&g, &format!("l{l}/wg"), &[h, h, 2], Init::Xavier);
-            let gate = xr.conv1d(&wf, None, dilation).tanh().mul(&xr.conv1d(&wg, None, dilation).sigmoid());
+            let gate = xr
+                .conv1d(&wf, None, dilation)
+                .tanh()
+                .mul(&xr.conv1d(&wg, None, dilation).sigmoid());
             let temporal = gate.reshape([b, n, h, p]).permute(&[0, 2, 1, 3]);
             // diffusion GCN over nodes
             let xg = temporal.permute(&[0, 3, 2, 1]).reshape([b * p, n, h]);
@@ -158,7 +168,8 @@ mod tests {
         let dims = ModelDims { n: 4, f: 1, p: 8, out_steps: 3 };
         let mut m = GraphWaveNetLite::new(dims, 6, 2, 8, &task.data.adjacency, 0);
         let before = octs_model::val_mae_scaled(&mut m, &task, 8);
-        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        let report =
+            train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
         assert!(report.best_val_mae < before, "{before} -> {}", report.best_val_mae);
     }
 }

@@ -23,8 +23,8 @@ pub mod transformers;
 
 pub use agcrn::AgcrnLite;
 pub use gwnet::GraphWaveNetLite;
-pub use stgcn::StgcnLite;
 pub use mtgnn::MtgnnLite;
 pub use pdformer::PdformerLite;
+pub use stgcn::StgcnLite;
 pub use transferred::{all_transferred, autocts, autocts_plus, autostg_plus};
 pub use transformers::{DecompTransformerLite, DecompVariant};

@@ -114,7 +114,8 @@ mod tests {
         let task = ForecastTask::new(p.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2);
         let mut m = MtgnnLite::new(dims(), 6, 1, 8, 0);
         let before = octs_model::val_mae_scaled(&mut m, &task, 8);
-        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        let report =
+            train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
         assert!(report.best_val_mae < before, "{before} -> {}", report.best_val_mae);
     }
 

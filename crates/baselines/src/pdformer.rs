@@ -60,7 +60,7 @@ impl PdformerLite {
         let v = linear_no_bias(&mut self.ps, g, &format!("{name}/v"), x, h, h);
         let scale = 1.0 / (h as f32).sqrt();
         let scores = q.matmul(&k.transpose()).mul_scalar(scale); // [B*L, N, N]
-        // additive mask tiled over the batch dimension
+                                                                 // additive mask tiled over the batch dimension
         let mut tile = Tensor::zeros([batches, n, n]);
         for bi in 0..batches {
             tile.data_mut()[bi * n * n..(bi + 1) * n * n].copy_from_slice(self.mask.data());

@@ -27,7 +27,14 @@ pub struct StgcnLite {
 
 impl StgcnLite {
     /// Builds the baseline over a predefined adjacency.
-    pub fn new(dims: ModelDims, h: usize, blocks: usize, i: usize, adjacency: &Adjacency, seed: u64) -> Self {
+    pub fn new(
+        dims: ModelDims,
+        h: usize,
+        blocks: usize,
+        i: usize,
+        adjacency: &Adjacency,
+        seed: u64,
+    ) -> Self {
         assert_eq!(adjacency.n(), dims.n);
         Self {
             dims,
@@ -65,9 +72,9 @@ impl StgcnLite {
 fn symmetric_normalized(adj: &Adjacency) -> Tensor {
     let n = adj.n();
     let mut deg = vec![0.0f32; n];
-    for i in 0..n {
+    for (i, d) in deg.iter_mut().enumerate() {
         for j in 0..n {
-            deg[i] += adj.weight(i, j);
+            *d += adj.weight(i, j);
         }
     }
     let mut out = Tensor::zeros([n, n]);
@@ -177,7 +184,8 @@ mod tests {
         let dims = ModelDims { n: 4, f: 1, p: 8, out_steps: 3 };
         let mut m = StgcnLite::new(dims, 6, 1, 8, &task.data.adjacency, 0);
         let before = octs_model::val_mae_scaled(&mut m, &task, 8);
-        let report = train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
+        let report =
+            train_forecaster(&mut m, &task, &TrainConfig { epochs: 4, ..TrainConfig::test() });
         assert!(report.best_val_mae < before, "{before} -> {}", report.best_val_mae);
     }
 }

@@ -4,7 +4,10 @@
 //! discussed in the paper are measurable here too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use octs_comparator::{gin_encode, pool_task, GinConfig, PoolKind, TaskEmbedConfig};
+use octs_comparator::{
+    gin_encode, materialize_gin, materialize_pool_task, pool_task, GinConfig, PoolKind,
+    TaskEmbedConfig,
+};
 use octs_comparator::{Tahc, TahcConfig};
 use octs_search::tournament_rank;
 use octs_space::{HyperSpace, JointSpace};
@@ -21,10 +24,11 @@ fn bench_gin_depth(c: &mut Criterion) {
     for &layers in &[2usize, 4] {
         let cfg = GinConfig { layers, dim: 32 };
         let mut ps = ParamStore::new(0);
+        materialize_gin(&mut ps, "gin", &cfg);
         group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |bench, _| {
             bench.iter(|| {
                 let g = Graph::new();
-                black_box(gin_encode(&mut ps, &g, "gin", &enc, &cfg).value())
+                black_box(gin_encode(&ps, &g, "gin", &enc, &cfg).value())
             });
         });
     }
@@ -34,13 +38,16 @@ fn bench_gin_depth(c: &mut Criterion) {
 fn bench_pooling_variants(c: &mut Criterion) {
     let prelim = Tensor::full([6, 24, 16], 0.1);
     let mut group = c.benchmark_group("task_pooling");
-    for (label, pool) in [("set_transformer", PoolKind::SetTransformer), ("mean_pool", PoolKind::MeanPool)] {
+    for (label, pool) in
+        [("set_transformer", PoolKind::SetTransformer), ("mean_pool", PoolKind::MeanPool)]
+    {
         let cfg = TaskEmbedConfig { pool, ..TaskEmbedConfig::scaled() };
         let mut ps = ParamStore::new(0);
+        materialize_pool_task(&mut ps, "pool", &cfg);
         group.bench_function(label, |bench| {
             bench.iter(|| {
                 let g = Graph::new();
-                black_box(pool_task(&mut ps, &g, "pool", &prelim, &cfg).value())
+                black_box(pool_task(&ps, &g, "pool", &prelim, &cfg).value())
             });
         });
     }
@@ -53,13 +60,13 @@ fn bench_tournament_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("tournament_rounds");
     group.sample_size(10);
     for &rounds in &[1usize, 2, 4] {
-        let mut tahc = Tahc::new(
+        let tahc = Tahc::new(
             TahcConfig { task_aware: false, ..TahcConfig::scaled() },
             HyperSpace::scaled(),
             0,
         );
         group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |bench, _| {
-            bench.iter(|| black_box(tournament_rank(&mut tahc, None, &candidates, rounds, 9)));
+            bench.iter(|| black_box(tournament_rank(&tahc, None, &candidates, rounds, 9)));
         });
     }
     group.finish();

@@ -2,7 +2,7 @@
 //! unit of ranking cost in Table 13 / Fig. 7) and comparator training steps.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use octs_comparator::{gin_encode, GinConfig, Tahc, TahcConfig};
+use octs_comparator::{gin_encode, materialize_gin, GinConfig, Tahc, TahcConfig};
 use octs_space::{HyperSpace, JointSpace};
 use octs_tensor::{Graph, ParamStore, Tensor};
 use rand::SeedableRng;
@@ -20,9 +20,10 @@ fn bench_gin_encode(c: &mut Criterion) {
     let enc = a.encode(&HyperSpace::scaled());
     c.bench_function("gin_encode_scaled", |bench| {
         let mut ps = ParamStore::new(0);
+        materialize_gin(&mut ps, "gin", &GinConfig::scaled());
         bench.iter(|| {
             let g = Graph::new();
-            black_box(gin_encode(&mut ps, &g, "gin", &enc, &GinConfig::scaled()).value())
+            black_box(gin_encode(&ps, &g, "gin", &enc, &GinConfig::scaled()).value())
         });
     });
 }
@@ -30,13 +31,13 @@ fn bench_gin_encode(c: &mut Criterion) {
 fn bench_compare_pair(c: &mut Criterion) {
     let (a, b) = sample_pair();
     let prelim = Tensor::full([6, 24, 16], 0.1);
-    let mut tahc = Tahc::new(TahcConfig::scaled(), HyperSpace::scaled(), 0);
+    let tahc = Tahc::new(TahcConfig::scaled(), HyperSpace::scaled(), 0);
     c.bench_function("tahc_compare_pair", |bench| {
         bench.iter(|| black_box(tahc.compare(Some(&prelim), &a, &b)));
     });
 
     let cfg = TahcConfig { task_aware: false, ..TahcConfig::scaled() };
-    let mut ahc = Tahc::new(cfg, HyperSpace::scaled(), 0);
+    let ahc = Tahc::new(cfg, HyperSpace::scaled(), 0);
     c.bench_function("ahc_compare_pair_no_task", |bench| {
         bench.iter(|| black_box(ahc.compare(None, &a, &b)));
     });

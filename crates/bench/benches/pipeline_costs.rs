@@ -38,7 +38,8 @@ fn bench_early_validation(c: &mut Criterion) {
     let t = task();
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let ah = JointSpace::scaled().sample(&mut rng);
-    let cfg = TrainConfig { epochs: 1, max_train_windows: 8, max_eval_windows: 8, ..TrainConfig::test() };
+    let cfg =
+        TrainConfig { epochs: 1, max_train_windows: 8, max_eval_windows: 8, ..TrainConfig::test() };
     c.bench_function("early_validation_1epoch", |bench| {
         bench.iter(|| black_box(early_validation(&ah, &t, &cfg)));
     });
@@ -49,7 +50,12 @@ fn bench_final_training_epoch(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     let ah = JointSpace::scaled().sample(&mut rng);
     let dims = ModelDims::new(t.data.n(), t.data.f(), t.setting);
-    let cfg = TrainConfig { epochs: 1, max_train_windows: 16, max_eval_windows: 8, ..TrainConfig::test() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        max_train_windows: 16,
+        max_eval_windows: 8,
+        ..TrainConfig::test()
+    };
     c.bench_function("forecaster_train_1epoch_16win", |bench| {
         bench.iter(|| {
             let mut fc = Forecaster::new(ah.clone(), dims, &t.data.adjacency, 0);

@@ -14,7 +14,9 @@
 
 use autocts::AutoCts;
 use octs_bench::{ms, results_dir, system_config, target_task, MetricAgg, Scale, Table};
-use octs_comparator::{collect_labels, embed_tasks, pretrain_tahc, EmbedKind, PoolKind, PretrainBank, TaskSamples};
+use octs_comparator::{
+    collect_labels, embed_tasks, pretrain_tahc, EmbedKind, PoolKind, PretrainBank, TaskSamples,
+};
 use octs_data::{enrich_tasks, metrics::MeanStd, Mode};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -99,7 +101,10 @@ fn main() {
     targets.truncate(2);
 
     let tasks = enrich_tasks(&scale.source_profiles(), &scale.enrich_cfg());
-    eprintln!("[ablation] labelling {} pre-training tasks once (shared across variants) ...", tasks.len());
+    eprintln!(
+        "[ablation] labelling {} pre-training tasks once (shared across variants) ...",
+        tasks.len()
+    );
     let t0 = std::time::Instant::now();
     let labels = collect_labels(&tasks, &system_config(scale).space, &scale.pretrain_cfg());
     eprintln!("[ablation]   labels collected in {:.1?}", t0.elapsed());
@@ -112,7 +117,14 @@ fn main() {
         let is_single = setting.mode == Mode::SingleStep;
         let mut table = Table::new(
             &format!("Table {table_no}: ablation studies, {} forecasting", setting.id()),
-            &["Dataset", "Metric", "AutoCTS++", "w/o TS2Vec", "w/o Set-Transformer", "w/o shared samples"],
+            &[
+                "Dataset",
+                "Metric",
+                "AutoCTS++",
+                "w/o TS2Vec",
+                "w/o Set-Transformer",
+                "w/o shared samples",
+            ],
         );
         for profile in &targets {
             let task = target_task(profile, setting, scale, 1);
@@ -142,6 +154,9 @@ fn main() {
                 table.row(cells);
             }
         }
-        table.emit(results_dir(), &format!("table{table_no}_ablation_{}", setting.id().replace('/', "_")));
+        table.emit(
+            results_dir(),
+            &format!("table{table_no}_ablation_{}", setting.id().replace('/', "_")),
+        );
     }
 }

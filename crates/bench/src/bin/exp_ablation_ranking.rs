@@ -62,8 +62,13 @@ fn main() {
     let mut targets = scale.targets();
     targets.truncate(if scale == Scale::Quick { 1 } else { 3 });
     let eval_setting = ForecastSetting::p24_q24();
-    eprintln!("[ablation-rank] labelling {} candidates on {} unseen tasks ...", pool_size, targets.len());
-    let eval_tasks: Vec<_> = targets.iter().map(|p| target_task(p, eval_setting, scale, 1)).collect();
+    eprintln!(
+        "[ablation-rank] labelling {} candidates on {} unseen tasks ...",
+        pool_size,
+        targets.len()
+    );
+    let eval_tasks: Vec<_> =
+        targets.iter().map(|p| target_task(p, eval_setting, scale, 1)).collect();
     let eval_pools: Vec<Vec<LabeledAh>> = eval_tasks
         .iter()
         .map(|task| {
@@ -72,10 +77,7 @@ fn main() {
             space
                 .sample_distinct(pool_size, &mut rng)
                 .into_iter()
-                .map(|ah| LabeledAh {
-                    score: early_validation(&ah, task, &scale.label_cfg()),
-                    ah,
-                })
+                .map(|ah| LabeledAh { score: early_validation(&ah, task, &scale.label_cfg()), ah })
                 .collect()
         })
         .collect();
@@ -117,9 +119,9 @@ fn main() {
         let mut taus = Vec::new();
         for (task, pool) in eval_tasks.iter().zip(&eval_pools) {
             let prelim = sys.embedder.preliminary(task);
-            let cal = calibrate(&mut sys.tahc, Some(&prelim), pool, 1);
+            let cal = calibrate(&sys.tahc, Some(&prelim), pool, 1);
             accs.push(cal.overall);
-            taus.push(ranking_fidelity(&mut sys.tahc, Some(&prelim), pool));
+            taus.push(ranking_fidelity(&sys.tahc, Some(&prelim), pool));
         }
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
         table.row(vec![

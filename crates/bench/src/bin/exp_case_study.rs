@@ -72,7 +72,7 @@ fn main() {
             h.finish()
         };
         let cfg = octs_search::EvolveConfig { seed, ..evolve_cfg };
-        let top = evolve_search(&mut sys.tahc, Some(&prelim), &sys.cfg.space, &cfg);
+        let top = evolve_search(&sys.tahc, Some(&prelim), &sys.cfg.space, &cfg);
         let best = top.into_iter().next().expect("top_k >= 1");
         let block = format!(
             "--- {} / {} ---\n{}ops: {}\n\n",
@@ -105,9 +105,8 @@ fn main() {
         );
     }
     // (2) similar datasets (NYC-TAXI/NYC-BIKE) ⇒ similar structure signatures.
-    let sig_of = |name: &str| {
-        results.iter().find(|(n, _, _)| n == name).map(|(_, _, ah)| signature(ah))
-    };
+    let sig_of =
+        |name: &str| results.iter().find(|(n, _, _)| n == name).map(|(_, _, ah)| signature(ah));
     if let (Some(a), Some(b)) = (sig_of("NYC-TAXI"), sig_of("NYC-BIKE")) {
         println!("NYC-TAXI signature (S,T,H) = {a:?}; NYC-BIKE = {b:?}");
     }

@@ -45,7 +45,9 @@ fn main() {
     };
 
     let full_epochs = if scale == Scale::Quick { 6 } else { 14 };
-    eprintln!("[design] full-training reference ({full_epochs} epochs, {n_candidates} candidates) ...");
+    eprintln!(
+        "[design] full-training reference ({full_epochs} epochs, {n_candidates} candidates) ..."
+    );
     let (full_scores, full_time) = score_at(full_epochs);
 
     let mut t1 = Table::new(
@@ -84,12 +86,12 @@ fn main() {
         let mut rng = ChaCha8Rng::seed_from_u64(100 + trial);
         let pool = JointSpace::scaled().sample_distinct(pool_size, &mut rng);
         // an untrained comparator maximizes non-transitivity pressure
-        let mut tahc = Tahc::new(
+        let tahc = Tahc::new(
             TahcConfig { task_aware: false, ..TahcConfig::scaled() },
             HyperSpace::scaled(),
             trial,
         );
-        let rr = round_robin_rank(&mut tahc, None, &pool);
+        let rr = round_robin_rank(&tahc, None, &pool);
         let rr_top: std::collections::HashSet<u64> =
             rr.iter().take(top_k).map(|&i| pool[i].fingerprint()).collect();
 

@@ -7,7 +7,9 @@
 //! cargo run --release -p octs-bench --bin exp_main_comparison [-- --quick] [-- --setting P12/Q12]
 //! ```
 
-use octs_bench::{ms, pretrained_system, results_dir, target_task, Baseline, MetricAgg, Scale, Table};
+use octs_bench::{
+    ms, pretrained_system, results_dir, target_task, Baseline, MetricAgg, Scale, Table,
+};
 use octs_data::{metrics::MeanStd, Mode};
 use octs_model::{train_forecaster, Forecaster, ModelDims, TrainReport};
 
@@ -35,8 +37,17 @@ fn main() {
         let mut table = Table::new(
             &format!("Table {table_no}: performance of {} forecasting", setting.id()),
             &[
-                "Dataset", "Metric", "AutoCTS++", "AutoSTG+", "AutoCTS", "AutoCTS+", "MTGNN",
-                "AGCRN", "PDFormer", "Autoformer", "FEDformer",
+                "Dataset",
+                "Metric",
+                "AutoCTS++",
+                "AutoSTG+",
+                "AutoCTS",
+                "AutoCTS+",
+                "MTGNN",
+                "AGCRN",
+                "PDFormer",
+                "Autoformer",
+                "FEDformer",
             ],
         );
 
@@ -51,7 +62,12 @@ fn main() {
             let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
             let ours: Vec<TrainReport> = (0..seeds)
                 .map(|s| {
-                    let mut fc = Forecaster::new(outcome.best.clone(), dims, &task.data.adjacency, s * 7 + 1);
+                    let mut fc = Forecaster::new(
+                        outcome.best.clone(),
+                        dims,
+                        &task.data.adjacency,
+                        s * 7 + 1,
+                    );
                     train_forecaster(&mut fc, &task, &train_cfg.clone().with_seed(s * 13 + 1))
                 })
                 .collect();
@@ -70,11 +86,10 @@ fn main() {
                 vec![("MAE", |a| a.mae), ("RMSE", |a| a.rmse), ("MAPE%", |a| a.mape)]
             };
             for (mname, get) in metric_rows {
-                let mut cells =
-                    vec![task.data.name.clone(), mname.to_string(), {
-                        let v = get(&ours_agg);
-                        ms(v.mean, v.std)
-                    }];
+                let mut cells = vec![task.data.name.clone(), mname.to_string(), {
+                    let v = get(&ours_agg);
+                    ms(v.mean, v.std)
+                }];
                 for agg in &base_aggs {
                     let v = get(agg);
                     cells.push(ms(v.mean, v.std));

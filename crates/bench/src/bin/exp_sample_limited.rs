@@ -25,11 +25,8 @@ fn main() {
     let train_cfg = scale.train_cfg();
     let mut sys = pretrained_system(scale);
 
-    let ks_sweep: Vec<usize> = if scale == Scale::Quick {
-        vec![256, 64]
-    } else {
-        vec![4096, 2048, 1024, 512, 256]
-    };
+    let ks_sweep: Vec<usize> =
+        if scale == Scale::Quick { vec![256, 64] } else { vec![4096, 2048, 1024, 512, 256] };
     let setting = ForecastSetting::p24_q24();
 
     let mut targets = scale.targets();
@@ -79,14 +76,8 @@ fn main() {
         // for this specific task (the cost zero-shot removes).
         let t0 = Instant::now();
         let n_labeled = if scale == Scale::Quick { 4 } else { 12 };
-        let (_, per_task_report) = random_search(
-            &task,
-            &sys.cfg.space,
-            n_labeled,
-            &scale.label_cfg(),
-            &train_cfg,
-            11,
-        );
+        let (_, per_task_report) =
+            random_search(&task, &sys.cfg.space, n_labeled, &scale.label_cfg(), &train_cfg, 11);
         let per_task_time = t0.elapsed();
         mae_cells.push(f(per_task_report.test.mae));
         rmse_cells.push(f(per_task_report.test.rmse));

@@ -24,7 +24,12 @@ use octs_tensor::Tensor;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn subset_task(profile_name: &str, setting: ForecastSetting, scale: Scale, seed: u64) -> ForecastTask {
+fn subset_task(
+    profile_name: &str,
+    setting: ForecastSetting,
+    scale: Scale,
+    seed: u64,
+) -> ForecastTask {
     let mut profile = profile_by_name(profile_name).expect("known profile");
     if scale == Scale::Quick {
         profile.n = profile.n.min(5);
@@ -117,7 +122,8 @@ fn main() {
     let task_a = subset_task("PEMS08", ForecastSetting::p12_q12(), scale, 1);
     let task_b = subset_task("METR-LA", ForecastSetting::p12_q12(), scale, 2);
     let task_c = subset_task("Solar-Energy", ForecastSetting::p48_q48(), scale, 3);
-    let tasks = [("a(PEMS08,P12)", &task_a), ("b(METR-LA,P12)", &task_b), ("c(Solar,P48)", &task_c)];
+    let tasks =
+        [("a(PEMS08,P12)", &task_a), ("b(METR-LA,P12)", &task_b), ("c(Solar,P48)", &task_c)];
 
     let n_samples = if scale == Scale::Quick { 8 } else { 24 };
     let mut rng = ChaCha8Rng::seed_from_u64(4);
@@ -144,16 +150,13 @@ fn main() {
         let acc_i: Vec<f32> = scores[i].iter().map(|v| -v).collect();
         let acc_j: Vec<f32> = scores[j].iter().map(|v| -v).collect();
         let rho = metrics::spearman(&acc_i, &acc_j);
-        table4.row(vec![
-            format!("{} and {}", tasks[i].0, tasks[j].0),
-            f(mae),
-            f(rho),
-        ]);
+        table4.row(vec![format!("{} and {}", tasks[i].0, tasks[j].0), f(mae), f(rho)]);
     }
     table4.emit(results_dir(), "table4_task_similarity");
 
     // ------------------------------------------------------------ Figure 6
-    let profiles = ["PEMS03", "PEMS04", "PEMS08", "METR-LA", "ETTh1", "ETTm1", "Solar-Energy", "ExchangeRate"];
+    let profiles =
+        ["PEMS03", "PEMS04", "PEMS08", "METR-LA", "ETTh1", "ETTm1", "Solar-Energy", "ExchangeRate"];
     let settings = [ForecastSetting::p12_q12(), ForecastSetting::p48_q48()];
     let subsets = if scale == Scale::Quick { 1 } else { 3 };
 

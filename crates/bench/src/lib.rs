@@ -11,6 +11,8 @@ pub mod runner;
 pub mod scale;
 pub mod table;
 
-pub use runner::{measure_baseline, pretrained_system, system_config, target_task, Baseline, MetricAgg};
+pub use runner::{
+    measure_baseline, pretrained_system, system_config, target_task, Baseline, MetricAgg,
+};
 pub use scale::Scale;
 pub use table::{f, ms, results_dir, Table};

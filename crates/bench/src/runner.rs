@@ -8,7 +8,9 @@ use autocts::{AutoCts, AutoCtsConfig};
 use octs_baselines::{AgcrnLite, DecompTransformerLite, DecompVariant, MtgnnLite, PdformerLite};
 use octs_comparator::{TahcConfig, Ts2VecConfig};
 use octs_data::{enrich_tasks, metrics::MeanStd, DatasetProfile, ForecastSetting, ForecastTask};
-use octs_model::{train_forecaster, CtsForecastModel, Forecaster, ModelDims, TrainConfig, TrainReport};
+use octs_model::{
+    train_forecaster, CtsForecastModel, Forecaster, ModelDims, TrainConfig, TrainReport,
+};
 use octs_space::JointSpace;
 
 /// Builds (or loads from the results cache) the pre-trained AutoCTS++ system
@@ -73,7 +75,12 @@ pub fn system_config(scale: Scale) -> AutoCtsConfig {
 }
 
 /// Materializes a target task at experiment scale.
-pub fn target_task(profile: &DatasetProfile, setting: ForecastSetting, scale: Scale, variant: u64) -> ForecastTask {
+pub fn target_task(
+    profile: &DatasetProfile,
+    setting: ForecastSetting,
+    scale: Scale,
+    variant: u64,
+) -> ForecastTask {
     let split = (0.7f32, 0.1f32);
     ForecastTask::new(profile.generate(variant), setting, split.0, split.1, scale.target_stride())
 }
@@ -131,15 +138,24 @@ impl Baseline {
         let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
         let (h, i) = (12usize, 32usize);
         match self {
-            Baseline::AutoStgPlus => {
-                Box::new(Forecaster::new(octs_baselines::autostg_plus(), dims, &task.data.adjacency, seed))
-            }
-            Baseline::AutoCtsFixed => {
-                Box::new(Forecaster::new(octs_baselines::autocts(), dims, &task.data.adjacency, seed))
-            }
-            Baseline::AutoCtsPlusFixed => {
-                Box::new(Forecaster::new(octs_baselines::autocts_plus(), dims, &task.data.adjacency, seed))
-            }
+            Baseline::AutoStgPlus => Box::new(Forecaster::new(
+                octs_baselines::autostg_plus(),
+                dims,
+                &task.data.adjacency,
+                seed,
+            )),
+            Baseline::AutoCtsFixed => Box::new(Forecaster::new(
+                octs_baselines::autocts(),
+                dims,
+                &task.data.adjacency,
+                seed,
+            )),
+            Baseline::AutoCtsPlusFixed => Box::new(Forecaster::new(
+                octs_baselines::autocts_plus(),
+                dims,
+                &task.data.adjacency,
+                seed,
+            )),
             Baseline::Mtgnn => Box::new(MtgnnLite::new(dims, h, 2, i, seed)),
             Baseline::Agcrn => Box::new(AgcrnLite::new(dims, h, i, seed)),
             Baseline::Pdformer => {
@@ -196,7 +212,8 @@ pub struct MetricAgg {
 impl MetricAgg {
     /// Aggregates test metrics over replicate reports.
     pub fn from_reports(reports: &[TrainReport]) -> Self {
-        let get = |f: fn(&TrainReport) -> f32| MeanStd::of(&reports.iter().map(f).collect::<Vec<_>>());
+        let get =
+            |f: fn(&TrainReport) -> f32| MeanStd::of(&reports.iter().map(f).collect::<Vec<_>>());
         Self {
             mae: get(|r| r.test.mae),
             rmse: get(|r| r.test.rmse),
@@ -216,7 +233,16 @@ mod tests {
         let names: Vec<&str> = Baseline::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["AutoSTG+", "AutoCTS", "AutoCTS+", "MTGNN", "AGCRN", "PDFormer", "Autoformer", "FEDformer"]
+            vec![
+                "AutoSTG+",
+                "AutoCTS",
+                "AutoCTS+",
+                "MTGNN",
+                "AGCRN",
+                "PDFormer",
+                "Autoformer",
+                "FEDformer"
+            ]
         );
     }
 
@@ -233,7 +259,8 @@ mod tests {
             10.0,
             77,
         );
-        let task = ForecastTask::new(profile.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 4);
+        let task =
+            ForecastTask::new(profile.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 4);
         let cfg = TrainConfig { epochs: 1, max_train_windows: 4, ..TrainConfig::test() };
         for b in Baseline::ALL {
             let agg = measure_baseline(b, &task, &cfg, 1);

@@ -127,7 +127,9 @@ impl Scale {
                 label_cfg: self.label_cfg(),
                 seed: 0,
             },
-            Scale::Quick => PretrainConfig { label_cfg: self.label_cfg(), ..PretrainConfig::test() },
+            Scale::Quick => {
+                PretrainConfig { label_cfg: self.label_cfg(), ..PretrainConfig::test() }
+            }
         }
     }
 

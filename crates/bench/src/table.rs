@@ -36,7 +36,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "\n### {}\n", self.title);
         let _ = writeln!(out, "| {} |", self.header.join(" | "));
-        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
         }
@@ -53,7 +54,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for r in &self.rows {
             let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

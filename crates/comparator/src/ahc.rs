@@ -4,12 +4,36 @@
 //! whose sign says which candidate forecasts more accurately on that task
 //! (Eq. 15–21). With `task_aware = false` the task pathway is dropped and the
 //! model reduces to the plain AHC of AutoCTS+ (one comparator per task).
+//!
+//! ## Concurrency and memoization
+//!
+//! Every parameter is materialized eagerly in [`Tahc::new`], so the forward
+//! pass is read-only over the store ([`ParamStore::var_shared`]) and
+//! inference ([`Tahc::compare`], [`Tahc::logit`]) takes `&self`. That is what
+//! lets the search layer fan comparisons out across threads against one
+//! shared comparator.
+//!
+//! On top of that, inference memoizes the two expensive sub-graphs:
+//! - the GIN embedding of each candidate, keyed by the [`ArchHyper`] itself,
+//!   so a candidate compared against `k` opponents is encoded once, not `k`
+//!   times (a round-robin over `k` candidates drops from `O(k²)` to `O(k)`
+//!   GIN forwards);
+//! - the pooled-and-projected task pathway, keyed by a content hash of the
+//!   preliminary embedding (one entry per task in practice).
+//!
+//! Training ([`Tahc::train_batch`]) still takes `&mut self` and invalidates
+//! both caches after each optimizer step.
 
-use crate::gin::{gin_encode, GinConfig};
-use crate::task_embed::{pool_task, TaskEmbedConfig};
+use crate::gin::{gin_encode, materialize_gin, GinConfig};
+use crate::task_embed::{materialize_pool_task, pool_task, TaskEmbedConfig};
+use crate::ts2vec::{layers_linear, materialize_linear};
 use octs_space::{ArchHyper, HyperSpace};
 use octs_tensor::{Graph, ParamStore, Tensor, Var};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 /// T-AHC architecture configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,13 +51,103 @@ pub struct TahcConfig {
 impl TahcConfig {
     /// CPU-scaled defaults.
     pub fn scaled() -> Self {
-        Self { gin: GinConfig::scaled(), task: TaskEmbedConfig::scaled(), fc_dim: 32, task_aware: true }
+        Self {
+            gin: GinConfig::scaled(),
+            task: TaskEmbedConfig::scaled(),
+            fc_dim: 32,
+            task_aware: true,
+        }
     }
 
     /// Tiny defaults for tests.
     pub fn test() -> Self {
-        Self { gin: GinConfig { layers: 2, dim: 8 }, task: TaskEmbedConfig::test(), fc_dim: 8, task_aware: true }
+        Self {
+            gin: GinConfig { layers: 2, dim: 8 },
+            task: TaskEmbedConfig::test(),
+            fc_dim: 8,
+            task_aware: true,
+        }
     }
+}
+
+/// Hit/miss counters of one memoization cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that had to compute (and then stored) the value.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memoization cache for inference-time tensors.
+///
+/// Deterministic under races: values are pure functions of the (frozen
+/// during inference) parameters, so two threads computing the same key
+/// produce identical tensors and either insert wins.
+struct MemoCache<K> {
+    map: RwLock<HashMap<K, Tensor>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K: Eq + Hash + Clone> MemoCache<K> {
+    fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn get_or_compute(&self, key: &K, compute: impl FnOnce() -> Tensor) -> Tensor {
+        if let Some(t) = self.map.read().expect("cache lock").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t.clone();
+        }
+        let t = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.write().expect("cache lock").entry(key.clone()).or_insert_with(|| t.clone());
+        t
+    }
+
+    fn clear(&self) {
+        self.map.write().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Content hash of a tensor (shape + f32 bit patterns) — the task-pathway
+/// cache key. A 64-bit hash collision across the handful of distinct tasks a
+/// search touches is vanishingly unlikely.
+fn tensor_key(t: &Tensor) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+    let mut h = DefaultHasher::new();
+    t.shape().hash(&mut h);
+    for v in t.data() {
+        v.to_bits().hash(&mut h);
+    }
+    h.finish()
 }
 
 /// The comparator model. Owns its parameters; every call builds a fresh
@@ -44,13 +158,30 @@ pub struct Tahc {
     /// All trainable parameters (GIN + pooling + FC stack).
     pub ps: ParamStore,
     space: HyperSpace,
+    embed_cache: MemoCache<ArchHyper>,
+    task_cache: MemoCache<u64>,
 }
 
 impl Tahc {
     /// Creates an untrained comparator over the given hyperparameter space
     /// (needed to normalize hyper vectors consistently).
+    ///
+    /// All parameters are materialized here, in the exact order the original
+    /// lazy-initializing forward pass created them (the store's RNG hands out
+    /// init draws in creation order, so this keeps seeded weights identical
+    /// to the historical behaviour).
     pub fn new(cfg: TahcConfig, space: HyperSpace, seed: u64) -> Self {
-        Self { cfg, ps: ParamStore::new(seed), space }
+        let mut ps = ParamStore::new(seed);
+        materialize_gin(&mut ps, "gin", &cfg.gin);
+        materialize_linear(&mut ps, "fc_l", 2 * cfg.gin.dim, cfg.fc_dim);
+        if cfg.task_aware {
+            materialize_pool_task(&mut ps, "taskpool", &cfg.task);
+            materialize_linear(&mut ps, "fc_e", cfg.task.f2, cfg.fc_dim);
+        }
+        let in_dim = if cfg.task_aware { 2 * cfg.fc_dim } else { cfg.fc_dim };
+        materialize_linear(&mut ps, "cls/fc1", in_dim, cfg.fc_dim);
+        materialize_linear(&mut ps, "cls/fc2", cfg.fc_dim, 1);
+        Self { cfg, ps, space, embed_cache: MemoCache::new(), task_cache: MemoCache::new() }
     }
 
     /// The hyperparameter space encodings are normalized against.
@@ -58,31 +189,63 @@ impl Tahc {
         &self.space
     }
 
+    /// Drops all memoized embeddings. Must be called whenever `ps` changes
+    /// (done automatically by [`Tahc::train_batch`]; call it yourself if you
+    /// assign to the public `ps` field directly).
+    pub fn invalidate_caches(&self) {
+        self.embed_cache.clear();
+        self.task_cache.clear();
+    }
+
+    /// Hit/miss counters of the per-candidate GIN embedding cache.
+    pub fn embed_cache_stats(&self) -> CacheStats {
+        self.embed_cache.stats()
+    }
+
+    /// Hit/miss counters of the task-pathway cache.
+    pub fn task_cache_stats(&self) -> CacheStats {
+        self.task_cache.stats()
+    }
+
     /// Builds the pooled-and-projected task pathway `Ẽ'` (Eq. 12 + 18).
-    fn task_path(&mut self, g: &Graph, prelim: &Tensor) -> Var {
-        let pooled = pool_task(&mut self.ps, g, "taskpool", prelim, &self.cfg.task); // [F2]
+    fn task_path(&self, g: &Graph, prelim: &Tensor) -> Var {
+        let pooled = pool_task(&self.ps, g, "taskpool", prelim, &self.cfg.task); // [F2]
         let x = pooled.reshape([1, self.cfg.task.f2]);
-        crate::ts2vec::layers_linear(&mut self.ps, g, "fc_e", &x, self.cfg.task.f2, self.cfg.fc_dim)
-            .relu()
+        layers_linear(&self.ps, g, "fc_e", &x, self.cfg.task.f2, self.cfg.fc_dim).relu()
+    }
+
+    /// The candidate's GIN embedding `[dim]`, memoized across comparisons.
+    /// Grad-free: use inside inference only.
+    pub fn embedding(&self, ah: &ArchHyper) -> Tensor {
+        self.embed_cache.get_or_compute(ah, || {
+            let g = Graph::new();
+            let enc = ah.encode(&self.space);
+            gin_encode(&self.ps, &g, "gin", &enc, &self.cfg.gin).value()
+        })
+    }
+
+    /// The fused task pathway `[1, fc_dim]`, memoized by content hash of the
+    /// preliminary embedding. Grad-free: use inside inference only.
+    fn task_path_cached(&self, prelim: &Tensor) -> Tensor {
+        self.task_cache.get_or_compute(&tensor_key(prelim), || {
+            let g = Graph::new();
+            self.task_path(&g, prelim).value()
+        })
     }
 
     /// Full forward to a logit: positive ⇒ `a` is the better (lower-error)
-    /// arch-hyper for the task.
-    pub fn logit(&mut self, g: &Graph, prelim: Option<&Tensor>, a: &ArchHyper, b: &ArchHyper) -> Var {
+    /// arch-hyper for the task. Builds the whole graph (no memoization) so
+    /// gradients reach every parameter — this is the training path.
+    pub fn logit(&self, g: &Graph, prelim: Option<&Tensor>, a: &ArchHyper, b: &ArchHyper) -> Var {
         let enc_a = a.encode(&self.space);
         let enc_b = b.encode(&self.space);
-        let la = gin_encode(&mut self.ps, g, "gin", &enc_a, &self.cfg.gin).reshape([1, self.cfg.gin.dim]);
-        let lb = gin_encode(&mut self.ps, g, "gin", &enc_b, &self.cfg.gin).reshape([1, self.cfg.gin.dim]);
+        let la =
+            gin_encode(&self.ps, g, "gin", &enc_a, &self.cfg.gin).reshape([1, self.cfg.gin.dim]);
+        let lb =
+            gin_encode(&self.ps, g, "gin", &enc_b, &self.cfg.gin).reshape([1, self.cfg.gin.dim]);
         let pair = Var::concat(&[&la, &lb], 1); // [1, 2D]
-        let pair_fc = crate::ts2vec::layers_linear(
-            &mut self.ps,
-            g,
-            "fc_l",
-            &pair,
-            2 * self.cfg.gin.dim,
-            self.cfg.fc_dim,
-        )
-        .relu();
+        let pair_fc =
+            layers_linear(&self.ps, g, "fc_l", &pair, 2 * self.cfg.gin.dim, self.cfg.fc_dim).relu();
 
         let fused = if self.cfg.task_aware {
             let prelim = prelim.expect("task-aware comparator needs a task embedding");
@@ -91,25 +254,52 @@ impl Tahc {
         } else {
             pair_fc
         };
+        self.head(g, &fused)
+    }
+
+    /// The shared classification head: fused features → scalar logit.
+    fn head(&self, g: &Graph, fused: &Var) -> Var {
         let in_dim = if self.cfg.task_aware { 2 * self.cfg.fc_dim } else { self.cfg.fc_dim };
-        let h = crate::ts2vec::layers_linear(&mut self.ps, g, "cls/fc1", &fused, in_dim, self.cfg.fc_dim)
-            .relu();
-        crate::ts2vec::layers_linear(&mut self.ps, g, "cls/fc2", &h, self.cfg.fc_dim, 1).reshape([1])
+        let h = layers_linear(&self.ps, g, "cls/fc1", fused, in_dim, self.cfg.fc_dim).relu();
+        layers_linear(&self.ps, g, "cls/fc2", &h, self.cfg.fc_dim, 1).reshape([1])
+    }
+
+    /// Grad-free logit using the memoized candidate embeddings and task
+    /// pathway. Numerically identical to [`Tahc::logit`] (same ops, same
+    /// order) but each candidate's GIN forward runs once per search, not once
+    /// per comparison.
+    pub fn infer_logit(&self, prelim: Option<&Tensor>, a: &ArchHyper, b: &ArchHyper) -> f32 {
+        let ea = self.embedding(a);
+        let eb = self.embedding(b);
+        let g = Graph::new();
+        let la = g.constant(ea.reshaped([1, self.cfg.gin.dim]));
+        let lb = g.constant(eb.reshaped([1, self.cfg.gin.dim]));
+        let pair = Var::concat(&[&la, &lb], 1);
+        let pair_fc =
+            layers_linear(&self.ps, &g, "fc_l", &pair, 2 * self.cfg.gin.dim, self.cfg.fc_dim)
+                .relu();
+        let fused = if self.cfg.task_aware {
+            let prelim = prelim.expect("task-aware comparator needs a task embedding");
+            let task = g.constant(self.task_path_cached(prelim));
+            Var::concat(&[&pair_fc, &task], 1)
+        } else {
+            pair_fc
+        };
+        self.head(&g, &fused).value().item()
     }
 
     /// The pooled task representation `E'` (Eq. 12) as a plain tensor —
     /// used by the task-similarity visualization (Fig. 6).
-    pub fn task_vector(&mut self, prelim: &Tensor) -> Tensor {
+    pub fn task_vector(&self, prelim: &Tensor) -> Tensor {
         let g = Graph::new();
-        pool_task(&mut self.ps, &g, "taskpool", prelim, &self.cfg.task).value()
+        pool_task(&self.ps, &g, "taskpool", prelim, &self.cfg.task).value()
     }
 
     /// Inference: does `a` beat `b` on the task? (Eq. 21 with threshold 0.5
-    /// on the sigmoid ⇔ logit > 0.)
-    pub fn compare(&mut self, prelim: Option<&Tensor>, a: &ArchHyper, b: &ArchHyper) -> bool {
-        let g = Graph::new();
-        let z = self.logit(&g, prelim, a, b);
-        z.value().item() > 0.0
+    /// on the sigmoid ⇔ logit > 0.) Takes `&self` and memoizes, so the search
+    /// layer can issue comparisons from many threads concurrently.
+    pub fn compare(&self, prelim: Option<&Tensor>, a: &ArchHyper, b: &ArchHyper) -> bool {
+        self.infer_logit(prelim, a, b) > 0.0
     }
 
     /// One BCE training step over a batch of labelled comparisons.
@@ -138,11 +328,13 @@ impl Tahc {
         let mut grads = g.param_grads();
         octs_tensor::clip_grad_norm(&mut grads, 5.0);
         opt.step(&mut self.ps, &grads);
+        // Weights moved: every memoized embedding is stale.
+        self.invalidate_caches();
         out
     }
 
     /// Classification accuracy on held-out labelled comparisons.
-    pub fn accuracy(&mut self, samples: &[(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)]) -> f32 {
+    pub fn accuracy(&self, samples: &[(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)]) -> f32 {
         if samples.is_empty() {
             return 0.0;
         }
@@ -175,7 +367,7 @@ mod tests {
 
     #[test]
     fn logit_is_scalar_and_finite() {
-        let (mut t, ahs, prelim) = fixture();
+        let (t, ahs, prelim) = fixture();
         let g = Graph::new();
         let z = t.logit(&g, Some(&prelim), &ahs[0], &ahs[1]);
         assert_eq!(z.shape(), vec![1]);
@@ -188,7 +380,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let ahs = space.sample_distinct(2, &mut rng);
         let cfg = TahcConfig { task_aware: false, ..TahcConfig::test() };
-        let mut t = Tahc::new(cfg, space.hyper.clone(), 0);
+        let t = Tahc::new(cfg, space.hyper.clone(), 0);
         // must not panic without a task embedding
         let _ = t.compare(None, &ahs[0], &ahs[1]);
     }
@@ -214,7 +406,8 @@ mod tests {
                 pairs.iter().map(|&(i, j, y)| (Some(&prelim), &ahs[i], &ahs[j], y)).collect();
             t.train_batch(&mut opt, &batch);
         }
-        let eval: Vec<_> = pairs.iter().map(|&(i, j, y)| (Some(&prelim), &ahs[i], &ahs[j], y)).collect();
+        let eval: Vec<_> =
+            pairs.iter().map(|&(i, j, y)| (Some(&prelim), &ahs[i], &ahs[j], y)).collect();
         let acc = t.accuracy(&eval);
         assert!(acc > 0.85, "train accuracy {acc}");
     }
@@ -239,9 +432,92 @@ mod tests {
 
     #[test]
     fn comparison_is_deterministic() {
-        let (mut t, ahs, prelim) = fixture();
+        let (t, ahs, prelim) = fixture();
         let a = t.compare(Some(&prelim), &ahs[0], &ahs[1]);
         let b = t.compare(Some(&prelim), &ahs[0], &ahs[1]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_inference_matches_training_logit() {
+        // The memoized inference path must produce the same logit as the full
+        // autograd graph used in training.
+        let (t, ahs, prelim) = fixture();
+        for (i, j) in [(0, 1), (2, 3), (4, 5)] {
+            let g = Graph::new();
+            let full = t.logit(&g, Some(&prelim), &ahs[i], &ahs[j]).value().item();
+            let cached = t.infer_logit(Some(&prelim), &ahs[i], &ahs[j]);
+            assert_eq!(full, cached, "pair ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn embedding_computed_exactly_once_across_comparisons() {
+        let (t, ahs, prelim) = fixture();
+        // 0 plays every other candidate, twice.
+        for _ in 0..2 {
+            for other in &ahs[1..] {
+                t.compare(Some(&prelim), &ahs[0], other);
+            }
+        }
+        let stats = t.embed_cache_stats();
+        // One miss per distinct candidate; everything else served cached.
+        assert_eq!(stats.misses, ahs.len(), "each embedding computed once, got {stats:?}");
+        assert_eq!(stats.hits, 2 * 2 * (ahs.len() - 1) - ahs.len(), "{stats:?}");
+        // The task pathway was computed once for the single task.
+        assert_eq!(t.task_cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn training_invalidates_caches() {
+        let (mut t, ahs, prelim) = fixture();
+        let before = t.infer_logit(Some(&prelim), &ahs[0], &ahs[1]);
+        assert!(t.embed_cache_stats().misses > 0);
+        let mut opt = octs_tensor::Adam::new(5e-2, 0.0);
+        let batch: Vec<_> = vec![(Some(&prelim), &ahs[0], &ahs[1], 0.0)];
+        for _ in 0..5 {
+            t.train_batch(&mut opt, &batch);
+        }
+        // Caches were cleared, and the logit reflects the new weights.
+        assert_eq!(t.embed_cache_stats(), CacheStats::default());
+        let after = t.infer_logit(Some(&prelim), &ahs[0], &ahs[1]);
+        assert_ne!(before, after, "stale cache would freeze the logit");
+    }
+
+    #[test]
+    fn concurrent_comparisons_agree_with_serial() {
+        let space = JointSpace::scaled();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ahs = space.sample_distinct(8, &mut rng);
+        let cfg = TahcConfig { task_aware: false, ..TahcConfig::test() };
+        let t = Tahc::new(cfg, space.hyper.clone(), 0);
+        let serial: Vec<bool> = (0..ahs.len())
+            .flat_map(|i| (0..ahs.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| t.compare(None, &ahs[i], &ahs[j]))
+            .collect();
+        t.invalidate_caches();
+        let pairs: Vec<(usize, usize)> = (0..ahs.len())
+            .flat_map(|i| (0..ahs.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .collect();
+        let threaded: Vec<bool> = std::thread::scope(|s| {
+            let chunks: Vec<_> = pairs.chunks(pairs.len().div_ceil(4)).collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let t = &t;
+                    let ahs = &ahs;
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&(i, j)| t.compare(None, &ahs[i], &ahs[j]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, threaded);
     }
 }

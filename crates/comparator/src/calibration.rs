@@ -28,7 +28,7 @@ pub struct CalibrationReport {
 /// Evaluates comparator accuracy bucketed by the true score gap `|R'(a) −
 /// R'(b)|` over all ordered pairs of `pool`.
 pub fn calibrate(
-    tahc: &mut Tahc,
+    tahc: &Tahc,
     prelim: Option<&Tensor>,
     pool: &[LabeledAh],
     buckets: usize,
@@ -49,7 +49,12 @@ pub fn calibrate(
         }
     }
     if outcomes.is_empty() {
-        return CalibrationReport { gap_edges: vec![], accuracy: vec![], counts: vec![], overall: 0.0 };
+        return CalibrationReport {
+            gap_edges: vec![],
+            accuracy: vec![],
+            counts: vec![],
+            overall: 0.0,
+        };
     }
     gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
     let edges: Vec<f32> = (1..=buckets)
@@ -82,7 +87,7 @@ pub fn calibrate(
 
 /// Kendall τ between the comparator's round-robin ranking of `pool` and the
 /// true score ranking (1.0 = identical order).
-pub fn ranking_fidelity(tahc: &mut Tahc, prelim: Option<&Tensor>, pool: &[LabeledAh]) -> f32 {
+pub fn ranking_fidelity(tahc: &Tahc, prelim: Option<&Tensor>, pool: &[LabeledAh]) -> f32 {
     let k = pool.len();
     if k < 2 {
         return 0.0;
@@ -148,8 +153,8 @@ mod tests {
     #[test]
     fn trained_comparator_calibrates_well() {
         let pool = pool_with_rule();
-        let mut tahc = trained_comparator(&pool);
-        let report = calibrate(&mut tahc, None, &pool, 3);
+        let tahc = trained_comparator(&pool);
+        let report = calibrate(&tahc, None, &pool, 3);
         assert!(report.overall > 0.8, "overall {:.3}", report.overall);
         assert_eq!(report.accuracy.len(), 3);
         assert_eq!(report.counts.iter().sum::<usize>(), 8 * 7 - /*ties h==h*/ count_ties(&pool));
@@ -170,12 +175,12 @@ mod tests {
     #[test]
     fn untrained_comparator_near_chance() {
         let pool = pool_with_rule();
-        let mut tahc = Tahc::new(
+        let tahc = Tahc::new(
             TahcConfig { task_aware: false, ..TahcConfig::test() },
             HyperSpace::scaled(),
             3,
         );
-        let report = calibrate(&mut tahc, None, &pool, 2);
+        let report = calibrate(&tahc, None, &pool, 2);
         assert!(report.overall < 0.95, "untrained should not be near-perfect");
         assert!(report.overall.is_finite());
     }
@@ -183,21 +188,21 @@ mod tests {
     #[test]
     fn ranking_fidelity_bounds() {
         let pool = pool_with_rule();
-        let mut trained = trained_comparator(&pool);
-        let tau_trained = ranking_fidelity(&mut trained, None, &pool);
+        let trained = trained_comparator(&pool);
+        let tau_trained = ranking_fidelity(&trained, None, &pool);
         assert!((-1.0..=1.0).contains(&tau_trained));
         assert!(tau_trained > 0.5, "trained τ {tau_trained}");
     }
 
     #[test]
     fn empty_pool_is_safe() {
-        let mut tahc = Tahc::new(
+        let tahc = Tahc::new(
             TahcConfig { task_aware: false, ..TahcConfig::test() },
             HyperSpace::scaled(),
             0,
         );
-        let report = calibrate(&mut tahc, None, &[], 3);
+        let report = calibrate(&tahc, None, &[], 3);
         assert_eq!(report.overall, 0.0);
-        assert_eq!(ranking_fidelity(&mut tahc, None, &[]), 0.0);
+        assert_eq!(ranking_fidelity(&tahc, None, &[]), 0.0);
     }
 }

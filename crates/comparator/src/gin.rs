@@ -24,17 +24,33 @@ impl GinConfig {
     }
 }
 
+/// Creates every parameter [`gin_encode`] will read, in exactly the order
+/// the forward pass visits them (the store's RNG makes order significant).
+pub fn materialize_gin(ps: &mut ParamStore, name: &str, cfg: &GinConfig) {
+    let dim = cfg.dim;
+    ps.entry(&format!("{name}/we"), &[OpKind::COUNT, dim], Init::Xavier);
+    ps.entry(&format!("{name}/wc"), &[HyperParams::R, dim], Init::Xavier);
+    for layer in 0..cfg.layers {
+        ps.entry(&format!("{name}/l{layer}/eps"), &[1], Init::Zeros);
+        let mlp = format!("{name}/l{layer}/mlp");
+        ps.entry(&format!("{mlp}/w1"), &[dim, dim], Init::Xavier);
+        ps.entry(&format!("{mlp}/b1"), &[dim], Init::Zeros);
+        ps.entry(&format!("{mlp}/w2"), &[dim, dim], Init::Xavier);
+        ps.entry(&format!("{mlp}/b2"), &[dim], Init::Zeros);
+    }
+}
+
 /// Builds the node feature matrix `F_a` (Eq. 7–8): operator one-hots through
 /// `W_e`, the normalized hyper vector through `W_c`, zero padding after.
 fn node_features(
-    ps: &mut ParamStore,
+    ps: &ParamStore,
     g: &Graph,
     name: &str,
     enc: &ArchHyperEncoding,
     dim: usize,
 ) -> Var {
-    let we = ps.var(g, &format!("{name}/we"), &[OpKind::COUNT, dim], Init::Xavier);
-    let wc = ps.var(g, &format!("{name}/wc"), &[HyperParams::R, dim], Init::Xavier);
+    let we = ps.var_shared(g, &format!("{name}/we"), &[OpKind::COUNT, dim]);
+    let wc = ps.var_shared(g, &format!("{name}/wc"), &[HyperParams::R, dim]);
     let one_hot = g.constant(Tensor::new([enc.num_ops, OpKind::COUNT], enc.op_one_hot()));
     let op_feats = one_hot.matmul(&we); // [num_ops, D]
     let hyper = g.constant(Tensor::new([1, HyperParams::R], enc.hyper_norm.to_vec()));
@@ -51,8 +67,10 @@ fn node_features(
 /// Encodes an arch-hyper graph into a `[dim]` embedding: `L_n` GIN layers
 /// `H^k = MLP^k((1+ε)·H^{k-1} + A·H^{k-1})`, read out at the Hyper node
 /// (which connects to all operators, so it aggregates the whole graph).
+///
+/// Read-only over the store — call [`materialize_gin`] once beforehand.
 pub fn gin_encode(
-    ps: &mut ParamStore,
+    ps: &ParamStore,
     g: &Graph,
     name: &str,
     enc: &ArchHyperEncoding,
@@ -62,11 +80,11 @@ pub fn gin_encode(
     let adj = g.constant(Tensor::new([MAX_ENC_NODES, MAX_ENC_NODES], enc.adj.clone()));
     let mut h = node_features(ps, g, name, enc, dim);
     for layer in 0..cfg.layers {
-        let eps = ps.var(g, &format!("{name}/l{layer}/eps"), &[1], Init::Zeros);
+        let eps = ps.var_shared(g, &format!("{name}/l{layer}/eps"), &[1]);
         // (1 + eps) * H  — eps is a learnable scalar broadcast via mul_scalar
         // composition: H*(1) + H*eps
         let eps_row = eps.reshape([1]); // [1]
-        // broadcast eps over all entries: H + H*eps (elementwise scalar mult)
+                                        // broadcast eps over all entries: H + H*eps (elementwise scalar mult)
         let h_eps = scale_by_scalar_var(g, &h, &eps_row);
         let agg = adj.matmul(&h).add(&h).add(&h_eps);
         let l1 = crate::gin::gin_mlp(ps, g, &format!("{name}/l{layer}/mlp"), &agg, dim);
@@ -77,11 +95,11 @@ pub fn gin_encode(
 }
 
 /// Two-layer MLP with ReLU used inside each GIN layer.
-pub fn gin_mlp(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, dim: usize) -> Var {
-    let w1 = ps.var(g, &format!("{name}/w1"), &[dim, dim], Init::Xavier);
-    let b1 = ps.var(g, &format!("{name}/b1"), &[dim], Init::Zeros);
-    let w2 = ps.var(g, &format!("{name}/w2"), &[dim, dim], Init::Xavier);
-    let b2 = ps.var(g, &format!("{name}/b2"), &[dim], Init::Zeros);
+pub fn gin_mlp(ps: &ParamStore, g: &Graph, name: &str, x: &Var, dim: usize) -> Var {
+    let w1 = ps.var_shared(g, &format!("{name}/w1"), &[dim, dim]);
+    let b1 = ps.var_shared(g, &format!("{name}/b1"), &[dim]);
+    let w2 = ps.var_shared(g, &format!("{name}/w2"), &[dim, dim]);
+    let b2 = ps.var_shared(g, &format!("{name}/b2"), &[dim]);
     x.matmul(&w1).add_bias(&b1).relu().matmul(&w2).add_bias(&b2)
 }
 
@@ -114,7 +132,8 @@ mod tests {
         let ah = space.sample(&mut rng);
         let g = Graph::new();
         let mut ps = ParamStore::new(0);
-        let emb = gin_encode(&mut ps, &g, "gin", &encode_of(&ah), &GinConfig::scaled());
+        materialize_gin(&mut ps, "gin", &GinConfig::scaled());
+        let emb = gin_encode(&ps, &g, "gin", &encode_of(&ah), &GinConfig::scaled());
         assert_eq!(emb.shape(), vec![32]);
         assert!(emb.value().all_finite());
     }
@@ -126,9 +145,10 @@ mod tests {
         let a = space.sample(&mut rng);
         let b = space.sample(&mut rng);
         let mut ps = ParamStore::new(0);
+        materialize_gin(&mut ps, "gin", &GinConfig::scaled());
         let g = Graph::new();
-        let ea = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
-        let eb = gin_encode(&mut ps, &g, "gin", &encode_of(&b), &GinConfig::scaled()).value();
+        let ea = gin_encode(&ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        let eb = gin_encode(&ps, &g, "gin", &encode_of(&b), &GinConfig::scaled()).value();
         assert_ne!(ea, eb);
     }
 
@@ -138,9 +158,10 @@ mod tests {
         let space = JointSpace::scaled();
         let a = space.sample(&mut rng);
         let mut ps = ParamStore::new(0);
+        materialize_gin(&mut ps, "gin", &GinConfig::scaled());
         let g = Graph::new();
-        let e1 = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
-        let e2 = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        let e1 = gin_encode(&ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        let e2 = gin_encode(&ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
         assert_eq!(e1, e2);
     }
 
@@ -152,9 +173,10 @@ mod tests {
         let mut b = a.clone();
         b.hyper.h = if a.hyper.h == 8 { 16 } else { 8 };
         let mut ps = ParamStore::new(0);
+        materialize_gin(&mut ps, "gin", &GinConfig::scaled());
         let g = Graph::new();
-        let ea = gin_encode(&mut ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
-        let eb = gin_encode(&mut ps, &g, "gin", &encode_of(&b), &GinConfig::scaled()).value();
+        let ea = gin_encode(&ps, &g, "gin", &encode_of(&a), &GinConfig::scaled()).value();
+        let eb = gin_encode(&ps, &g, "gin", &encode_of(&b), &GinConfig::scaled()).value();
         assert_ne!(ea, eb, "hyper change must alter the embedding");
     }
 
@@ -165,7 +187,8 @@ mod tests {
         let ah = space.sample(&mut rng);
         let g = Graph::new();
         let mut ps = ParamStore::new(0);
-        let emb = gin_encode(&mut ps, &g, "gin", &encode_of(&ah), &GinConfig::scaled());
+        materialize_gin(&mut ps, "gin", &GinConfig::scaled());
+        let emb = gin_encode(&ps, &g, "gin", &encode_of(&ah), &GinConfig::scaled());
         g.backward(&emb.mean_all());
         let grads = g.param_grads();
         assert!(grads.iter().any(|(n, _)| n == "gin/we"));

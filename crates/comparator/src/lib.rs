@@ -20,12 +20,14 @@ pub mod pretrain;
 pub mod task_embed;
 pub mod ts2vec;
 
-pub use ahc::{Tahc, TahcConfig};
+pub use ahc::{CacheStats, Tahc, TahcConfig};
 pub use calibration::{calibrate, ranking_fidelity, CalibrationReport};
-pub use gin::{gin_encode, GinConfig};
+pub use gin::{gin_encode, materialize_gin, GinConfig};
 pub use pretrain::{
     collect_bank, collect_labels, dynamic_pairs, embed_tasks, pretrain_tahc, LabeledAh,
     PretrainBank, PretrainConfig, PretrainReport, TaskSamples,
 };
-pub use task_embed::{pma, pool_task, EmbedKind, PoolKind, TaskEmbedConfig, TaskEmbedder};
-pub use ts2vec::{Ts2Vec, Ts2VecConfig};
+pub use task_embed::{
+    materialize_pool_task, pma, pool_task, EmbedKind, PoolKind, TaskEmbedConfig, TaskEmbedder,
+};
+pub use ts2vec::{materialize_linear, Ts2Vec, Ts2VecConfig};

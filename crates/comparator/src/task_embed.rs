@@ -49,12 +49,28 @@ pub struct TaskEmbedConfig {
 impl TaskEmbedConfig {
     /// CPU-scaled defaults (paper: F' 256, F₁ 256, F₂ 128).
     pub fn scaled() -> Self {
-        Self { windows: 6, embed: EmbedKind::Ts2Vec, pool: PoolKind::SetTransformer, fprime: 16, f1: 32, f2: 16, seed: 0 }
+        Self {
+            windows: 6,
+            embed: EmbedKind::Ts2Vec,
+            pool: PoolKind::SetTransformer,
+            fprime: 16,
+            f1: 32,
+            f2: 16,
+            seed: 0,
+        }
     }
 
     /// Tiny defaults for unit tests.
     pub fn test() -> Self {
-        Self { windows: 3, embed: EmbedKind::Ts2Vec, pool: PoolKind::SetTransformer, fprime: 8, f1: 8, f2: 8, seed: 0 }
+        Self {
+            windows: 3,
+            embed: EmbedKind::Ts2Vec,
+            pool: PoolKind::SetTransformer,
+            fprime: 8,
+            f1: 8,
+            f2: 8,
+            seed: 0,
+        }
     }
 }
 
@@ -149,32 +165,63 @@ impl TaskEmbedder {
     }
 }
 
+/// Creates every parameter a [`pma`] call will read, in forward-pass order
+/// (the store's RNG makes creation order significant).
+pub fn materialize_pma(ps: &mut ParamStore, name: &str, d: usize) {
+    ps.entry(&format!("{name}/seed"), &[1, d], Init::Normal(0.5));
+    ps.entry(&format!("{name}/wq"), &[d, d], Init::Xavier);
+    ps.entry(&format!("{name}/wk"), &[d, d], Init::Xavier);
+    ps.entry(&format!("{name}/wv"), &[d, d], Init::Xavier);
+    crate::ts2vec::materialize_linear(ps, &format!("{name}/ff1"), d, d);
+    crate::ts2vec::materialize_linear(ps, &format!("{name}/ff2"), d, d);
+}
+
 /// Pooling-by-attention (Set-Transformer PMA, single head, single seed):
 /// `x` is `[B, K, d]`; a learnable seed attends over the K elements, followed
 /// by a residual feed-forward. Returns `[B, d]`.
-pub fn pma(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, d: usize) -> Var {
+///
+/// Read-only over the store — call [`materialize_pma`] once beforehand.
+pub fn pma(ps: &ParamStore, g: &Graph, name: &str, x: &Var, d: usize) -> Var {
     let b = x.shape()[0];
-    let seed = ps.var(g, &format!("{name}/seed"), &[1, d], Init::Normal(0.5));
-    let wq = ps.var(g, &format!("{name}/wq"), &[d, d], Init::Xavier);
-    let wk = ps.var(g, &format!("{name}/wk"), &[d, d], Init::Xavier);
-    let wv = ps.var(g, &format!("{name}/wv"), &[d, d], Init::Xavier);
+    let seed = ps.var_shared(g, &format!("{name}/seed"), &[1, d]);
+    let wq = ps.var_shared(g, &format!("{name}/wq"), &[d, d]);
+    let wk = ps.var_shared(g, &format!("{name}/wk"), &[d, d]);
+    let wv = ps.var_shared(g, &format!("{name}/wv"), &[d, d]);
     let q = seed.matmul(&wq); // [1, d]
     let k = x.matmul(&wk); // [B, K, d]
     let v = x.matmul(&wv);
     let scores = q.matmul(&k.transpose()).mul_scalar(1.0 / (d as f32).sqrt()); // [B, 1, K]
     let attn = scores.softmax();
     let ctx = attn.matmul(&v).reshape([b, d]); // [B, d]
-    // residual feed-forward
+                                               // residual feed-forward
     let ff = crate::ts2vec::layers_linear(ps, g, &format!("{name}/ff1"), &ctx, d, d).relu();
     let ff2 = crate::ts2vec::layers_linear(ps, g, &format!("{name}/ff2"), &ff, d, d);
     ctx.add(&ff2)
 }
 
+/// Creates every parameter a [`pool_task`] call will read, in forward-pass
+/// order (mirrors the branch taken for `cfg.pool`).
+pub fn materialize_pool_task(ps: &mut ParamStore, name: &str, cfg: &TaskEmbedConfig) {
+    match cfg.pool {
+        PoolKind::SetTransformer => {
+            crate::ts2vec::materialize_linear(ps, &format!("{name}/proj1"), cfg.fprime, cfg.f1);
+            materialize_pma(ps, &format!("{name}/intra"), cfg.f1);
+            crate::ts2vec::materialize_linear(ps, &format!("{name}/proj2"), cfg.f1, cfg.f2);
+            materialize_pma(ps, &format!("{name}/inter"), cfg.f2);
+        }
+        PoolKind::MeanPool => {
+            crate::ts2vec::materialize_linear(ps, &format!("{name}/lin"), cfg.fprime, cfg.f2);
+        }
+    }
+}
+
 /// The trainable pooling stack: preliminary embeddings `[W, S, F']` →
 /// task vector `[F₂]` (Eq. 11–12). Parameters live in the T-AHC's store and
 /// are optimized end-to-end with the comparator.
+///
+/// Read-only over the store — call [`materialize_pool_task`] once beforehand.
 pub fn pool_task(
-    ps: &mut ParamStore,
+    ps: &ParamStore,
     g: &Graph,
     name: &str,
     prelim: &Tensor,
@@ -185,12 +232,25 @@ pub fn pool_task(
     match cfg.pool {
         PoolKind::SetTransformer => {
             // IntraSetPool: project F' -> F1, attention-pool over S -> [W, F1]
-            let proj = crate::ts2vec::layers_linear(ps, g, &format!("{name}/proj1"), &x, cfg.fprime, cfg.f1);
+            let proj = crate::ts2vec::layers_linear(
+                ps,
+                g,
+                &format!("{name}/proj1"),
+                &x,
+                cfg.fprime,
+                cfg.f1,
+            );
             let intra = pma(ps, g, &format!("{name}/intra"), &proj, cfg.f1); // [W, F1]
-            // InterSetPool: [1, W, F1] -> project F1 -> F2 -> pool -> [F2]
+                                                                             // InterSetPool: [1, W, F1] -> project F1 -> F2 -> pool -> [F2]
             let inter_in = intra.reshape([1, w, cfg.f1]);
-            let proj2 =
-                crate::ts2vec::layers_linear(ps, g, &format!("{name}/proj2"), &inter_in, cfg.f1, cfg.f2);
+            let proj2 = crate::ts2vec::layers_linear(
+                ps,
+                g,
+                &format!("{name}/proj2"),
+                &inter_in,
+                cfg.f1,
+                cfg.f2,
+            );
             pma(ps, g, &format!("{name}/inter"), &proj2, cfg.f2).reshape([cfg.f2])
         }
         PoolKind::MeanPool => {
@@ -253,7 +313,8 @@ mod tests {
         let g = Graph::new();
         let mut ps = ParamStore::new(0);
         let x = g.constant(Tensor::new([2, 5, 4], (0..40).map(|i| i as f32 * 0.01).collect()));
-        let y = pma(&mut ps, &g, "p", &x, 4);
+        materialize_pma(&mut ps, "p", 4);
+        let y = pma(&ps, &g, "p", &x, 4);
         assert_eq!(y.shape(), vec![2, 4]);
     }
 
@@ -266,7 +327,8 @@ mod tests {
             let cfg = TaskEmbedConfig { pool, ..TaskEmbedConfig::test() };
             let g = Graph::new();
             let mut ps = ParamStore::new(0);
-            let v = pool_task(&mut ps, &g, "pool", &prelim, &cfg);
+            materialize_pool_task(&mut ps, "pool", &cfg);
+            let v = pool_task(&ps, &g, "pool", &prelim, &cfg);
             assert_eq!(v.shape(), vec![8], "{pool:?}");
             assert!(v.value().all_finite());
         }
@@ -281,7 +343,8 @@ mod tests {
         let cfg = TaskEmbedConfig::test();
         let g = Graph::new();
         let mut ps = ParamStore::new(0);
-        let v = pool_task(&mut ps, &g, "pool", &prelim, &cfg);
+        materialize_pool_task(&mut ps, "pool", &cfg);
+        let v = pool_task(&ps, &g, "pool", &prelim, &cfg);
         g.backward(&v.mean_all());
         let grads = g.param_grads();
         assert!(grads.iter().any(|(n, _)| n == "pool/intra/seed"));

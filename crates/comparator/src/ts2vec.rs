@@ -82,7 +82,7 @@ impl Ts2Vec {
         assert_eq!(f, self.input_dim);
         let d = self.cfg.dim;
         // project F -> dim
-        let mut h = layers_linear(&mut self.ps, g, "proj", x, f, d);
+        let mut h = layers_linear_init(&mut self.ps, g, "proj", x, f, d);
         // dilated conv stack over time with residuals: [B,S,d] -> [B,d,S]
         for layer in 0..self.cfg.depth {
             let dilation = 1usize << layer;
@@ -217,8 +217,32 @@ fn contrastive_axis(g: &Graph, z1: &Var, z2: &Var, axis: usize) -> Var {
     diag.ln().neg().mean_all()
 }
 
-/// A trailing-dim linear shared with the task-embedding module.
+/// A trailing-dim linear shared with the task-embedding module. Read-only:
+/// the weights must be materialized up front (see [`materialize_linear`]),
+/// which is what lets concurrent forward passes share one `&ParamStore`.
 pub(crate) fn layers_linear(
+    ps: &ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    in_dim: usize,
+    out_dim: usize,
+) -> Var {
+    let w = ps.var_shared(g, &format!("{name}/w"), &[in_dim, out_dim]);
+    let b = ps.var_shared(g, &format!("{name}/b"), &[out_dim]);
+    x.matmul(&w).add_bias(&b)
+}
+
+/// Creates the weights of a [`layers_linear`] layer if absent. Call order
+/// matters for reproducibility: the store's RNG hands out init draws in
+/// creation order, so materializers must mirror the forward pass exactly.
+pub fn materialize_linear(ps: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize) {
+    ps.entry(&format!("{name}/w"), &[in_dim, out_dim], Init::Xavier);
+    ps.entry(&format!("{name}/b"), &[out_dim], Init::Zeros);
+}
+
+/// Lazy-init variant used by modules that own their store mutably (TS2Vec).
+pub(crate) fn layers_linear_init(
     ps: &mut ParamStore,
     g: &Graph,
     name: &str,
@@ -226,9 +250,8 @@ pub(crate) fn layers_linear(
     in_dim: usize,
     out_dim: usize,
 ) -> Var {
-    let w = ps.var(g, &format!("{name}/w"), &[in_dim, out_dim], Init::Xavier);
-    let b = ps.var(g, &format!("{name}/b"), &[out_dim], Init::Zeros);
-    x.matmul(&w).add_bias(&b)
+    materialize_linear(ps, name, in_dim, out_dim);
+    layers_linear(ps, g, name, x, in_dim, out_dim)
 }
 
 #[cfg(test)]
@@ -263,8 +286,8 @@ mod tests {
         let scaled = w.map(|v| v * 10.0);
         let e1 = enc.encode(&w);
         let e2 = enc.encode(&scaled);
-        let diff: f32 =
-            e1.data().iter().zip(e2.data()).map(|(a, b)| (a - b).abs()).sum::<f32>() / e1.len() as f32;
+        let diff: f32 = e1.data().iter().zip(e2.data()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+            / e1.len() as f32;
         assert!(diff < 1e-4, "mean diff {diff}");
     }
 

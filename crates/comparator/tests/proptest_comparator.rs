@@ -27,7 +27,7 @@ proptest! {
         let a = space.sample(&mut rng);
         let b = space.sample(&mut rng);
         let p = prelim(0.2);
-        let mut t = comparator(true, seed);
+        let t = comparator(true, seed);
         prop_assert_eq!(t.compare(Some(&p), &a, &b), t.compare(Some(&p), &a, &b));
     }
 
@@ -38,7 +38,7 @@ proptest! {
         let a = space.sample(&mut rng);
         let b = space.sample(&mut rng);
         let p = prelim(fill);
-        let mut t = comparator(true, seed);
+        let t = comparator(true, seed);
         let g = octs_tensor::Graph::new();
         let z = t.logit(&g, Some(&p), &a, &b);
         prop_assert!(z.value().item().is_finite());
@@ -51,7 +51,7 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let space = JointSpace::scaled();
         let a = space.sample(&mut rng);
-        let mut t = comparator(false, seed);
+        let t = comparator(false, seed);
         let first = t.compare(None, &a, &a);
         for _ in 0..3 {
             prop_assert_eq!(t.compare(None, &a, &a), first);
@@ -66,7 +66,7 @@ proptest! {
         let space = JointSpace::scaled();
         let a = space.sample(&mut rng);
         let b = space.sample(&mut rng);
-        let mut t = comparator(true, seed);
+        let t = comparator(true, seed);
         let g1 = octs_tensor::Graph::new();
         let z1 = t.logit(&g1, Some(&prelim(0.0)), &a, &b).value().item();
         let g2 = octs_tensor::Graph::new();

@@ -40,6 +40,9 @@ impl AutoCts {
         let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
         let mut sys = AutoCts::new(ckpt.cfg);
         sys.tahc.ps = ckpt.tahc_params;
+        // The store was swapped out from under the comparator: any memoized
+        // inference tensors would be stale.
+        sys.tahc.invalidate_caches();
         sys.embedder.encoder_mut().ps = ckpt.encoder_params;
         if ckpt.pretrained {
             sys.embedder.encoder_mut().mark_trained();

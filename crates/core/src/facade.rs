@@ -100,7 +100,14 @@ impl AutoCts {
         evolve_cfg: &EvolveConfig,
         train_cfg: &TrainConfig,
     ) -> SearchOutcome {
-        zero_shot_search(&mut self.tahc, &mut self.embedder, task, &self.cfg.space, evolve_cfg, train_cfg)
+        zero_shot_search(
+            &self.tahc,
+            &mut self.embedder,
+            task,
+            &self.cfg.space,
+            evolve_cfg,
+            train_cfg,
+        )
     }
 }
 

@@ -29,7 +29,12 @@ pub fn read_csv(path: impl AsRef<Path>, name: &str) -> io::Result<CtsData> {
                     if vals.len() != first.len() {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,
-                            format!("row {} has {} columns, expected {}", lineno + 1, vals.len(), first.len()),
+                            format!(
+                                "row {} has {} columns, expected {}",
+                                lineno + 1,
+                                vals.len(),
+                                first.len()
+                            ),
                         ));
                     }
                 }
@@ -66,7 +71,8 @@ pub fn write_csv(data: &CtsData, path: impl AsRef<Path>) -> io::Result<()> {
     let header: Vec<String> = (0..data.n()).map(|s| format!("series_{s}")).collect();
     writeln!(file, "{}", header.join(","))?;
     for step in 0..data.t() {
-        let row: Vec<String> = (0..data.n()).map(|s| format!("{}", data.value(s, step, 0))).collect();
+        let row: Vec<String> =
+            (0..data.n()).map(|s| format!("{}", data.value(s, step, 0))).collect();
         writeln!(file, "{}", row.join(","))?;
     }
     Ok(())
@@ -116,8 +122,8 @@ mod tests {
 
     #[test]
     fn csv_roundtrip_preserves_values() {
-        let data = DatasetProfile::custom("io", Domain::Energy, 4, 50, 24, 0.2, 0.1, 10.0, 3)
-            .generate(0);
+        let data =
+            DatasetProfile::custom("io", Domain::Energy, 4, 50, 24, 0.2, 0.1, 10.0, 3).generate(0);
         let path = tmp("roundtrip");
         write_csv(&data, &path).unwrap();
         let back = read_csv(&path, "io").unwrap();

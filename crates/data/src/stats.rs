@@ -177,7 +177,8 @@ mod tests {
     fn exchange_profile_is_uncorrelated_spatially() {
         let p = DatasetProfile::custom("se", Domain::Exchange, 5, 900, 1, 0.0, 0.01, 1.0, 10);
         let data = p.generate(0);
-        let traffic = DatasetProfile::custom("st2", Domain::Traffic, 5, 900, 48, 0.5, 0.08, 60.0, 11);
+        let traffic =
+            DatasetProfile::custom("st2", Domain::Traffic, 5, 900, 48, 0.5, 0.08, 60.0, 11);
         let tdata = traffic.generate(0);
         assert!(
             mean_spatial_correlation(&data) < mean_spatial_correlation(&tdata),

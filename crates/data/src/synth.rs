@@ -101,7 +101,8 @@ impl DatasetProfile {
     /// Generates the dataset. `variant` perturbs the seed, so the same
     /// profile can yield many statistically-alike datasets.
     pub fn generate(&self, variant: u64) -> CtsData {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(variant));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(variant));
         let adjacency = geometric_graph(self.n, self.graph_radius, &mut rng);
         let mut values = vec![0.0f32; self.n * self.t * self.f];
 
@@ -132,7 +133,8 @@ impl DatasetProfile {
                         1.0 + walk
                     }
                     Domain::Demand => {
-                        let burst = if rng.gen::<f32>() < 0.01 { rng.gen_range(0.5..1.5) } else { 0.0 };
+                        let burst =
+                            if rng.gen::<f32>() < 0.01 { rng.gen_range(0.5..1.5) } else { 0.0 };
                         0.5 + 0.4 * daily.max(-0.5) + burst
                     }
                 };

@@ -189,7 +189,13 @@ pub struct ForecastTask {
 impl ForecastTask {
     /// Builds a task with a `(train, val)` fractional split (test is the
     /// remainder) and a window stride.
-    pub fn new(data: CtsData, setting: ForecastSetting, train_frac: f32, val_frac: f32, stride: usize) -> Self {
+    pub fn new(
+        data: CtsData,
+        setting: ForecastSetting,
+        train_frac: f32,
+        val_frac: f32,
+        stride: usize,
+    ) -> Self {
         assert!(stride >= 1);
         assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
         let t = data.t();
@@ -254,9 +260,8 @@ impl ForecastTask {
                     Mode::MultiStep => {
                         for step in 0..out {
                             for s in 0..n {
-                                let v = self
-                                    .scaler
-                                    .scale(0, self.data.value(s, start + p + step, 0));
+                                let v =
+                                    self.scaler.scale(0, self.data.value(s, start + p + step, 0));
                                 yd[(bi * out + step) * n + s] = v;
                             }
                         }

@@ -89,7 +89,8 @@ impl Forecaster {
                 };
                 st_block(&self.ah.arch, &format!("blk{blk}"), &cur, hp.u, &mut ctx)
             };
-            let y = if self.training && dropout > 0.0 { y.dropout(dropout, &mut self.rng) } else { y };
+            let y =
+                if self.training && dropout > 0.0 { y.dropout(dropout, &mut self.rng) } else { y };
             cur = cur.add(&y);
         }
 

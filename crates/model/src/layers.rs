@@ -6,7 +6,14 @@ use octs_tensor::{Graph, Init, ParamStore, Var};
 ///
 /// `x` is `[..., in_dim]`; returns `[..., out_dim]`. Parameters are stored
 /// under `{name}/w` and `{name}/b`.
-pub fn linear(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, in_dim: usize, out_dim: usize) -> Var {
+pub fn linear(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    in_dim: usize,
+    out_dim: usize,
+) -> Var {
     let w = ps.var(g, &format!("{name}/w"), &[in_dim, out_dim], Init::Xavier);
     let b = ps.var(g, &format!("{name}/b"), &[out_dim], Init::Zeros);
     x.matmul(&w).add_bias(&b)
@@ -51,13 +58,7 @@ pub fn layer_norm(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, dim: usiz
 /// dimension of `x` (`[batch.., seq, dim]`), with output projection,
 /// residual connection and layer-norm — the Informer-style block reduced to
 /// its accuracy-relevant core (see DESIGN.md on the ProbSparse substitution).
-pub fn self_attention(
-    ps: &mut ParamStore,
-    g: &Graph,
-    name: &str,
-    x: &Var,
-    dim: usize,
-) -> Var {
+pub fn self_attention(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, dim: usize) -> Var {
     let q = linear_no_bias(ps, g, &format!("{name}/q"), x, dim, dim);
     let k = linear_no_bias(ps, g, &format!("{name}/k"), x, dim, dim);
     let v = linear_no_bias(ps, g, &format!("{name}/v"), x, dim, dim);
@@ -180,7 +181,8 @@ mod tests {
     fn multi_head_attention_shapes_and_heads() {
         let mut ps = ParamStore::new(7);
         let g = Graph::new();
-        let x = g.constant(Tensor::new([2, 5, 8], (0..80).map(|i| (i as f32) * 0.01 - 0.4).collect()));
+        let x =
+            g.constant(Tensor::new([2, 5, 8], (0..80).map(|i| (i as f32) * 0.01 - 0.4).collect()));
         for heads in [1usize, 2, 4] {
             let y = multi_head_attention(&mut ps, &g, &format!("mh{heads}"), &x, 8, heads);
             assert_eq!(y.shape(), vec![2, 5, 8], "heads={heads}");

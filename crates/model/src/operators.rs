@@ -122,7 +122,14 @@ pub fn adaptive_adjacency(
 }
 
 /// A residual+norm wrapper some baselines use around operators.
-pub fn residual_norm(ps: &mut ParamStore, g: &Graph, name: &str, x: &Var, y: &Var, dim: usize) -> Var {
+pub fn residual_norm(
+    ps: &mut ParamStore,
+    g: &Graph,
+    name: &str,
+    x: &Var,
+    y: &Var,
+    dim: usize,
+) -> Var {
     let sum = x.add(y);
     layer_norm(ps, g, name, &sum, dim)
 }
@@ -165,7 +172,10 @@ mod tests {
 
     fn input(g: &Graph, b: usize, h: usize, n: usize, l: usize) -> Var {
         let numel = b * h * n * l;
-        g.constant(Tensor::new([b, h, n, l], (0..numel).map(|i| (i % 17) as f32 * 0.05 - 0.4).collect()))
+        g.constant(Tensor::new(
+            [b, h, n, l],
+            (0..numel).map(|i| (i % 17) as f32 * 0.05 - 0.4).collect(),
+        ))
     }
 
     #[test]
@@ -201,7 +211,13 @@ mod tests {
         let x = input(&g, 1, 3, 2, 6);
         let x1v = x.value();
         let y1 = {
-            let mut ctx = OpCtx { g: &g, ps: &mut ps, h: 3, adj_fwd: adj_fwd.clone(), adj_bwd: adj_bwd.clone() };
+            let mut ctx = OpCtx {
+                g: &g,
+                ps: &mut ps,
+                h: 3,
+                adj_fwd: adj_fwd.clone(),
+                adj_bwd: adj_bwd.clone(),
+            };
             gdcc("c", &x, &mut ctx).value()
         };
 
@@ -239,7 +255,13 @@ mod tests {
         let x = input(&g, 1, 2, 4, 2);
         let xv0 = x.value();
         let y1 = {
-            let mut ctx = OpCtx { g: &g, ps: &mut ps, h: 2, adj_fwd: adj_fwd.clone(), adj_bwd: adj_bwd.clone() };
+            let mut ctx = OpCtx {
+                g: &g,
+                ps: &mut ps,
+                h: 2,
+                adj_fwd: adj_fwd.clone(),
+                adj_bwd: adj_bwd.clone(),
+            };
             dgcn("d", &x, &mut ctx).value()
         };
 
@@ -253,7 +275,8 @@ mod tests {
                 }
             }
             let x2 = g2.constant(xv);
-            let mut ctx2 = OpCtx { g: &g2, ps, h: 2, adj_fwd: adj_fwd.clone(), adj_bwd: adj_bwd.clone() };
+            let mut ctx2 =
+                OpCtx { g: &g2, ps, h: 2, adj_fwd: adj_fwd.clone(), adj_bwd: adj_bwd.clone() };
             dgcn("d", &x2, &mut ctx2).value()
         };
         let y_n1 = perturb(1, &mut ps);
@@ -273,7 +296,13 @@ mod tests {
         let x = input(&g, 1, 2, 4, 2);
         let xv0 = x.value();
         let y1 = {
-            let mut ctx = OpCtx { g: &g, ps: &mut ps, h: 2, adj_fwd: adj_fwd.clone(), adj_bwd: adj_bwd.clone() };
+            let mut ctx = OpCtx {
+                g: &g,
+                ps: &mut ps,
+                h: 2,
+                adj_fwd: adj_fwd.clone(),
+                adj_bwd: adj_bwd.clone(),
+            };
             inf_s("s", &x, &mut ctx).value()
         };
 

@@ -197,7 +197,11 @@ pub fn evaluate_per_horizon<M: CtsForecastModel + ?Sized>(
 }
 
 /// Validation MAE in *scaled* units — cheap inner-loop selection signal.
-pub fn val_mae_scaled<M: CtsForecastModel + ?Sized>(fc: &mut M, task: &ForecastTask, max_windows: usize) -> f32 {
+pub fn val_mae_scaled<M: CtsForecastModel + ?Sized>(
+    fc: &mut M,
+    task: &ForecastTask,
+    max_windows: usize,
+) -> f32 {
     let windows = subsample(&task.windows(Split::Val), max_windows);
     if windows.is_empty() {
         return f32::INFINITY;
@@ -217,7 +221,11 @@ pub fn val_mae_scaled<M: CtsForecastModel + ?Sized>(fc: &mut M, task: &ForecastT
 
 /// Trains `fc` on the task with MAE objective and Adam (Section 4.1.4),
 /// early-stopping on validation MAE.
-pub fn train_forecaster<M: CtsForecastModel + ?Sized>(fc: &mut M, task: &ForecastTask, cfg: &TrainConfig) -> TrainReport {
+pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
+    fc: &mut M,
+    task: &ForecastTask,
+    cfg: &TrainConfig,
+) -> TrainReport {
     let start = Instant::now();
     let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -373,7 +381,8 @@ mod tests {
         let ah = sample_ah(9);
         let dims = ModelDims::new(4, 1, task.setting);
         let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 5);
-        let cfg = TrainConfig { epochs: 4, lr: 1e6, grad_clip: 0.0, patience: 0, ..TrainConfig::test() };
+        let cfg =
+            TrainConfig { epochs: 4, lr: 1e6, grad_clip: 0.0, patience: 0, ..TrainConfig::test() };
         let report = train_forecaster(&mut fc, &task, &cfg);
         assert_eq!(report.epochs_run, 4, "loop must complete despite divergence");
     }

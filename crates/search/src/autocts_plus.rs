@@ -11,7 +11,9 @@
 use crate::evolve::{evolve_search, EvolveConfig};
 use octs_comparator::{Tahc, TahcConfig};
 use octs_data::ForecastTask;
-use octs_model::{early_validation, train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport};
+use octs_model::{
+    early_validation, train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport,
+};
 use octs_space::{ArchHyper, JointSpace};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -131,11 +133,12 @@ pub fn autocts_plus_search(
 
     // 3. Rank the joint space with the trained comparator and train top-K.
     let t2 = Instant::now();
-    let top = evolve_search(&mut comparator, None, space, &cfg.evolve);
+    let top = evolve_search(&comparator, None, space, &cfg.evolve);
     let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
     let mut best: Option<(ArchHyper, TrainReport)> = None;
     for (i, ah) in top.into_iter().enumerate() {
-        let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, cfg.seed ^ (i as u64 + 1));
+        let mut fc =
+            Forecaster::new(ah.clone(), dims, &task.data.adjacency, cfg.seed ^ (i as u64 + 1));
         let report = train_forecaster(&mut fc, task, &cfg.final_cfg);
         let better = match &best {
             Some((_, b)) => report.best_val_mae < b.best_val_mae,

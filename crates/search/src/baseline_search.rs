@@ -3,8 +3,10 @@
 //! DARTS-style differentiable supernet (the AutoCTS stand-in).
 
 use octs_data::ForecastTask;
-use octs_model::{early_validation, train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport};
 use octs_model::operators::{apply_op, channel_projection, OpCtx};
+use octs_model::{
+    early_validation, train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport,
+};
 use octs_space::{ArchDag, ArchHyper, Edge, HyperParams, JointSpace, OpKind};
 use octs_tensor::{Adam, Graph, Init, ParamStore, Var};
 use rand::seq::SliceRandom;
@@ -95,12 +97,32 @@ pub struct SupernetConfig {
 impl SupernetConfig {
     /// CPU-scaled defaults.
     pub fn scaled() -> Self {
-        Self { c: 4, h: 8, i: 16, epochs: 4, batch: 4, lr_w: 3e-3, lr_alpha: 1e-2, max_windows: 32, seed: 0 }
+        Self {
+            c: 4,
+            h: 8,
+            i: 16,
+            epochs: 4,
+            batch: 4,
+            lr_w: 3e-3,
+            lr_alpha: 1e-2,
+            max_windows: 32,
+            seed: 0,
+        }
     }
 
     /// Tiny defaults for tests.
     pub fn test() -> Self {
-        Self { c: 3, h: 4, i: 8, epochs: 1, batch: 4, lr_w: 3e-3, lr_alpha: 1e-2, max_windows: 8, seed: 0 }
+        Self {
+            c: 3,
+            h: 4,
+            i: 8,
+            epochs: 1,
+            batch: 4,
+            lr_w: 3e-3,
+            lr_alpha: 1e-2,
+            max_windows: 8,
+            seed: 0,
+        }
     }
 }
 
@@ -121,8 +143,7 @@ pub fn supernet_search(task: &ForecastTask, cfg: &SupernetConfig) -> ArchHyper {
     let adj_fwd = task.data.adjacency.transition();
     let adj_bwd = task.data.adjacency.transition_reverse();
 
-    let pairs: Vec<(usize, usize)> =
-        (1..cfg.c).flat_map(|j| (0..j).map(move |i| (i, j))).collect();
+    let pairs: Vec<(usize, usize)> = (1..cfg.c).flat_map(|j| (0..j).map(move |i| (i, j))).collect();
 
     let forward = |ps: &mut ParamStore, x: &octs_tensor::Tensor| -> (Graph, Var) {
         let g = Graph::new();
@@ -168,11 +189,8 @@ pub fn supernet_search(task: &ForecastTask, cfg: &SupernetConfig) -> ArchHyper {
         cur = nodes.last().expect("c >= 2").clone();
         // output module (same shape contract as Forecaster)
         let s = x.shape().to_vec();
-        let last = cur
-            .slice_axis(3, s[3] - 1, 1)
-            .reshape([s[0], cfg.h, n])
-            .permute(&[0, 2, 1])
-            .relu();
+        let last =
+            cur.slice_axis(3, s[3] - 1, 1).reshape([s[0], cfg.h, n]).permute(&[0, 2, 1]).relu();
         let o1 = octs_model::layers::linear(ps, &g, "out/fc1", &last, cfg.h, cfg.i).relu();
         let o2 = octs_model::layers::linear(ps, &g, "out/fc2", &o1, cfg.i, out_steps);
         (g, o2.permute(&[0, 2, 1]))
@@ -255,8 +273,14 @@ mod tests {
     #[test]
     fn random_search_returns_trained_model() {
         let t = task();
-        let (ah, report) =
-            random_search(&t, &JointSpace::tiny(), 3, &TrainConfig::test(), &TrainConfig::test(), 1);
+        let (ah, report) = random_search(
+            &t,
+            &JointSpace::tiny(),
+            3,
+            &TrainConfig::test(),
+            &TrainConfig::test(),
+            1,
+        );
         assert!(report.best_val_mae.is_finite());
         assert_eq!(ah.arch.c(), ah.hyper.c);
     }

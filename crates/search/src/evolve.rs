@@ -64,8 +64,14 @@ impl EvolveConfig {
 /// Runs the heuristic search: sample `K_s` admissible arch-hypers, seed a
 /// population via a sparse tournament, evolve with comparator-judged
 /// survival, and return the Round-Robin top-K of the final population.
+///
+/// Comparator calls fan out across threads (see [`crate::rank`]); the result
+/// is byte-identical for any `RAYON_NUM_THREADS`, because candidate
+/// generation stays on the master RNG stream and match schedules come from
+/// per-candidate streams. The comparator's embedding cache persists across
+/// generations, so surviving candidates are never re-encoded.
 pub fn evolve_search(
-    tahc: &mut Tahc,
+    tahc: &Tahc,
     prelim: Option<&Tensor>,
     space: &JointSpace,
     cfg: &EvolveConfig,
@@ -110,9 +116,13 @@ mod tests {
     #[test]
     fn returns_topk_valid_candidates() {
         let space = JointSpace::scaled();
-        let mut tahc = Tahc::new(TahcConfig { task_aware: false, ..TahcConfig::test() }, space.hyper.clone(), 0);
+        let tahc = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            space.hyper.clone(),
+            0,
+        );
         let cfg = EvolveConfig::test();
-        let top = evolve_search(&mut tahc, None, &space, &cfg);
+        let top = evolve_search(&tahc, None, &space, &cfg);
         assert_eq!(top.len(), cfg.top_k);
         for ah in &top {
             assert!(space.hyper.contains(&ah.hyper));
@@ -125,20 +135,66 @@ mod tests {
     fn search_is_deterministic_given_seed() {
         let space = JointSpace::scaled();
         let cfg = EvolveConfig::test();
-        let mut t1 = Tahc::new(TahcConfig { task_aware: false, ..TahcConfig::test() }, space.hyper.clone(), 0);
-        let mut t2 = Tahc::new(TahcConfig { task_aware: false, ..TahcConfig::test() }, space.hyper.clone(), 0);
-        let a = evolve_search(&mut t1, None, &space, &cfg);
-        let b = evolve_search(&mut t2, None, &space, &cfg);
+        let t1 = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            space.hyper.clone(),
+            0,
+        );
+        let t2 = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            space.hyper.clone(),
+            0,
+        );
+        let a = evolve_search(&t1, None, &space, &cfg);
+        let b = evolve_search(&t2, None, &space, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn search_identical_across_thread_counts() {
+        // The tentpole determinism guarantee: same seed => byte-identical
+        // top-k whether comparator calls run on 1 worker or many. Safe to
+        // toggle the env var mid-process because the vendored rayon reads it
+        // per parallel call, and no other test depends on its value (results
+        // are thread-count-independent by construction).
+        let space = JointSpace::scaled();
+        let cfg = EvolveConfig::test();
+        let saved = std::env::var("RAYON_NUM_THREADS").ok();
+
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let t1 = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            space.hyper.clone(),
+            0,
+        );
+        let serial = evolve_search(&t1, None, &space, &cfg);
+
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let t2 = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            space.hyper.clone(),
+            0,
+        );
+        let parallel = evolve_search(&t2, None, &space, &cfg);
+
+        match saved {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        assert_eq!(serial, parallel, "top-k must not depend on worker count");
     }
 
     #[test]
     fn larger_ks_explores_more() {
         // sanity: config with more samples doesn't crash and still yields top_k
         let space = JointSpace::scaled();
-        let mut tahc = Tahc::new(TahcConfig { task_aware: false, ..TahcConfig::test() }, space.hyper.clone(), 0);
+        let tahc = Tahc::new(
+            TahcConfig { task_aware: false, ..TahcConfig::test() },
+            space.hyper.clone(),
+            0,
+        );
         let cfg = EvolveConfig { k_s: 64, ..EvolveConfig::test() };
-        let top = evolve_search(&mut tahc, None, &space, &cfg);
+        let top = evolve_search(&tahc, None, &space, &cfg);
         assert_eq!(top.len(), cfg.top_k);
     }
 }

@@ -3,30 +3,51 @@
 //! The comparator is a neural network and does not guarantee transitivity,
 //! so the paper selects the final top-K by Round-Robin win counting rather
 //! than a comparison sort (Section 3.3).
+//!
+//! Both rankers build their full match schedule up front and then judge every
+//! match with `rayon` against a shared `&Tahc` (comparator inference is
+//! `&self` and memoizes per-candidate GIN embeddings, so a candidate that
+//! plays many opponents is encoded once). Outcome collection preserves
+//! schedule order and opponent schedules come from per-candidate RNG streams
+//! derived from the master seed, so rankings are byte-identical for any
+//! thread count.
 
 use octs_comparator::Tahc;
 use octs_space::ArchHyper;
 use octs_tensor::Tensor;
-use rand::seq::SliceRandom;
+use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Judges every `(i, j)` match in parallel; `true` means `i` won.
+fn play_matches(
+    tahc: &Tahc,
+    prelim: Option<&Tensor>,
+    candidates: &[ArchHyper],
+    matches: &[(usize, usize)],
+) -> Vec<bool> {
+    matches.par_iter().map(|&(i, j)| tahc.compare(prelim, &candidates[i], &candidates[j])).collect()
+}
 
 /// Full Round-Robin: each candidate plays every other; returns indices
-/// ordered by descending win count (stable on ties). `O(K²)` comparisons.
+/// ordered by descending win count (stable on ties). `O(K²)` comparisons,
+/// judged in parallel.
 pub fn round_robin_rank(
-    tahc: &mut Tahc,
+    tahc: &Tahc,
     prelim: Option<&Tensor>,
     candidates: &[ArchHyper],
 ) -> Vec<usize> {
     let k = candidates.len();
+    let matches: Vec<(usize, usize)> =
+        (0..k).flat_map(|i| (i + 1..k).map(move |j| (i, j))).collect();
+    let outcomes = play_matches(tahc, prelim, candidates, &matches);
     let mut wins = vec![0usize; k];
-    for i in 0..k {
-        for j in i + 1..k {
-            if tahc.compare(prelim, &candidates[i], &candidates[j]) {
-                wins[i] += 1;
-            } else {
-                wins[j] += 1;
-            }
+    for (&(i, j), &first_won) in matches.iter().zip(&outcomes) {
+        if first_won {
+            wins[i] += 1;
+        } else {
+            wins[j] += 1;
         }
     }
     order_by_wins(&wins)
@@ -35,8 +56,12 @@ pub fn round_robin_rank(
 /// Sparse tournament: each candidate plays `rounds` random opponents; cheap
 /// pre-ranking used to seed the evolutionary population when the candidate
 /// pool is large (the paper's `K_s` reaches 300 000).
+///
+/// Each candidate's opponents are drawn from its own ChaCha8 stream derived
+/// from `seed`, so the schedule — and therefore the ranking — is independent
+/// of how the matches are later chunked across threads.
 pub fn tournament_rank(
-    tahc: &mut Tahc,
+    tahc: &Tahc,
     prelim: Option<&Tensor>,
     candidates: &[ArchHyper],
     rounds: usize,
@@ -46,28 +71,37 @@ pub fn tournament_rank(
     if k <= 1 {
         return (0..k).collect();
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let rounds = rounds.min(k - 1);
+    let matches: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| {
+            let mut rng = candidate_stream(seed, i);
+            let mut opponents: Vec<usize> = Vec::with_capacity(rounds);
+            while opponents.len() < rounds {
+                let j = rng.gen_range(0..k);
+                if j != i && !opponents.contains(&j) {
+                    opponents.push(j);
+                }
+            }
+            opponents.into_iter().map(move |j| (i, j)).collect::<Vec<_>>()
+        })
+        .collect();
+    let outcomes = play_matches(tahc, prelim, candidates, &matches);
     let mut wins = vec![0usize; k];
-    let mut opponents: Vec<usize> = (0..k).collect();
-    for i in 0..k {
-        opponents.shuffle(&mut rng);
-        let mut played = 0usize;
-        for &j in opponents.iter() {
-            if j == i {
-                continue;
-            }
-            if tahc.compare(prelim, &candidates[i], &candidates[j]) {
-                wins[i] += 1;
-            } else {
-                wins[j] += 1;
-            }
-            played += 1;
-            if played >= rounds {
-                break;
-            }
+    for (&(i, j), &first_won) in matches.iter().zip(&outcomes) {
+        if first_won {
+            wins[i] += 1;
+        } else {
+            wins[j] += 1;
         }
     }
     order_by_wins(&wins)
+}
+
+/// Candidate `i`'s private RNG stream: master seed splitmixed with the index
+/// so streams are decorrelated but fully determined by `(seed, i)`.
+fn candidate_stream(seed: u64, i: usize) -> ChaCha8Rng {
+    let salt = (i as u64).wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ChaCha8Rng::seed_from_u64(seed ^ salt)
 }
 
 /// Indices sorted by descending wins (ties keep original order).
@@ -98,8 +132,8 @@ mod tests {
 
     #[test]
     fn round_robin_is_a_permutation() {
-        let (mut tahc, ahs) = untrained_fixture(6);
-        let order = round_robin_rank(&mut tahc, None, &ahs);
+        let (tahc, ahs) = untrained_fixture(6);
+        let order = round_robin_rank(&tahc, None, &ahs);
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..6).collect::<Vec<_>>());
@@ -107,8 +141,8 @@ mod tests {
 
     #[test]
     fn tournament_is_a_permutation_and_cheaper() {
-        let (mut tahc, ahs) = untrained_fixture(10);
-        let order = tournament_rank(&mut tahc, None, &ahs, 2, 7);
+        let (tahc, ahs) = untrained_fixture(10);
+        let order = tournament_rank(&tahc, None, &ahs, 2, 7);
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..10).collect::<Vec<_>>());
@@ -117,13 +151,35 @@ mod tests {
 
     #[test]
     fn deterministic_rankings() {
-        let (mut tahc, ahs) = untrained_fixture(5);
-        let a = round_robin_rank(&mut tahc, None, &ahs);
-        let b = round_robin_rank(&mut tahc, None, &ahs);
+        let (tahc, ahs) = untrained_fixture(5);
+        let a = round_robin_rank(&tahc, None, &ahs);
+        let b = round_robin_rank(&tahc, None, &ahs);
         assert_eq!(a, b);
-        let t1 = tournament_rank(&mut tahc, None, &ahs, 2, 9);
-        let t2 = tournament_rank(&mut tahc, None, &ahs, 2, 9);
+        let t1 = tournament_rank(&tahc, None, &ahs, 2, 9);
+        let t2 = tournament_rank(&tahc, None, &ahs, 2, 9);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tournament_schedule_is_thread_count_independent() {
+        // The opponent schedule is a pure function of (seed, candidate), so
+        // rankings cannot depend on RAYON_NUM_THREADS.
+        let (tahc, ahs) = untrained_fixture(9);
+        let baseline = tournament_rank(&tahc, None, &ahs, 3, 11);
+        for _ in 0..3 {
+            tahc.invalidate_caches();
+            assert_eq!(tournament_rank(&tahc, None, &ahs, 3, 11), baseline);
+        }
+    }
+
+    #[test]
+    fn tournament_rounds_capped_by_pool_size() {
+        // rounds > k-1 must not loop forever looking for distinct opponents.
+        let (tahc, ahs) = untrained_fixture(3);
+        let order = tournament_rank(&tahc, None, &ahs, 10, 5);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
     }
 
     #[test]

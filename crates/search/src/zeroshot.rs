@@ -46,7 +46,7 @@ pub struct SearchOutcome {
 /// the `top_k` finalists are actually trained — this is where the paper's
 /// orders-of-magnitude GPU-hour savings come from.
 pub fn zero_shot_search(
-    tahc: &mut Tahc,
+    tahc: &Tahc,
     embedder: &mut TaskEmbedder,
     task: &ForecastTask,
     space: &JointSpace,
@@ -65,7 +65,12 @@ pub fn zero_shot_search(
     let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
     let mut finalists = Vec::with_capacity(top.len());
     for (i, ah) in top.into_iter().enumerate() {
-        let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, train_cfg.seed ^ (i as u64 + 1));
+        let mut fc = Forecaster::new(
+            ah.clone(),
+            dims,
+            &task.data.adjacency,
+            train_cfg.seed ^ (i as u64 + 1),
+        );
         let report = train_forecaster(&mut fc, task, train_cfg);
         finalists.push((ah, report));
     }
@@ -98,20 +103,16 @@ mod tests {
     #[test]
     fn end_to_end_zero_shot_search() {
         let space = JointSpace::tiny();
-        let mut tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
         let mut embedder = TaskEmbedder::new(TaskEmbedConfig::test(), Ts2VecConfig::test(), 1);
         let task = small_task();
         let evolve_cfg = EvolveConfig { k_s: 12, generations: 1, top_k: 2, ..EvolveConfig::test() };
         let train_cfg = TrainConfig::test();
-        let out = zero_shot_search(&mut tahc, &mut embedder, &task, &space, &evolve_cfg, &train_cfg);
+        let out = zero_shot_search(&tahc, &mut embedder, &task, &space, &evolve_cfg, &train_cfg);
         assert_eq!(out.finalists.len(), 2);
         assert!(out.best_report.best_val_mae.is_finite());
         // winner must be the min-val finalist
-        let min = out
-            .finalists
-            .iter()
-            .map(|(_, r)| r.best_val_mae)
-            .fold(f32::INFINITY, f32::min);
+        let min = out.finalists.iter().map(|(_, r)| r.best_val_mae).fold(f32::INFINITY, f32::min);
         assert_eq!(out.best_report.best_val_mae, min);
         assert!(out.timing.search() > Duration::ZERO);
         assert!(out.timing.train > Duration::ZERO);

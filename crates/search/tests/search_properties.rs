@@ -19,9 +19,9 @@ fn round_robin_top1_beats_majority() {
     // other candidate — verify by recounting independently.
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let pool = JointSpace::scaled().sample_distinct(7, &mut rng);
-    let mut tahc = comparator(0);
-    let order = round_robin_rank(&mut tahc, None, &pool);
-    let wins = |idx: usize, tahc: &mut Tahc| -> usize {
+    let tahc = comparator(0);
+    let order = round_robin_rank(&tahc, None, &pool);
+    let wins = |idx: usize, tahc: &Tahc| -> usize {
         (0..pool.len())
             .filter(|&j| j != idx)
             .filter(|&j| {
@@ -33,9 +33,9 @@ fn round_robin_top1_beats_majority() {
             })
             .count()
     };
-    let top_wins = wins(order[0], &mut tahc);
+    let top_wins = wins(order[0], &tahc);
     for &i in &order[1..] {
-        assert!(top_wins >= wins(i, &mut tahc), "top-1 must maximize wins");
+        assert!(top_wins >= wins(i, &tahc), "top-1 must maximize wins");
     }
 }
 
@@ -50,9 +50,9 @@ fn tournament_cost_is_linear_not_quadratic() {
 #[test]
 fn evolution_returns_distinct_top_candidates() {
     let space = JointSpace::scaled();
-    let mut tahc = comparator(3);
+    let tahc = comparator(3);
     let cfg = EvolveConfig { k_s: 32, generations: 3, top_k: 3, ..EvolveConfig::test() };
-    let top = evolve_search(&mut tahc, None, &space, &cfg);
+    let top = evolve_search(&tahc, None, &space, &cfg);
     let fps: std::collections::HashSet<u64> = top.iter().map(ArchHyper::fingerprint).collect();
     assert_eq!(fps.len(), top.len(), "top-K must not contain duplicates");
 }
@@ -67,10 +67,7 @@ fn grid_search_prefers_lower_validation() {
     let task = ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 4);
     let arch = ArchDag::new(
         3,
-        vec![
-            Edge { from: 0, to: 1, op: OpKind::Gdcc },
-            Edge { from: 1, to: 2, op: OpKind::Dgcn },
-        ],
+        vec![Edge { from: 0, to: 1, op: OpKind::Gdcc }, Edge { from: 1, to: 2, op: OpKind::Dgcn }],
     )
     .unwrap();
     let template = ArchHyper::new(arch, HyperParams { b: 1, c: 3, h: 8, i: 16, u: 0, delta: 0 });
@@ -121,8 +118,8 @@ fn tournament_and_round_robin_agree_under_consistent_comparator() {
     for t in 0..trials {
         let mut rng = ChaCha8Rng::seed_from_u64(80 + t);
         let pool = space.sample_distinct(10, &mut rng);
-        let full = round_robin_rank(&mut tahc, None, &pool);
-        let sparse = tournament_rank(&mut tahc, None, &pool, 3, t);
+        let full = round_robin_rank(&tahc, None, &pool);
+        let sparse = tournament_rank(&tahc, None, &pool, 3, t);
         let pos = full.iter().position(|&i| i == sparse[0]).unwrap();
         if pos < pool.len() / 2 {
             hits += 1;

@@ -108,7 +108,8 @@ impl ArchDag {
     /// temporal operator — the search-time admissibility filter
     /// (Section 3.3: purely-spatial or purely-temporal blocks forecast poorly).
     pub fn has_both_st(&self) -> bool {
-        self.edges.iter().any(|e| e.op.is_spatial()) && self.edges.iter().any(|e| e.op.is_temporal())
+        self.edges.iter().any(|e| e.op.is_spatial())
+            && self.edges.iter().any(|e| e.op.is_temporal())
     }
 
     /// Count of operator edges (the dual graph's operator-node count).
@@ -153,8 +154,7 @@ impl ArchDag {
         let rewire = rng.gen_bool(0.5) && e.to > 1;
         if rewire {
             // choose a new predecessor not already used by this destination
-            let used: Vec<usize> =
-                edges.iter().filter(|x| x.to == e.to).map(|x| x.from).collect();
+            let used: Vec<usize> = edges.iter().filter(|x| x.to == e.to).map(|x| x.from).collect();
             let candidates: Vec<usize> = (0..e.to).filter(|f| !used.contains(f)).collect();
             if let Some(&new_from) = candidates.choose(rng) {
                 edges[idx].from = new_from;

@@ -66,10 +66,7 @@ impl ArchHyper {
     pub fn encode(&self, space: &HyperSpace) -> ArchHyperEncoding {
         let edges = self.arch.edges();
         let num_ops = edges.len();
-        assert!(
-            num_ops < MAX_ENC_NODES,
-            "architecture too large to encode: {num_ops} ops"
-        );
+        assert!(num_ops < MAX_ENC_NODES, "architecture too large to encode: {num_ops} ops");
         let hyper_index = num_ops;
         let mut adj = vec![0.0f32; MAX_ENC_NODES * MAX_ENC_NODES];
         // Dual edges: operator a feeds operator b iff a.to == b.from.
@@ -144,7 +141,10 @@ mod tests {
         let enc = ah.encode(&HyperSpace::tiny());
         // edges sorted by (to, from): [0->1 GDCC]=op0, [0->2 Id]=op1, [1->2 DGCN]=op2
         assert_eq!(enc.num_ops, 3);
-        assert_eq!(enc.op_ids, vec![OpKind::Gdcc.index(), OpKind::Identity.index(), OpKind::Dgcn.index()]);
+        assert_eq!(
+            enc.op_ids,
+            vec![OpKind::Gdcc.index(), OpKind::Identity.index(), OpKind::Dgcn.index()]
+        );
         let at = |i: usize, j: usize| enc.adj[i * MAX_ENC_NODES + j];
         // op0 (0->1) feeds op2 (1->2)
         assert_eq!(at(0, 2), 1.0);

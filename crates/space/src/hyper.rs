@@ -30,7 +30,14 @@ impl HyperParams {
 
     /// The raw `r`-dimensional vector `[B, C, H, I, U, δ]`.
     pub fn to_vec(self) -> [f32; Self::R] {
-        [self.b as f32, self.c as f32, self.h as f32, self.i as f32, self.u as f32, self.delta as f32]
+        [
+            self.b as f32,
+            self.c as f32,
+            self.h as f32,
+            self.i as f32,
+            self.u as f32,
+            self.delta as f32,
+        ]
     }
 
     /// Dropout rate implied by δ (the paper toggles dropout; rate 0.3 on).

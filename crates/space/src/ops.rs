@@ -22,7 +22,8 @@ pub enum OpKind {
 
 impl OpKind {
     /// All candidate operators, in canonical (one-hot) order.
-    pub const ALL: [OpKind; 5] = [OpKind::Gdcc, OpKind::InfT, OpKind::Dgcn, OpKind::InfS, OpKind::Identity];
+    pub const ALL: [OpKind; 5] =
+        [OpKind::Gdcc, OpKind::InfT, OpKind::Dgcn, OpKind::InfS, OpKind::Identity];
 
     /// Number of candidate operators `|O|`.
     pub const COUNT: usize = 5;

@@ -2,7 +2,9 @@
 //! mutated or crossed-over arch-hyper must satisfy the topology rules, the
 //! coupling invariant and the encoding contract.
 
-use octs_space::{ArchDag, ArchHyper, HyperSpace, JointSpace, OpKind, MAX_ENC_NODES, MAX_IN_DEGREE};
+use octs_space::{
+    ArchDag, ArchHyper, HyperSpace, JointSpace, OpKind, MAX_ENC_NODES, MAX_IN_DEGREE,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

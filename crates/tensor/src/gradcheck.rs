@@ -9,11 +9,7 @@ use crate::tensor::Tensor;
 /// `f` must build a scalar loss from the graph and the input var. Returns the
 /// maximum absolute deviation observed. Intended for tests; O(n) forward
 /// passes.
-pub fn check_gradient(
-    input: &Tensor,
-    eps: f32,
-    f: impl Fn(&Graph, &Var) -> Var,
-) -> f32 {
+pub fn check_gradient(input: &Tensor, eps: f32, f: impl Fn(&Graph, &Var) -> Var) -> f32 {
     // Analytic gradient.
     let g = Graph::new();
     let x = g.input(input.clone());

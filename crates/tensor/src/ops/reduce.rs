@@ -41,7 +41,14 @@ pub fn mean_axis(x: &Tensor, axis: usize) -> Tensor {
 
 /// Scatters `dout` (shape of `x` minus `axis`) back over `axis`, scaled by
 /// `scale`, accumulating into `dx` (shape of `x`).
-pub fn broadcast_axis_backward(dout: &[f32], dx: &mut [f32], outer: usize, d: usize, inner: usize, scale: f32) {
+pub fn broadcast_axis_backward(
+    dout: &[f32],
+    dx: &mut [f32],
+    outer: usize,
+    d: usize,
+    inner: usize,
+    scale: f32,
+) {
     debug_assert_eq!(dout.len(), outer * inner);
     debug_assert_eq!(dx.len(), outer * d * inner);
     for o in 0..outer {

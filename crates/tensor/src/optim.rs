@@ -75,7 +75,8 @@ impl Adam {
             let Some(p) = params.get_mut(name) else { continue };
             let m = self.m.entry(name.clone()).or_insert_with(|| Tensor::zeros(g.shape().to_vec()));
             let v = self.v.entry(name.clone()).or_insert_with(|| Tensor::zeros(g.shape().to_vec()));
-            let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            let (b1, b2, eps, lr, wd) =
+                (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
             for i in 0..g.len() {
                 let grad = g.data()[i] + wd * p.data()[i];
                 let mi = b1 * m.data()[i] + (1.0 - b1) * grad;

@@ -65,6 +65,20 @@ impl ParamStore {
         g.param(name, t)
     }
 
+    /// Attaches an *already materialized* parameter to `g` as a
+    /// gradient-tracked leaf. Unlike [`ParamStore::var`] this takes `&self`,
+    /// so concurrent forward passes can share one store; it panics if the
+    /// parameter was never created (see the comparator's eager
+    /// materialization in `Tahc::new`).
+    pub fn var_shared(&self, g: &Graph, name: &str, shape: &[usize]) -> Var {
+        let t = self
+            .params
+            .get(name)
+            .unwrap_or_else(|| panic!("parameter {name} used before materialization"));
+        assert_eq!(t.shape(), shape, "parameter {name} reused with a different shape");
+        g.param(name, t.clone())
+    }
+
     /// Direct lookup of an existing parameter.
     pub fn get(&self, name: &str) -> Option<&Tensor> {
         self.params.get(name)
@@ -143,6 +157,23 @@ mod tests {
         assert_eq!(grads.len(), 1);
         assert_eq!(grads[0].0, "w");
         assert_eq!(grads[0].1.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn var_shared_reads_materialized_param() {
+        let mut ps = ParamStore::new(0);
+        ps.entry("w", &[2], Init::Ones);
+        let g = Graph::new();
+        let w = ps.var_shared(&g, "w", &[2]);
+        assert_eq!(w.value().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before materialization")]
+    fn var_shared_rejects_missing_param() {
+        let ps = ParamStore::new(0);
+        let g = Graph::new();
+        ps.var_shared(&g, "nope", &[1]);
     }
 
     #[test]

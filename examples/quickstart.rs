@@ -14,16 +14,15 @@ fn main() {
 
     // 2. Pre-train once on a couple of source tasks. In production this is
     //    the expensive offline step (Algorithm 1); here it takes seconds.
-    let source_tasks: Vec<ForecastTask> = [
-        ("metro-traffic", Domain::Traffic, 11u64),
-        ("city-energy", Domain::Energy, 12),
-    ]
-    .into_iter()
-    .map(|(name, domain, seed)| {
-        let profile = DatasetProfile::custom(name, domain, 4, 260, 24, 0.3, 0.1, 10.0, seed);
-        ForecastTask::new(profile.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2)
-    })
-    .collect();
+    let source_tasks: Vec<ForecastTask> =
+        [("metro-traffic", Domain::Traffic, 11u64), ("city-energy", Domain::Energy, 12)]
+            .into_iter()
+            .map(|(name, domain, seed)| {
+                let profile =
+                    DatasetProfile::custom(name, domain, 4, 260, 24, 0.3, 0.1, 10.0, seed);
+                ForecastTask::new(profile.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 2)
+            })
+            .collect();
 
     println!("pre-training T-AHC on {} source tasks ...", source_tasks.len());
     let report = sys.pretrain(source_tasks, &PretrainConfig::test());

@@ -42,7 +42,10 @@ fn main() {
         label_cfg: TrainConfig { epochs: 3, max_train_windows: 24, ..TrainConfig::test() },
         ..PretrainConfig::test()
     };
-    println!("pre-training T-AHC ({} labelled candidates per task) ...", pre.l_shared + pre.l_random);
+    println!(
+        "pre-training T-AHC ({} labelled candidates per task) ...",
+        pre.l_shared + pre.l_random
+    );
     let report = sys.pretrain(tasks, &pre);
     println!("  holdout pairwise accuracy: {:.2}", report.holdout_accuracy);
 
@@ -71,10 +74,7 @@ fn main() {
         let mut transferred =
             Forecaster::new(octs_baselines::autocts_plus(), dims, &task.data.adjacency, 0);
         let base = train_forecaster(&mut transferred, &task, &train_cfg);
-        println!(
-            "AutoCTS+ (transferred): MAE {:.3}  RMSE {:.3}",
-            base.test.mae, base.test.rmse
-        );
+        println!("AutoCTS+ (transferred): MAE {:.3}  RMSE {:.3}", base.test.mae, base.test.rmse);
 
         println!("searched block:\n{}", autocts::render(&out.best));
     }

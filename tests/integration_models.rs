@@ -4,7 +4,7 @@
 
 use autocts::prelude::*;
 use octs_baselines::{AgcrnLite, DecompTransformerLite, DecompVariant, MtgnnLite, PdformerLite};
-use octs_model::{evaluate, train_forecaster, CtsForecastModel, early_validation};
+use octs_model::{early_validation, evaluate, train_forecaster, CtsForecastModel};
 
 fn task(seed: u64) -> ForecastTask {
     let p = DatasetProfile::custom("im", Domain::Traffic, 4, 260, 24, 0.4, 0.08, 50.0, seed);
@@ -31,12 +31,7 @@ fn every_model_family_trains_and_beats_its_own_init() {
     for m in models.iter_mut() {
         let before = octs_model::val_mae_scaled(m.as_mut(), &t, 8);
         let report = train_forecaster(m.as_mut(), &t, &cfg);
-        assert!(
-            report.best_val_mae <= before,
-            "{}: {before} -> {}",
-            m.name(),
-            report.best_val_mae
-        );
+        assert!(report.best_val_mae <= before, "{}: {before} -> {}", m.name(), report.best_val_mae);
         let metrics = evaluate(m.as_mut(), &t, Split::Test, 12);
         assert!(metrics.mae.is_finite() && metrics.mae > 0.0, "{}", m.name());
         assert!(metrics.rmse >= metrics.mae * 0.99, "{}", m.name());

@@ -5,7 +5,9 @@ use autocts::prelude::*;
 use octs_comparator::{Tahc, TahcConfig};
 use octs_data::metrics::kendall_tau;
 use octs_model::early_validation;
-use octs_search::{grid_search_hpo, random_search, round_robin_rank, supernet_search, SupernetConfig};
+use octs_search::{
+    grid_search_hpo, random_search, round_robin_rank, supernet_search, SupernetConfig,
+};
 
 fn task(seed: u64) -> ForecastTask {
     let p = DatasetProfile::custom("is", Domain::Traffic, 4, 240, 24, 0.4, 0.08, 10.0, seed);
@@ -59,12 +61,9 @@ fn oracle_comparator_ranking_matches_true_ranking() {
     assert!(tau > 0.99, "oracle ranking must match scores, tau = {tau}");
 
     // And the comparator-based round-robin must at least be a permutation.
-    let mut tahc = Tahc::new(
-        TahcConfig { task_aware: false, ..TahcConfig::test() },
-        space.hyper.clone(),
-        0,
-    );
-    let order = round_robin_rank(&mut tahc, None, &candidates);
+    let tahc =
+        Tahc::new(TahcConfig { task_aware: false, ..TahcConfig::test() }, space.hyper.clone(), 0);
+    let order = round_robin_rank(&tahc, None, &candidates);
     let mut sorted = order.clone();
     sorted.sort_unstable();
     assert_eq!(sorted, (0..candidates.len()).collect::<Vec<_>>());

@@ -1,0 +1,62 @@
+//! Concrete generators: a SplitMix64-based [`SmallRng`] and the
+//! non-reproducible [`ThreadRng`].
+
+use crate::splitmix::SplitMix64;
+use crate::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A small, fast, seedable generator (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut sm = SplitMix64::new(self.state);
+        let out = sm.next_u64();
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        out
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self { state: u64::from_le_bytes(seed) }
+    }
+}
+
+/// A process-global generator seeded from wall-clock time and a counter.
+/// Not reproducible — use a seeded generator for anything that matters.
+#[derive(Debug)]
+pub struct ThreadRng {
+    inner: SmallRng,
+}
+
+static THREAD_RNG_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl ThreadRng {
+    pub(crate) fn fresh() -> Self {
+        let nanos =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+        let count = THREAD_RNG_COUNTER.fetch_add(1, Ordering::Relaxed);
+        Self { inner: SmallRng::seed_from_u64(nanos ^ count.rotate_left(32)) }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for `rayon`: the `par_iter().map().collect()` subset this
+//! workspace uses, executed on `std::thread::scope` with static chunking.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (if set and nonzero), else
+//! [`std::thread::available_parallelism`]. Collection preserves input order,
+//! so `par_iter().map(f).collect::<Vec<_>>()` is element-for-element
+//! identical to the serial `iter().map(f).collect()` — the property the
+//! search code's determinism guarantee rests on.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+/// Number of worker threads the pool-less executor will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `items`, returning outputs in input order. Work is split
+/// into contiguous chunks, one per worker thread.
+fn run_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut results: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon (vendored): worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A parallel iterator: a captured item list plus a deferred map stage.
+pub struct ParIter<T, U, F>
+where
+    F: Fn(T) -> U,
+{
+    items: Vec<T>,
+    map: F,
+}
+
+/// Minimal `ParallelIterator`: `map` composes, `collect` executes.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync + Send>(
+        self,
+        f: F,
+    ) -> impl ParallelIterator<Item = U>;
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C;
+
+    /// Executes `f` for each item (in parallel; completion order unspecified).
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        let _: Vec<()> = self.map(f).collect();
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync + Send> ParallelIterator for ParIter<T, U, F> {
+    type Item = U;
+
+    fn map<V: Send, G: Fn(U) -> V + Sync + Send>(self, g: G) -> impl ParallelIterator<Item = V> {
+        let f = self.map;
+        ParIter { items: self.items, map: move |t| g(f(t)) }
+    }
+
+    fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_ordered_vec(run_ordered(self.items, self.map))
+    }
+}
+
+/// Types collectible from a parallel iterator (order-preserving).
+pub trait FromParallelIterator<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Entry point: `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T, T, fn(T) -> T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter { items: self, map: identity }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize, usize, fn(usize) -> usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter { items: self.collect(), map: identity }
+    }
+}
+
+fn identity<T>(t: T) -> T {
+    t
+}
+
+/// Entry point: `.par_iter()` on slices (yields `&T`).
+pub trait ParallelSlice<T: Sync> {
+    #[allow(clippy::type_complexity)]
+    fn par_iter<'a>(&'a self) -> ParIter<&'a T, &'a T, fn(&'a T) -> &'a T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter<'a>(&'a self) -> ParIter<&'a T, &'a T, fn(&'a T) -> &'a T> {
+        ParIter { items: self.iter().collect(), map: identity::<&'a T> }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let squared: Vec<u64> = xs.par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        assert_eq!(squared, expect);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let strings: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let lens: Vec<usize> = strings.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<i64> = (0..8usize).into_par_iter().map(|i| i as i64).map(|i| i * 10).collect();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

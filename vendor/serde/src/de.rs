@@ -1,0 +1,147 @@
+//! JSON deserialization: types reconstruct themselves from a parsed
+//! [`Value`] tree.
+
+use crate::value::{Error, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Deserialization from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs the value, or explains why it cannot.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn num_text(v: &Value) -> Result<&str, Error> {
+    match v {
+        Value::Num(text) => Ok(text),
+        other => Err(Error::msg(format!("expected number, got {other:?}"))),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let text = num_text(v)?;
+                text.parse::<$t>()
+                    .map_err(|e| Error::msg(format!("bad {} literal `{text}`: {e}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let text = num_text(v)?;
+                text.parse::<$t>()
+                    .map_err(|e| Error::msg(format!("bad {} literal `{text}`: {e}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected single char, got `{s}`"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+fn arr(v: &Value) -> Result<&[Value], Error> {
+    match v {
+        Value::Arr(items) => Ok(items),
+        other => Err(Error::msg(format!("expected array, got {other:?}"))),
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        arr(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = arr(v)?;
+        if items.len() != N {
+            return Err(Error::msg(format!("expected array of {N}, got {}", items.len())));
+        }
+        let parsed: Result<Vec<T>, Error> = items.iter().map(T::from_value).collect();
+        parsed?.try_into().map_err(|_| Error::msg("array length mismatch after parse"))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = arr(v)?;
+        if items.len() != 2 {
+            return Err(Error::msg(format!("expected pair, got {} items", items.len())));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = arr(v)?;
+        if items.len() != 3 {
+            return Err(Error::msg(format!("expected triple, got {} items", items.len())));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+fn obj(v: &Value) -> Result<&[(String, Value)], Error> {
+    match v {
+        Value::Obj(fields) => Ok(fields),
+        other => Err(Error::msg(format!("expected object, got {other:?}"))),
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        obj(v)?.iter().map(|(k, fv)| Ok((k.clone(), V::from_value(fv)?))).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        obj(v)?.iter().map(|(k, fv)| Ok((k.clone(), V::from_value(fv)?))).collect()
+    }
+}

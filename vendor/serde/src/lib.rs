@@ -1,0 +1,97 @@
+//! Offline stand-in for `serde` (+ `serde_derive`).
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal serialization framework with the same *spelling* as serde — a
+//! `Serialize`/`Deserialize` trait pair and `#[derive(Serialize,
+//! Deserialize)]` macros — but a much simpler contract: serialization writes
+//! JSON text directly, deserialization reads from a parsed [`Value`] tree.
+//! The `serde_json` vendor crate wraps these into the usual
+//! `to_string`/`from_str` entry points.
+//!
+//! Supported shapes (everything this workspace derives): structs with named
+//! fields, unit-variant enums, and the std types implemented below. The
+//! derive macros reject anything else at compile time.
+
+mod de;
+mod ser;
+mod value;
+
+pub use de::Deserialize;
+pub use ser::{write_escaped_str, Serialize};
+pub use value::{parse_value, Error, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Looks up and deserializes a field of a JSON object — the helper the
+/// derive-generated `Deserialize` impls call.
+pub fn get_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+    match v {
+        Value::Obj(fields) => match fields.iter().find(|(k, _)| k == key) {
+            Some((_, fv)) => T::from_value(fv),
+            None => Err(Error::msg(format!("missing field `{key}`"))),
+        },
+        _ => Err(Error::msg(format!("expected object with field `{key}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+            let mut s = String::new();
+            v.json_write(&mut s);
+            let back = T::from_value(&parse_value(&s).unwrap()).unwrap();
+            assert_eq!(back, v, "json was {s}");
+        }
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-12345i64);
+        roundtrip(3.25f32);
+        roundtrip(f32::MIN_POSITIVE);
+        roundtrip(true);
+        roundtrip(String::from("he said \"hi\"\n\t\\"));
+        roundtrip(vec![1usize, 2, 3]);
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(7u8));
+        roundtrip([0xAAu8; 32]);
+        roundtrip((1u32, String::from("x")));
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        for v in [f32::INFINITY, f32::NEG_INFINITY] {
+            let mut s = String::new();
+            v.json_write(&mut s);
+            let back = f32::from_value(&parse_value(&s).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
+        let mut s = String::new();
+        f32::NAN.json_write(&mut s);
+        assert!(f32::from_value(&parse_value(&s).unwrap()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), vec![1.5f32, -2.0]);
+        m.insert("b \"q\"".to_string(), vec![]);
+        let mut s = String::new();
+        m.json_write(&mut s);
+        let back: std::collections::BTreeMap<String, Vec<f32>> =
+            Deserialize::from_value(&parse_value(&s).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn get_field_reports_missing() {
+        let v = parse_value(r#"{"a": 1}"#).unwrap();
+        let got: Result<u32, _> = get_field(&v, "b");
+        assert!(got.is_err());
+        let got: u32 = get_field(&v, "a").unwrap();
+        assert_eq!(got, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! JSON serialization: types write their JSON text directly into a `String`.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Serialization to JSON text.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn json_write(&self, out: &mut String);
+}
+
+/// Writes `s` as a quoted, escaped JSON string.
+pub fn write_escaped_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_ser_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_ser_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                // `{:?}` prints the shortest text that round-trips the float.
+                out.push_str(&format!("{self:?}"));
+            }
+        }
+    )*};
+}
+
+impl_ser_float!(f32, f64);
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        write_escaped_str(out, self);
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        write_escaped_str(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn json_write(&self, out: &mut String) {
+        write_escaped_str(out, &self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(out: &mut String, items: impl Iterator<Item = &'a T>) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.json_write(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_write(out);
+        out.push(',');
+        self.1.json_write(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_write(out);
+        out.push(',');
+        self.1.json_write(out);
+        out.push(',');
+        self.2.json_write(out);
+        out.push(']');
+    }
+}
+
+fn write_map<'a, V: Serialize + 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped_str(out, k);
+        out.push(':');
+        v.json_write(out);
+    }
+    out.push('}');
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn json_write(&self, out: &mut String) {
+        write_map(out, self.iter());
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn json_write(&self, out: &mut String) {
+        // Sort for stable output.
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        write_map(out, entries.into_iter());
+    }
+}

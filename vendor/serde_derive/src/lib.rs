@@ -1,0 +1,211 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace derives:
+//!
+//! - structs with named fields → JSON objects;
+//! - enums whose variants are all unit variants → JSON strings.
+//!
+//! Anything else (tuple structs, generics, data-carrying variants) panics at
+//! compile time with a clear message rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (JSON text writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::write_escaped_str(out, \"{f}\");\nout.push(':');\n\
+                     ::serde::Serialize::json_write(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn json_write(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::write_escaped_str(out, \"{v}\"),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn json_write(&self, out: &mut ::std::string::String) {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (reconstruction from a parsed `Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String =
+                fields.iter().map(|f| format!("{f}: ::serde::get_field(v, \"{f}\")?,\n")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v.as_str() {{\n\
+                 ::std::option::Option::Some(s) => match s {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::std::option::Option::None => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected string for enum {name}\")),\n}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = next_ident(&mut tokens).expect("expected `struct` or `enum`");
+    let name = next_ident(&mut tokens).expect("expected type name");
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive (vendored): `{name}` must have a braced body \
+             (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_unit_variants(body) },
+        other => panic!("serde_derive (vendored): unexpected item keyword `{other}`"),
+    }
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(tokens: &mut TokenIter) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("serde_derive (vendored): malformed attribute, got {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut TokenIter) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn next_ident(tokens: &mut TokenIter) -> Option<String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses `name: Type, ...` named fields, returning the field names. Types
+/// are skipped token-by-token with angle-bracket depth tracking so commas
+/// inside `BTreeMap<String, Tensor>` do not split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        skip_visibility(&mut tokens);
+        let name = next_ident(&mut tokens)
+            .expect("serde_derive (vendored): expected field name (tuple structs unsupported)");
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive (vendored): expected `:` after `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to a top-level comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match tokens.peek() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth = angle_depth.saturating_sub(1);
+                    } else if c == ',' && angle_depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `VariantA, VariantB, ...` requiring every variant to be a unit
+/// variant (no payload, no discriminant).
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        let name = next_ident(&mut tokens).expect("serde_derive (vendored): expected variant name");
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                return variants;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            other => panic!(
+                "serde_derive (vendored): variant `{name}` must be a unit variant \
+                 (payloads/discriminants unsupported), got {other:?}"
+            ),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde_json`: the `to_string` / `from_str` entry
+//! points over the vendored `serde` traits.
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` to a JSON string. Infallible for the vendored
+/// implementation, but keeps serde_json's `Result` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json_write(&mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = serde::parse_value(text)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_via_entry_points() {
+        let v = vec![(1u32, "a".to_string()), (2, "b \"quoted\"".to_string())];
+        let json = super::to_string(&v).unwrap();
+        let back: Vec<(u32, String)> = super::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bad_json_errors() {
+        let r: Result<u32, _> = super::from_str("{ not json");
+        assert!(r.is_err());
+    }
+}
