@@ -77,7 +77,11 @@ fn main() {
             space
                 .sample_distinct(pool_size, &mut rng)
                 .into_iter()
-                .map(|ah| LabeledAh { score: early_validation(&ah, task, &scale.label_cfg()), ah })
+                .map(|ah| LabeledAh {
+                    score: early_validation(&ah, task, &scale.label_cfg()),
+                    ah,
+                    quarantined: false,
+                })
                 .collect()
         })
         .collect();

@@ -88,6 +88,7 @@ impl Scale {
                 max_train_windows: 32,
                 max_eval_windows: 32,
                 patience: 2,
+                divergence_strikes: 3,
                 seed: 0,
             },
             Scale::Quick => TrainConfig { epochs: 3, ..TrainConfig::test() },
@@ -107,6 +108,7 @@ impl Scale {
                 max_train_windows: 24,
                 max_eval_windows: 24,
                 patience: 0,
+                divergence_strikes: 3,
                 seed: 0,
             },
             Scale::Quick => TrainConfig { epochs: 2, max_train_windows: 12, ..TrainConfig::test() },

@@ -123,7 +123,7 @@ mod tests {
             .into_iter()
             .map(|ah| {
                 let score = ah.hyper.h as f32;
-                LabeledAh { ah, score }
+                LabeledAh { ah, score, quarantined: false }
             })
             .collect()
     }

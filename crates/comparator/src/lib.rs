@@ -24,8 +24,9 @@ pub use ahc::{CacheStats, Tahc, TahcConfig};
 pub use calibration::{calibrate, ranking_fidelity, CalibrationReport};
 pub use gin::{gin_encode, materialize_gin, GinConfig};
 pub use pretrain::{
-    collect_bank, collect_labels, dynamic_pairs, embed_tasks, pretrain_tahc, LabeledAh,
-    PretrainBank, PretrainConfig, PretrainReport, TaskSamples,
+    assemble_samples, collect_bank, collect_labels, dynamic_pairs, embed_tasks, label_one,
+    label_units, pretrain_tahc, LabelUnit, LabeledAh, PretrainBank, PretrainConfig, PretrainReport,
+    TahcTrainer, TahcTrainerState, TaskSamples,
 };
 pub use task_embed::{
     materialize_pool_task, pma, pool_task, EmbedKind, PoolKind, TaskEmbedConfig, TaskEmbedder,

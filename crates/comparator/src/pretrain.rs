@@ -8,18 +8,27 @@ use octs_data::ForecastTask;
 use octs_model::{early_validation, TrainConfig};
 use octs_space::{ArchHyper, JointSpace};
 use octs_tensor::Tensor;
+use octs_tensor::{Adam, ParamStore};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// An arch-hyper with its early-validation score `R'` (lower = better).
 #[derive(Debug, Clone)]
 pub struct LabeledAh {
     /// The candidate.
     pub ah: ArchHyper,
-    /// Early-validation MAE (scaled units).
+    /// Early-validation MAE (scaled units). `f32::INFINITY` for quarantined
+    /// candidates (the worst-rank proxy label).
     pub score: f32,
+    /// True when labelling this candidate diverged past the trainer's strike
+    /// budget or panicked outright. Quarantined samples never enter
+    /// comparator training pools.
+    pub quarantined: bool,
 }
 
 /// Labelled samples for one pre-training task.
@@ -43,7 +52,11 @@ pub struct PretrainBank {
 }
 
 /// Pre-training knobs.
-#[derive(Debug, Clone)]
+///
+/// Serializable so crash-safe pipelines can fingerprint a run's
+/// configuration and refuse to resume a journal written under different
+/// knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PretrainConfig {
     /// Shared sample count `L` per task.
     pub l_shared: usize,
@@ -97,35 +110,132 @@ impl PretrainConfig {
     }
 }
 
+/// One unit of labelling work: a single candidate on a single task. The
+/// `unit` id is a stable flat index (`task_idx * (L_shared + L_random) +
+/// slot`), which keys progress journals and fault-injection plans.
+#[derive(Debug, Clone)]
+pub struct LabelUnit {
+    /// Stable flat index of this unit across the whole labelling phase.
+    pub unit: u64,
+    /// Index into the task list.
+    pub task_idx: usize,
+    /// True for a shared-pool sample, false for a task-specific random one.
+    pub shared: bool,
+    /// Position within the task's shared (or random) sample list.
+    pub slot: usize,
+    /// The candidate to label.
+    pub ah: ArchHyper,
+}
+
+/// Deterministically enumerates every labelling unit for `tasks`: the shared
+/// pool (sampled from the master seed) replicated per task, plus each task's
+/// own random samples. The enumeration — including every sampled
+/// [`ArchHyper`] — depends only on `(space, cfg)`, so a resumed run
+/// reconstructs the identical work list.
+pub fn label_units(
+    tasks: &[ForecastTask],
+    space: &JointSpace,
+    cfg: &PretrainConfig,
+) -> Vec<LabelUnit> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let shared_pool = space.sample_distinct(cfg.l_shared.max(1), &mut rng);
+    let shared_pool = &shared_pool[..cfg.l_shared];
+    let stride = (cfg.l_shared + cfg.l_random) as u64;
+    let mut units = Vec::with_capacity(tasks.len() * stride as usize);
+    for ti in 0..tasks.len() {
+        let mut trng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (ti as u64 + 1) << 8);
+        let randoms = space.sample_distinct(cfg.l_random, &mut trng);
+        let base = ti as u64 * stride;
+        for (i, ah) in shared_pool.iter().enumerate() {
+            units.push(LabelUnit {
+                unit: base + i as u64,
+                task_idx: ti,
+                shared: true,
+                slot: i,
+                ah: ah.clone(),
+            });
+        }
+        for (i, ah) in randoms.into_iter().enumerate() {
+            units.push(LabelUnit {
+                unit: base + (cfg.l_shared + i) as u64,
+                task_idx: ti,
+                shared: false,
+                slot: i,
+                ah,
+            });
+        }
+    }
+    units
+}
+
+/// Labels one candidate with the early-validation proxy under full fault
+/// isolation: the work runs with the unit's fault id set (so injected NaNs
+/// and panics target it precisely) and inside `catch_unwind`, so a panicking
+/// candidate — injected or genuine — quarantines *itself* instead of killing
+/// the whole labelling fan-out. Divergent (poisoned) trainings come back as
+/// `f32::INFINITY` from [`early_validation`] and are quarantined too.
+pub fn label_one(ah: &ArchHyper, task: &ForecastTask, unit: u64, cfg: &TrainConfig) -> LabeledAh {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        octs_fault::with_unit(unit, || {
+            octs_fault::maybe_panic_unit();
+            early_validation(ah, task, cfg)
+        })
+    }));
+    match outcome {
+        Ok(score) if score.is_finite() => LabeledAh { ah: ah.clone(), score, quarantined: false },
+        Ok(_) | Err(_) => LabeledAh { ah: ah.clone(), score: f32::INFINITY, quarantined: true },
+    }
+}
+
+/// Reassembles per-task sample lists from labelled units. `scores` maps each
+/// unit id to its `(score, quarantined)` outcome — from a live labelling run
+/// or replayed out of a progress journal; the assembly is order-independent,
+/// so a resumed run and an uninterrupted one produce identical banks.
+pub fn assemble_samples(
+    units: &[LabelUnit],
+    scores: &BTreeMap<u64, (f32, bool)>,
+    n_tasks: usize,
+    cfg: &PretrainConfig,
+) -> Vec<TaskSamples> {
+    let mut shared: Vec<Vec<Option<LabeledAh>>> = vec![vec![None; cfg.l_shared]; n_tasks];
+    let mut random: Vec<Vec<Option<LabeledAh>>> = vec![vec![None; cfg.l_random]; n_tasks];
+    for u in units {
+        let (score, quarantined) =
+            *scores.get(&u.unit).unwrap_or_else(|| panic!("unit {} has no label", u.unit));
+        let labeled = LabeledAh { ah: u.ah.clone(), score, quarantined };
+        let dst = if u.shared { &mut shared[u.task_idx] } else { &mut random[u.task_idx] };
+        dst[u.slot] = Some(labeled);
+    }
+    shared
+        .into_iter()
+        .zip(random)
+        .map(|(s, r)| TaskSamples {
+            shared: s.into_iter().map(|l| l.expect("shared slot labelled")).collect(),
+            random: r.into_iter().map(|l| l.expect("random slot labelled")).collect(),
+        })
+        .collect()
+}
+
 /// Labels shared + per-task random arch-hypers with the early-validation
-/// proxy (parallel over candidates). This is the expensive phase of bank
+/// proxy (parallel over all units). This is the expensive phase of bank
 /// collection and is *embedder-independent*, so ablation studies run it once
-/// and share the result across comparator variants.
+/// and share the result across comparator variants. Candidates that diverge
+/// or panic are quarantined, not fatal.
 pub fn collect_labels(
     tasks: &[ForecastTask],
     space: &JointSpace,
     cfg: &PretrainConfig,
 ) -> Vec<TaskSamples> {
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let shared_pool = space.sample_distinct(cfg.l_shared.max(1), &mut rng);
-    let shared_pool = &shared_pool[..cfg.l_shared];
-    tasks
-        .iter()
-        .enumerate()
-        .map(|(ti, task)| {
-            let mut trng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (ti as u64 + 1) << 8);
-            let randoms = space.sample_distinct(cfg.l_random, &mut trng);
-            let label = |ahs: &[ArchHyper]| -> Vec<LabeledAh> {
-                ahs.par_iter()
-                    .map(|ah| LabeledAh {
-                        ah: ah.clone(),
-                        score: early_validation(ah, task, &cfg.label_cfg),
-                    })
-                    .collect()
-            };
-            TaskSamples { shared: label(shared_pool), random: label(&randoms) }
+    let units = label_units(tasks, space, cfg);
+    let labeled: Vec<(u64, (f32, bool))> = units
+        .par_iter()
+        .map(|u| {
+            let l = label_one(&u.ah, &tasks[u.task_idx], u.unit, &cfg.label_cfg);
+            (u.unit, (l.score, l.quarantined))
         })
-        .collect()
+        .collect();
+    let scores: BTreeMap<u64, (f32, bool)> = labeled.into_iter().collect();
+    assemble_samples(&units, &scores, tasks.len(), cfg)
 }
 
 /// Precomputes the frozen preliminary embedding of every task.
@@ -155,16 +265,20 @@ pub struct PretrainReport {
     /// Pairwise classification accuracy on freshly-paired held-out
     /// comparisons after training.
     pub holdout_accuracy: f32,
+    /// Epoch-level divergence rollbacks absorbed during training (0 on a
+    /// clean run).
+    pub divergence_rollbacks: usize,
 }
 
 /// Builds dynamically-paired comparisons from a pool of labelled samples:
 /// shuffles, pairs consecutive entries, labels by score order, and drops
-/// near-ties that carry no ranking signal.
+/// near-ties that carry no ranking signal. Quarantined samples are excluded
+/// before pairing.
 pub fn dynamic_pairs<'a>(
     pool: &'a [LabeledAh],
     rng: &mut ChaCha8Rng,
 ) -> Vec<(&'a ArchHyper, &'a ArchHyper, f32)> {
-    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    let mut idx: Vec<usize> = (0..pool.len()).filter(|&i| !pool[i].quarantined).collect();
     idx.shuffle(rng);
     let mut out = Vec::new();
     for pair in idx.chunks_exact(2) {
@@ -178,23 +292,159 @@ pub fn dynamic_pairs<'a>(
     out
 }
 
-/// Algorithm 1: curriculum pre-training of T-AHC over the bank.
-pub fn pretrain_tahc(tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> PretrainReport {
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xA1);
-    let mut opt = octs_tensor::Adam::new(cfg.lr, cfg.weight_decay);
-    let use_task = tahc.cfg.task_aware;
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    let mut delta = 0usize;
+/// Everything that determines the remainder of a pre-training run: restoring
+/// this state into a fresh [`Tahc`]/[`TahcTrainer`] pair continues bit-for-
+/// bit where the serialized run stopped. Written at epoch boundaries by the
+/// crash-safe pipeline.
+#[derive(Serialize, Deserialize)]
+pub struct TahcTrainerState {
+    /// Comparator parameters (with their init RNG).
+    pub params: ParamStore,
+    /// Optimizer moments and step count.
+    pub opt: Adam,
+    /// The curriculum/shuffling RNG, mid-stream.
+    pub rng: ChaCha8Rng,
+    /// Epochs completed so far.
+    pub epoch: usize,
+    /// Current curriculum size (how many random samples participate).
+    pub delta: usize,
+    /// Mean BCE loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Divergence rollbacks absorbed so far.
+    pub rollbacks: usize,
+}
 
-    for _epoch in 0..cfg.epochs {
+/// Step-wise driver for Algorithm 1: owns the optimizer, curriculum counter
+/// and RNG so that pre-training can advance one epoch at a time, export its
+/// full state at any epoch boundary ([`TahcTrainer::export_state`]) and be
+/// reconstructed from it ([`TahcTrainer::from_state`]) — the building block
+/// of crash-safe, resumable pre-training. [`pretrain_tahc`] is the
+/// uninterrupted convenience loop over it.
+pub struct TahcTrainer {
+    opt: Adam,
+    rng: ChaCha8Rng,
+    epoch: usize,
+    delta: usize,
+    epoch_losses: Vec<f32>,
+    rollbacks: usize,
+}
+
+/// Epoch-level retry budget for transient comparator-training divergence.
+const PRETRAIN_MAX_RETRIES: usize = 3;
+
+impl TahcTrainer {
+    /// A fresh trainer at epoch 0.
+    pub fn new(cfg: &PretrainConfig) -> Self {
+        Self {
+            opt: Adam::new(cfg.lr, cfg.weight_decay),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xA1),
+            epoch: 0,
+            delta: 0,
+            epoch_losses: Vec::new(),
+            rollbacks: 0,
+        }
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// True once every configured epoch has run.
+    pub fn is_done(&self, cfg: &PretrainConfig) -> bool {
+        self.epoch >= cfg.epochs
+    }
+
+    /// Mean BCE losses of the completed epochs.
+    pub fn epoch_losses(&self) -> &[f32] {
+        &self.epoch_losses
+    }
+
+    /// Serializes the full training state, pairing the trainer's own fields
+    /// with a snapshot of the comparator's parameters.
+    pub fn export_state(&self, tahc: &Tahc) -> TahcTrainerState {
+        TahcTrainerState {
+            params: tahc.ps.snapshot(),
+            opt: self.opt.clone(),
+            rng: self.rng.clone(),
+            epoch: self.epoch,
+            delta: self.delta,
+            epoch_losses: self.epoch_losses.clone(),
+            rollbacks: self.rollbacks,
+        }
+    }
+
+    /// Rebuilds a trainer mid-run, installing the serialized parameters into
+    /// `tahc` (and dropping its stale embedding caches).
+    pub fn from_state(state: TahcTrainerState, tahc: &mut Tahc) -> Self {
+        tahc.ps = state.params;
+        tahc.invalidate_caches();
+        Self {
+            opt: state.opt,
+            rng: state.rng,
+            epoch: state.epoch,
+            delta: state.delta,
+            epoch_losses: state.epoch_losses,
+            rollbacks: state.rollbacks,
+        }
+    }
+
+    /// Runs one curriculum epoch, returning its mean BCE loss.
+    ///
+    /// A non-finite epoch loss (genuine divergence or an injected
+    /// [`octs_fault::pretrain_nan`]) rolls the comparator, optimizer and RNG
+    /// back to the epoch start, halves the learning rate and retries — the
+    /// restored RNG replays the identical pairing. After
+    /// [`PRETRAIN_MAX_RETRIES`] failed attempts the loss is recorded as-is
+    /// and training moves on (downstream holdout accuracy exposes the wreck).
+    pub fn run_epoch(&mut self, tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> f32 {
+        let mut attempts = 0usize;
+        loop {
+            let snap_params = tahc.ps.snapshot();
+            let snap_opt = self.opt.clone();
+            let snap_rng = self.rng.clone();
+            let inject = octs_fault::armed() && octs_fault::pretrain_nan(self.epoch);
+            let (mut loss, batches) = self.epoch_pass(tahc, bank, cfg);
+            if inject {
+                loss = f32::NAN;
+            }
+            // Pair-free epochs legitimately report NaN; only a diverged pass
+            // over real batches triggers the rollback.
+            let diverged = batches > 0 && !loss.is_finite();
+            if !diverged || attempts >= PRETRAIN_MAX_RETRIES {
+                self.epoch_losses.push(loss);
+                self.epoch += 1;
+                self.delta = (self.delta + cfg.curriculum_step).min(cfg.l_random);
+                return loss;
+            }
+            tahc.ps = snap_params;
+            tahc.invalidate_caches();
+            self.opt = snap_opt;
+            self.rng = snap_rng;
+            self.opt.lr *= 0.5;
+            self.rollbacks += 1;
+            attempts += 1;
+        }
+    }
+
+    /// One pass over the epoch's curriculum pairs; returns `(mean loss,
+    /// batch count)`.
+    fn epoch_pass(
+        &mut self,
+        tahc: &mut Tahc,
+        bank: &PretrainBank,
+        cfg: &PretrainConfig,
+    ) -> (f32, usize) {
+        let use_task = tahc.cfg.task_aware;
         // Gather this epoch's pairs across all tasks (curriculum C_t).
         let mut all: Vec<(usize, &ArchHyper, &ArchHyper, f32)> = Vec::new();
         for (ti, s) in bank.samples.iter().enumerate() {
-            let mut pool: Vec<LabeledAh> = s.shared.clone();
-            pool.extend(s.random.iter().take(delta).cloned());
+            let mut pool: Vec<LabeledAh> =
+                s.shared.iter().filter(|l| !l.quarantined).cloned().collect();
+            pool.extend(s.random.iter().take(self.delta).filter(|l| !l.quarantined).cloned());
             // Dynamic pairing needs owned shuffle; borrow via indices below.
             let mut idx: Vec<usize> = (0..pool.len()).collect();
-            idx.shuffle(&mut rng);
+            idx.shuffle(&mut self.rng);
             for pair in idx.chunks_exact(2) {
                 let (a, b) = (&pool[pair[0]], &pool[pair[1]]);
                 if (a.score - b.score).abs() < 1e-6 {
@@ -213,7 +463,7 @@ pub fn pretrain_tahc(tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig)
                 all.push((ti, find(a), find(b), y));
             }
         }
-        all.shuffle(&mut rng);
+        all.shuffle(&mut self.rng);
 
         let mut loss_sum = 0.0f32;
         let mut batches = 0usize;
@@ -228,32 +478,51 @@ pub fn pretrain_tahc(tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig)
             if batch.is_empty() {
                 continue;
             }
-            loss_sum += tahc.train_batch(&mut opt, &batch);
+            loss_sum += tahc.train_batch(&mut self.opt, &batch);
             batches += 1;
         }
-        epoch_losses.push(if batches > 0 { loss_sum / batches as f32 } else { f32::NAN });
-        delta = (delta + cfg.curriculum_step).min(cfg.l_random);
+        let mean = if batches > 0 { loss_sum / batches as f32 } else { f32::NAN };
+        (mean, batches)
     }
 
-    // Hold-out evaluation: fresh pairings over the full pools.
-    let mut eval_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE7A1);
-    let mut eval: Vec<(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)> = Vec::new();
-    for (ti, s) in bank.samples.iter().enumerate() {
-        let pool: Vec<&LabeledAh> = s.shared.iter().chain(s.random.iter()).collect();
-        let mut idx: Vec<usize> = (0..pool.len()).collect();
-        idx.shuffle(&mut eval_rng);
-        for pair in idx.chunks_exact(2) {
-            let (a, b) = (pool[pair[0]], pool[pair[1]]);
-            if (a.score - b.score).abs() < 1e-6 {
-                continue;
+    /// Hold-out evaluation over fresh pairings of the full (non-quarantined)
+    /// pools, closing out the run as a [`PretrainReport`].
+    pub fn finish(&self, tahc: &Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> PretrainReport {
+        let use_task = tahc.cfg.task_aware;
+        let mut eval_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE7A1);
+        let mut eval: Vec<(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)> = Vec::new();
+        for (ti, s) in bank.samples.iter().enumerate() {
+            let pool: Vec<&LabeledAh> =
+                s.shared.iter().chain(s.random.iter()).filter(|l| !l.quarantined).collect();
+            let mut idx: Vec<usize> = (0..pool.len()).collect();
+            idx.shuffle(&mut eval_rng);
+            for pair in idx.chunks_exact(2) {
+                let (a, b) = (pool[pair[0]], pool[pair[1]]);
+                if (a.score - b.score).abs() < 1e-6 {
+                    continue;
+                }
+                let y = if a.score < b.score { 1.0 } else { 0.0 };
+                let prelim = if use_task { Some(&bank.prelims[ti]) } else { None };
+                eval.push((prelim, &a.ah, &b.ah, y));
             }
-            let y = if a.score < b.score { 1.0 } else { 0.0 };
-            let prelim = if use_task { Some(&bank.prelims[ti]) } else { None };
-            eval.push((prelim, &a.ah, &b.ah, y));
+        }
+        let holdout_accuracy = tahc.accuracy(&eval);
+        PretrainReport {
+            epoch_losses: self.epoch_losses.clone(),
+            holdout_accuracy,
+            divergence_rollbacks: self.rollbacks,
         }
     }
-    let holdout_accuracy = tahc.accuracy(&eval);
-    PretrainReport { epoch_losses, holdout_accuracy }
+}
+
+/// Algorithm 1: curriculum pre-training of T-AHC over the bank — the
+/// uninterrupted loop over [`TahcTrainer`].
+pub fn pretrain_tahc(tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> PretrainReport {
+    let mut trainer = TahcTrainer::new(cfg);
+    while !trainer.is_done(cfg) {
+        trainer.run_epoch(tahc, bank, cfg);
+    }
+    trainer.finish(tahc, bank, cfg)
 }
 
 #[cfg(test)]
@@ -314,7 +583,7 @@ mod tests {
         let pool: Vec<LabeledAh> = ahs
             .iter()
             .enumerate()
-            .map(|(i, ah)| LabeledAh { ah: ah.clone(), score: i as f32 })
+            .map(|(i, ah)| LabeledAh { ah: ah.clone(), score: i as f32, quarantined: false })
             .collect();
         let pairs = dynamic_pairs(&pool, &mut rng);
         assert_eq!(pairs.len(), 2);
@@ -323,6 +592,111 @@ mod tests {
             let sb = pool.iter().find(|l| &l.ah == b).unwrap().score;
             assert_eq!(y > 0.5, sa < sb);
         }
+    }
+
+    #[test]
+    fn faulted_units_are_quarantined_with_worst_rank_label() {
+        // Unit layout: stride = l_shared + l_random = 6; task 0 owns units
+        // 0..6, task 1 owns 6..12. Panic unit 1 (task 0, shared slot 1) and
+        // persistently NaN unit 9 (task 1, random slot 0): both must come
+        // back quarantined with the INFINITY proxy label, everything else
+        // untouched, and the fan-out must survive the panic.
+        let tasks = tiny_tasks(2);
+        let cfg = PretrainConfig { l_shared: 3, l_random: 3, ..PretrainConfig::test() };
+        let _scope = octs_fault::FaultScope::activate(
+            octs_fault::FaultPlan::new().panic_unit(1).nan_loss(9, 0),
+        );
+        let samples = collect_labels(&tasks, &JointSpace::tiny(), &cfg);
+        assert!(samples[0].shared[1].quarantined);
+        assert!(samples[0].shared[1].score.is_infinite());
+        assert!(samples[1].random[0].quarantined);
+        assert!(samples[1].random[0].score.is_infinite());
+        let healthy = samples
+            .iter()
+            .flat_map(|s| s.shared.iter().chain(s.random.iter()))
+            .filter(|l| !l.quarantined)
+            .count();
+        assert_eq!(healthy, 10);
+        assert!(samples
+            .iter()
+            .flat_map(|s| s.shared.iter().chain(s.random.iter()))
+            .filter(|l| !l.quarantined)
+            .all(|l| l.score.is_finite()));
+    }
+
+    #[test]
+    fn quarantined_samples_never_enter_pairs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let space = JointSpace::tiny();
+        let ahs = space.sample_distinct(6, &mut rng);
+        let pool: Vec<LabeledAh> = ahs
+            .iter()
+            .enumerate()
+            .map(|(i, ah)| LabeledAh {
+                ah: ah.clone(),
+                score: if i < 2 { f32::INFINITY } else { i as f32 },
+                quarantined: i < 2,
+            })
+            .collect();
+        for _ in 0..10 {
+            for (a, b, _) in dynamic_pairs(&pool, &mut rng) {
+                assert!(pool.iter().find(|l| &l.ah == a).unwrap().score.is_finite());
+                assert!(pool.iter().find(|l| &l.ah == b).unwrap().score.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn trainer_state_roundtrip_resumes_bitwise() {
+        // Epochs 0..2 + serialize + restore + epochs 2..4 must equal an
+        // uninterrupted 4-epoch run: same losses, same parameters, bit for
+        // bit. This is the property the crash-safe pipeline builds on.
+        let tasks = tiny_tasks(2);
+        let mut emb = tiny_embedder();
+        let space = JointSpace::tiny();
+        let cfg = PretrainConfig { epochs: 4, ..PretrainConfig::test() };
+        let bank = collect_bank(tasks, &mut emb, &space, &cfg);
+
+        let mut tahc_a = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let report_a = pretrain_tahc(&mut tahc_a, &bank, &cfg);
+
+        let mut tahc_b = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let mut trainer = TahcTrainer::new(&cfg);
+        trainer.run_epoch(&mut tahc_b, &bank, &cfg);
+        trainer.run_epoch(&mut tahc_b, &bank, &cfg);
+        let json = serde_json::to_string(&trainer.export_state(&tahc_b)).unwrap();
+        drop(trainer);
+        drop(tahc_b);
+
+        let state: TahcTrainerState = serde_json::from_str(&json).unwrap();
+        let mut tahc_c = Tahc::new(TahcConfig::test(), space.hyper.clone(), 99);
+        let mut resumed = TahcTrainer::from_state(state, &mut tahc_c);
+        assert_eq!(resumed.epoch(), 2);
+        while !resumed.is_done(&cfg) {
+            resumed.run_epoch(&mut tahc_c, &bank, &cfg);
+        }
+        let report_c = resumed.finish(&tahc_c, &bank, &cfg);
+
+        assert_eq!(report_a.epoch_losses, report_c.epoch_losses);
+        assert_eq!(report_a.holdout_accuracy, report_c.holdout_accuracy);
+        let ser = |t: &Tahc| serde_json::to_string(&t.ps.snapshot()).unwrap();
+        assert_eq!(ser(&tahc_a), ser(&tahc_c), "resumed params must match bitwise");
+    }
+
+    #[test]
+    fn transient_pretrain_nan_rolls_back_and_recovers() {
+        let tasks = tiny_tasks(2);
+        let mut emb = tiny_embedder();
+        let space = JointSpace::tiny();
+        let cfg = PretrainConfig { epochs: 4, ..PretrainConfig::test() };
+        let bank = collect_bank(tasks, &mut emb, &space, &cfg);
+        let _scope = octs_fault::FaultScope::activate(octs_fault::FaultPlan::new().pretrain_nan(1));
+        let mut tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let report = pretrain_tahc(&mut tahc, &bank, &cfg);
+        assert_eq!(report.divergence_rollbacks, 1);
+        assert_eq!(report.epoch_losses.len(), 4);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(tahc.ps.all_finite());
     }
 
     #[test]

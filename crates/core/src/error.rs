@@ -1,0 +1,86 @@
+//! Typed errors for the persistence layer: every failure names the file and
+//! operation involved, and corruption is distinguished from plain IO so
+//! callers can decide between retrying and refusing a checkpoint.
+
+use std::path::PathBuf;
+
+/// What went wrong while saving, loading or journaling.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An OS-level IO failure.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The operation that failed (`"read"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file exists but its contents are not what the format promises —
+    /// torn write, truncation, bad checksum, or unparseable payload.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// The file is a valid envelope of the wrong schema version.
+    Version {
+        /// The file involved.
+        path: PathBuf,
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// A resume was attempted against state written under a different
+    /// configuration (fingerprint mismatch).
+    Mismatch {
+        /// The journal or checkpoint involved.
+        path: PathBuf,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Io { path, op, source } => {
+                write!(f, "{op} failed for {}: {source}", path.display())
+            }
+            CoreError::Corrupt { path, detail } => {
+                write!(f, "{} is corrupt: {detail}", path.display())
+            }
+            CoreError::Version { path, found, expected } => write!(
+                f,
+                "{} has schema version {found}, this build reads version {expected}",
+                path.display()
+            ),
+            CoreError::Mismatch { path, detail } => {
+                write!(f, "{} belongs to a different run: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CoreError {
+    /// Shorthand for wrapping an [`std::io::Error`] with context.
+    pub fn io(path: impl Into<PathBuf>, op: &'static str, source: std::io::Error) -> Self {
+        CoreError::Io { path: path.into(), op, source }
+    }
+
+    /// Shorthand for a corruption report.
+    pub fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        CoreError::Corrupt { path: path.into(), detail: detail.into() }
+    }
+}

@@ -37,10 +37,21 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod error;
 pub mod facade;
+pub mod journal;
+pub mod persist;
+pub mod pipeline;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+pub use error::CoreError;
 pub use facade::{AutoCts, AutoCtsConfig};
+pub use journal::{Journal, Record};
+pub use pipeline::{JOURNAL_FILE, PIPELINE_VERSION};
+
+// The deterministic fault-injection harness, re-exported so integration
+// tests and benches reach it through the facade.
+pub use octs_fault as fault;
 
 // Re-export the component crates wholesale for power users.
 pub use octs_baselines as baselines;
@@ -55,6 +66,7 @@ pub use octs_space::{render, render_dot, ArchHyper, JointSpace};
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::error::CoreError;
     pub use crate::facade::{AutoCts, AutoCtsConfig};
     pub use octs_comparator::{PretrainConfig, TahcConfig};
     pub use octs_data::{

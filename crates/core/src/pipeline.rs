@@ -1,0 +1,218 @@
+//! Crash-safe, resumable pre-training: the journaled counterpart of
+//! [`AutoCts::pretrain`].
+//!
+//! The run directory holds an append-only [`Journal`] plus checksummed
+//! sidecar checkpoints ([`crate::persist`] envelopes):
+//!
+//! ```text
+//! run_dir/
+//!   progress.journal   fingerprint, encoder, per-unit label, per-epoch records
+//!   encoder.ckpt       task-encoder parameters after self-supervised training
+//!   epoch_0001.ckpt    TahcTrainerState at each completed comparator epoch
+//!   ...
+//! ```
+//!
+//! Every phase is either replayed from the journal or recomputed
+//! deterministically, so a run killed at *any* point — mid-labelling,
+//! between epochs, even mid-append (torn journal tail) — resumes from the
+//! last completed unit and finishes **bit-for-bit identical** to an
+//! uninterrupted run. Label scores are journaled as raw `f32` bits and the
+//! comparator state sidecars carry the exact optimizer moments and RNG
+//! stream, which is what makes the equality exact rather than approximate.
+
+use crate::error::CoreError;
+use crate::facade::AutoCts;
+use crate::journal::{Journal, Record};
+use crate::persist;
+use octs_comparator::{
+    assemble_samples, embed_tasks, label_one, label_units, PretrainBank, PretrainConfig,
+    PretrainReport, TahcTrainer, TahcTrainerState,
+};
+use octs_data::ForecastTask;
+use octs_tensor::ParamStore;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Schema version of the sidecar envelopes written by the journaled
+/// pipeline.
+pub const PIPELINE_VERSION: u32 = 1;
+
+/// File name of the progress journal inside a run directory.
+pub const JOURNAL_FILE: &str = "progress.journal";
+
+impl AutoCts {
+    /// Pre-trains like [`AutoCts::pretrain`], but journals progress to `dir`
+    /// so a killed run can be resumed. Calling this again on the same
+    /// directory — from this process or a fresh one built with the same
+    /// configuration — skips every completed unit and produces results
+    /// byte-identical to an uninterrupted run. A directory written under a
+    /// different configuration is refused with [`CoreError::Mismatch`].
+    pub fn pretrain_journaled(
+        &mut self,
+        tasks: Vec<ForecastTask>,
+        cfg: &PretrainConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<PretrainReport, CoreError> {
+        let dir = dir.as_ref();
+        assert!(!tasks.is_empty(), "pretraining needs at least one task");
+        std::fs::create_dir_all(dir).map_err(|e| CoreError::io(dir, "create_dir", e))?;
+        let journal_path = dir.join(JOURNAL_FILE);
+        let (mut journal, records) = Journal::open(&journal_path)?;
+
+        // Phase 0: fingerprint. A journal written under different knobs
+        // would replay garbage (different unit enumeration, different
+        // curriculum), so refuse loudly instead.
+        let fingerprint = self.run_fingerprint(cfg)?;
+        match records.iter().find(|r| r.kind == "fingerprint") {
+            Some(r) if r.detail == fingerprint => {}
+            Some(r) => {
+                return Err(CoreError::Mismatch {
+                    path: journal_path,
+                    detail: format!(
+                        "journal fingerprint {} != this run's {fingerprint} \
+                         (configuration changed between runs?)",
+                        r.detail
+                    ),
+                });
+            }
+            None => {
+                let mut rec = Record::of_kind("fingerprint");
+                rec.detail = fingerprint;
+                journal.append(&rec)?;
+            }
+        }
+
+        // Phase 1: task encoder. Either restore the sidecar or train and
+        // persist it before the journal records the phase as done.
+        let encoder_ckpt = dir.join("encoder.ckpt");
+        if records.iter().any(|r| r.kind == "encoder") {
+            let payload = persist::read_envelope(&encoder_ckpt, PIPELINE_VERSION)?;
+            let ps: ParamStore = serde_json::from_str(&payload).map_err(|e| {
+                CoreError::corrupt(&encoder_ckpt, format!("unparseable encoder params: {e}"))
+            })?;
+            self.embedder.encoder_mut().ps = ps;
+            self.embedder.encoder_mut().mark_trained();
+        } else {
+            let datasets: Vec<&octs_data::CtsData> = tasks.iter().map(|t| &t.data).collect();
+            self.embedder.pretrain_encoder(&datasets);
+            let json = serde_json::to_string(&self.embedder.encoder().ps).map_err(|e| {
+                CoreError::corrupt(&encoder_ckpt, format!("encoder serialization: {e}"))
+            })?;
+            persist::write_envelope(&encoder_ckpt, PIPELINE_VERSION, &json)?;
+            let mut rec = Record::of_kind("encoder");
+            rec.detail = "encoder.ckpt".to_string();
+            journal.append(&rec)?;
+        }
+
+        // Phase 2: label collection. The unit enumeration is a pure function
+        // of (space, cfg); completed units are replayed from the journal as
+        // raw f32 bits, the rest are labelled in parallel with each outcome
+        // journaled the moment it lands.
+        let units = label_units(&tasks, &self.cfg.space, cfg);
+        let mut scores: BTreeMap<u64, (f32, bool)> = records
+            .iter()
+            .filter(|r| r.kind == "label")
+            .map(|r| (r.unit, (f32::from_bits(r.bits), r.quarantined)))
+            .collect();
+        let todo: Vec<&octs_comparator::LabelUnit> =
+            units.iter().filter(|u| !scores.contains_key(&u.unit)).collect();
+        if !todo.is_empty() {
+            let journal = Mutex::new(&mut journal);
+            let failure: Mutex<Option<CoreError>> = Mutex::new(None);
+            let fresh: Vec<Option<(u64, (f32, bool))>> = todo
+                .par_iter()
+                .map(|u| {
+                    if failure.lock().unwrap().is_some() {
+                        return None; // a journal append already failed: stop
+                    }
+                    let l = label_one(&u.ah, &tasks[u.task_idx], u.unit, &cfg.label_cfg);
+                    let rec = Record {
+                        kind: "label".to_string(),
+                        unit: u.unit,
+                        bits: l.score.to_bits(),
+                        quarantined: l.quarantined,
+                        epoch: 0,
+                        detail: String::new(),
+                    };
+                    match journal.lock().unwrap().append(&rec) {
+                        Ok(()) => Some((u.unit, (l.score, l.quarantined))),
+                        Err(e) => {
+                            failure.lock().unwrap().get_or_insert(e);
+                            None
+                        }
+                    }
+                })
+                .collect();
+            if let Some(e) = failure.into_inner().unwrap() {
+                return Err(e);
+            }
+            scores.extend(fresh.into_iter().flatten());
+        }
+        let samples = assemble_samples(&units, &scores, tasks.len(), cfg);
+        let prelims = embed_tasks(&tasks, &mut self.embedder);
+        let bank = PretrainBank { tasks, prelims, samples };
+
+        // Phase 3: comparator epochs. Each completed epoch leaves a sidecar
+        // with the exact trainer state (params, optimizer moments, RNG
+        // stream); resume reloads the newest one and continues mid-stream.
+        let done_epochs = records.iter().filter(|r| r.kind == "epoch").count();
+        let mut trainer = if done_epochs > 0 {
+            let ckpt = dir.join(format!("epoch_{done_epochs:04}.ckpt"));
+            let payload = persist::read_envelope(&ckpt, PIPELINE_VERSION)?;
+            let state: TahcTrainerState = serde_json::from_str(&payload).map_err(|e| {
+                CoreError::corrupt(&ckpt, format!("unparseable trainer state: {e}"))
+            })?;
+            TahcTrainer::from_state(state, &mut self.tahc)
+        } else {
+            TahcTrainer::new(cfg)
+        };
+        while !trainer.is_done(cfg) {
+            trainer.run_epoch(&mut self.tahc, &bank, cfg);
+            let ckpt_name = format!("epoch_{:04}.ckpt", trainer.epoch());
+            let json = serde_json::to_string(&trainer.export_state(&self.tahc)).map_err(|e| {
+                CoreError::corrupt(dir.join(&ckpt_name), format!("state serialization: {e}"))
+            })?;
+            persist::write_envelope(&dir.join(&ckpt_name), PIPELINE_VERSION, &json)?;
+            let mut rec = Record::of_kind("epoch");
+            rec.epoch = trainer.epoch() as u64;
+            rec.detail = ckpt_name;
+            journal.append(&rec)?;
+        }
+
+        let report = trainer.finish(&self.tahc, &bank, cfg);
+        self.mark_pretrained();
+        if !records.iter().any(|r| r.kind == "done") {
+            journal.append(&Record::of_kind("done"))?;
+        }
+        Ok(report)
+    }
+
+    /// Builds a fresh system and drives [`AutoCts::pretrain_journaled`]
+    /// against an existing run directory — the one-call "restart a killed
+    /// run" entry point. With an empty or absent directory it simply
+    /// performs the full run.
+    pub fn resume(
+        cfg: crate::facade::AutoCtsConfig,
+        tasks: Vec<ForecastTask>,
+        pre_cfg: &PretrainConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, PretrainReport), CoreError> {
+        let mut sys = AutoCts::new(cfg);
+        let report = sys.pretrain_journaled(tasks, pre_cfg, dir)?;
+        Ok((sys, report))
+    }
+
+    /// Hex fingerprint over the system + pre-training configuration, used to
+    /// bind a journal to the run that wrote it.
+    fn run_fingerprint(&self, cfg: &PretrainConfig) -> Result<String, CoreError> {
+        let sys = serde_json::to_string(&self.cfg).map_err(|e| {
+            CoreError::corrupt("<config>", format!("system config serialization: {e}"))
+        })?;
+        let pre = serde_json::to_string(cfg).map_err(|e| {
+            CoreError::corrupt("<config>", format!("pretrain config serialization: {e}"))
+        })?;
+        Ok(format!("{:016x}", persist::fnv64(format!("{sys}\n{pre}").as_bytes())))
+    }
+}

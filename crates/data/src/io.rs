@@ -9,16 +9,34 @@ use crate::cts::{Adjacency, CtsData};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 
+/// An `InvalidData` error locating the problem: file, line, byte offset.
+fn parse_err(path: &Path, lineno: usize, offset: u64, msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: line {} (byte offset {offset}): {msg}", path.display(), lineno + 1),
+    )
+}
+
+/// Wraps an OS-level error with the file it concerns.
+fn io_err(path: &Path, op: &str, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{op} failed for {}: {e}", path.display()))
+}
+
 /// Parses a wide CSV (`rows = steps`, `cols = series`) into a [`CtsData`]
 /// with an identity adjacency. A non-numeric first row is treated as header.
+/// Malformed content is rejected with the file, line and byte offset named.
 pub fn read_csv(path: impl AsRef<Path>, name: &str) -> io::Result<CtsData> {
-    let file = std::fs::File::open(&path)?;
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| io_err(path, "open", e))?;
     let reader = BufReader::new(file);
     let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut offset = 0u64; // byte offset of the current line's start
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| io_err(path, "read", e))?;
+        let line_bytes = line.len() as u64 + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() {
+            offset += line_bytes;
             continue;
         }
         let parsed: Result<Vec<f32>, _> =
@@ -27,30 +45,23 @@ pub fn read_csv(path: impl AsRef<Path>, name: &str) -> io::Result<CtsData> {
             Ok(vals) => {
                 if let Some(first) = rows.first() {
                     if vals.len() != first.len() {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "row {} has {} columns, expected {}",
-                                lineno + 1,
-                                vals.len(),
-                                first.len()
-                            ),
+                        return Err(parse_err(
+                            path,
+                            lineno,
+                            offset,
+                            format!("row has {} columns, expected {}", vals.len(), first.len()),
                         ));
                     }
                 }
                 rows.push(vals);
             }
-            Err(_) if rows.is_empty() && lineno == 0 => continue, // header
-            Err(e) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("row {}: {e}", lineno + 1),
-                ))
-            }
+            Err(_) if rows.is_empty() && lineno == 0 => {} // header
+            Err(e) => return Err(parse_err(path, lineno, offset, e)),
         }
+        offset += line_bytes;
     }
     if rows.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "no data rows"));
+        return Err(parse_err(path, 0, 0, "no data rows"));
     }
     let t = rows.len();
     let n = rows[0].len();
@@ -78,27 +89,32 @@ pub fn write_csv(data: &CtsData, path: impl AsRef<Path>) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads an `N×N` adjacency weight matrix from CSV (no header).
+/// Reads an `N×N` adjacency weight matrix from CSV (no header). Malformed
+/// content is rejected with the file, line and byte offset named.
 pub fn read_adjacency_csv(path: impl AsRef<Path>, n: usize) -> io::Result<Adjacency> {
-    let file = std::fs::File::open(path)?;
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| io_err(path, "open", e))?;
     let reader = BufReader::new(file);
     let mut weights = Vec::with_capacity(n * n);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut offset = 0u64;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| io_err(path, "read", e))?;
+        if !line.trim().is_empty() {
+            for cell in line.trim().split(',') {
+                let v: f32 = cell.trim().parse().map_err(|e| {
+                    parse_err(path, lineno, offset, format!("bad weight {:?}: {e}", cell.trim()))
+                })?;
+                weights.push(v);
+            }
         }
-        for cell in line.trim().split(',') {
-            let v: f32 = cell.trim().parse().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad weight: {e}"))
-            })?;
-            weights.push(v);
-        }
+        offset += line.len() as u64 + 1;
     }
     if weights.len() != n * n {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("expected {} weights, found {}", n * n, weights.len()),
+        return Err(parse_err(
+            path,
+            0,
+            0,
+            format!("expected {} weights ({n}x{n}), found {}", n * n, weights.len()),
         ));
     }
     Ok(Adjacency::from_dense(n, weights))
@@ -166,6 +182,29 @@ mod tests {
         let path = tmp("empty");
         std::fs::write(&path, "").unwrap();
         assert!(read_csv(&path, "e").is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn errors_name_file_line_and_byte_offset() {
+        let path = tmp("context");
+        // header (4 bytes incl. newline), good row (4), bad row at offset 8
+        std::fs::write(&path, "a,b\n1,2\n3,oops\n").unwrap();
+        let err = read_csv(&path, "ctx").unwrap_err().to_string();
+        assert!(err.contains(&path.display().to_string()), "{err}");
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("byte offset 8"), "{err}");
+
+        std::fs::write(&path, "1,0.5\n0.5,bad\n").unwrap();
+        let err = read_adjacency_csv(&path, 2).unwrap_err().to_string();
+        assert!(err.contains(&path.display().to_string()), "{err}");
+        assert!(err.contains("byte offset 6"), "{err}");
+        assert!(err.contains("\"bad\""), "{err}");
+
+        let missing = tmp("does_not_exist");
+        std::fs::remove_file(&missing).ok();
+        let err = read_csv(&missing, "m").unwrap_err().to_string();
+        assert!(err.contains(&missing.display().to_string()), "{err}");
         std::fs::remove_file(path).ok();
     }
 

@@ -1,0 +1,395 @@
+//! # octs-fault
+//!
+//! A deterministic fault-injection harness for the AutoCTS+ robustness layer.
+//!
+//! Long-running phases — early-validation label collection, comparator
+//! pre-training, comparator-guided ranking — must survive three classes of
+//! failure: diverging candidate trainings (NaN losses), panicking candidate
+//! evaluations, and IO errors while journaling progress. This crate lets
+//! tests and benchmarks *schedule* exactly those failures at chosen points,
+//! so every recovery path is exercised deterministically.
+//!
+//! ## Model
+//!
+//! A [`FaultPlan`] names the faults to inject, keyed by the deterministic
+//! identifiers the pipelines already have:
+//!
+//! - **unit** — the flat index of a labelling unit (one candidate on one
+//!   task). Unit-keyed faults poison a specific candidate's training
+//!   ([`FaultPlan::nan_loss`]) or make its evaluation panic outright
+//!   ([`FaultPlan::panic_unit`]).
+//! - **candidate index** inside a ranking pool ([`FaultPlan::compare_panic`])
+//!   — the candidate's comparator embedding panics, exercising the ranking
+//!   layer's quarantine.
+//! - **(site, op)** for IO faults ([`FaultPlan::io_error`]) — e.g. the `k`-th
+//!   journal append fails, simulating a crash at that journal boundary.
+//! - **epoch** for transient comparator pre-training NaNs
+//!   ([`FaultPlan::pretrain_nan`]) — consumed once, so the rollback + retry
+//!   path is seen to recover.
+//!
+//! Plans activate process-globally through a [`FaultScope`] guard that holds
+//! an exclusive lock (concurrent fault tests serialize instead of
+//! cross-contaminating) and deactivate on drop. When no scope is active
+//! every hook is a single relaxed atomic load — the production fast path.
+//!
+//! Injected panics carry the [`InjectedPanic`] payload and are muted by the
+//! scope's panic hook, so fault-suite output stays readable; real panics
+//! still print through the previous hook.
+
+#![warn(missing_docs)]
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// The payload of every injected panic; lets `catch_unwind` sites and the
+/// quiet panic hook distinguish scheduled faults from genuine bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// The unit / candidate index the fault was keyed on.
+    pub unit: u64,
+}
+
+/// A deterministic schedule of faults to inject.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Labelling units whose training loss turns NaN at the given epoch,
+    /// every attempt — the candidate diverges persistently, so the trainer's
+    /// rollback budget runs out and the candidate is poisoned.
+    pub nan_loss_units: BTreeMap<u64, usize>,
+    /// Labelling units whose training loss turns NaN at the given epoch
+    /// *once* — the first attempt diverges, then the rollback + halved-lr
+    /// retry must recover and complete the run unpoisoned.
+    pub transient_nan_units: BTreeMap<u64, usize>,
+    /// Labelling units that panic as soon as evaluation starts.
+    pub panic_units: BTreeSet<u64>,
+    /// Candidate indices (within a ranking pool) whose comparator embedding
+    /// panics — the ranking layer must quarantine them.
+    pub compare_panic_units: BTreeSet<u64>,
+    /// Comparator pre-training epochs whose first loss goes NaN, once —
+    /// the epoch-level rollback must absorb the transient and converge.
+    pub pretrain_nan_epochs: BTreeSet<usize>,
+    /// One-shot IO failures keyed by `(site, op index)`, e.g.
+    /// `("journal.append", 7)` fails the 8th journal append.
+    pub io_faults: BTreeSet<(String, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a persistent NaN loss for `unit` at training `epoch`.
+    pub fn nan_loss(mut self, unit: u64, epoch: usize) -> Self {
+        self.nan_loss_units.insert(unit, epoch);
+        self
+    }
+
+    /// Schedules a one-shot NaN loss for `unit` at training `epoch` — the
+    /// rollback must absorb it and the run must still complete.
+    pub fn transient_nan(mut self, unit: u64, epoch: usize) -> Self {
+        self.transient_nan_units.insert(unit, epoch);
+        self
+    }
+
+    /// Schedules a panic when labelling `unit` begins.
+    pub fn panic_unit(mut self, unit: u64) -> Self {
+        self.panic_units.insert(unit);
+        self
+    }
+
+    /// Schedules a panic inside the comparator embedding of ranking-pool
+    /// candidate `idx`.
+    pub fn compare_panic(mut self, idx: u64) -> Self {
+        self.compare_panic_units.insert(idx);
+        self
+    }
+
+    /// Schedules a one-shot NaN loss in comparator pre-training `epoch`.
+    pub fn pretrain_nan(mut self, epoch: usize) -> Self {
+        self.pretrain_nan_epochs.insert(epoch);
+        self
+    }
+
+    /// Schedules a one-shot IO failure at `(site, op)`.
+    pub fn io_error(mut self, site: &str, op: u64) -> Self {
+        self.io_faults.insert((site.to_string(), op));
+        self
+    }
+
+    /// A seeded random plan over `n_units` labelling units: `n_nan` distinct
+    /// units diverge with NaN losses (at epoch 0) and `n_panic` further
+    /// distinct units panic. Fully determined by `seed`.
+    pub fn seeded(seed: u64, n_units: u64, n_nan: usize, n_panic: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut units: Vec<u64> = (0..n_units).collect();
+        units.shuffle(&mut rng);
+        let mut plan = Self::new();
+        let mut it = units.into_iter();
+        for _ in 0..n_nan {
+            if let Some(u) = it.next() {
+                plan.nan_loss_units.insert(u, 0);
+            }
+        }
+        for _ in 0..n_panic {
+            if let Some(u) = it.next() {
+                plan.panic_units.insert(u);
+            }
+        }
+        plan
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self == &Self::default()
+    }
+}
+
+/// One-shot triggers are consumed at fire time, so the active plan lives
+/// behind a mutex; `ARMED` keeps the inactive fast path to one atomic load.
+static ACTIVE: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Serializes fault scopes across threads (test isolation).
+static SCOPE: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    static CURRENT_UNIT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// RAII guard keeping a [`FaultPlan`] active; deactivates on drop. Only one
+/// scope exists at a time process-wide.
+pub struct FaultScope {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl FaultScope {
+    /// Activates `plan` for the lifetime of the returned guard. Blocks if
+    /// another scope is active (fault tests serialize).
+    pub fn activate(plan: FaultPlan) -> Self {
+        let lock = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+        *ACTIVE.lock().expect("fault plan lock") = Some(plan);
+        ARMED.store(true, Ordering::SeqCst);
+        install_quiet_hook();
+        Self { _lock: lock }
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *ACTIVE.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// True when a fault plan is active (one relaxed load — the fast path every
+/// hook takes first).
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Runs `f` with the current thread's fault unit set to `unit` (restored
+/// afterwards). The labelling fan-outs wrap each candidate's work in this so
+/// the trainer's hooks know which unit they are running for. Cheap enough to
+/// call unconditionally.
+pub fn with_unit<R>(unit: u64, f: impl FnOnce() -> R) -> R {
+    CURRENT_UNIT.with(|c| {
+        let prev = c.replace(Some(unit));
+        struct Restore<'a>(&'a Cell<Option<u64>>, Option<u64>);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.1);
+            }
+        }
+        let _restore = Restore(c, prev);
+        f()
+    })
+}
+
+/// The fault unit the current thread is labelling, if any.
+pub fn current_unit() -> Option<u64> {
+    CURRENT_UNIT.with(|c| c.get())
+}
+
+fn with_plan<R>(f: impl FnOnce(&mut FaultPlan) -> R) -> Option<R> {
+    if !armed() {
+        return None;
+    }
+    let mut guard = ACTIVE.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_mut().map(f)
+}
+
+/// Hook for the forecaster trainer: true when the current unit's loss should
+/// read as NaN at `epoch`. Persistent schedules ([`FaultPlan::nan_loss`])
+/// fire on every (re)attempt, exhausting the divergence guard's strike
+/// budget; transient ones ([`FaultPlan::transient_nan`]) are consumed on
+/// first fire, so the rollback + retry recovers.
+pub fn nan_loss_at(epoch: usize) -> bool {
+    if !armed() {
+        return false;
+    }
+    let Some(unit) = current_unit() else { return false };
+    with_plan(|p| {
+        if p.nan_loss_units.get(&unit) == Some(&epoch) {
+            return true;
+        }
+        if p.transient_nan_units.get(&unit) == Some(&epoch) {
+            p.transient_nan_units.remove(&unit);
+            return true;
+        }
+        false
+    })
+    .unwrap_or(false)
+}
+
+/// Hook for labelling fan-outs: panics (with [`InjectedPanic`]) if the
+/// current unit is scheduled to panic.
+pub fn maybe_panic_unit() {
+    if !armed() {
+        return;
+    }
+    let Some(unit) = current_unit() else { return };
+    if with_plan(|p| p.panic_units.contains(&unit)).unwrap_or(false) {
+        std::panic::panic_any(InjectedPanic { unit });
+    }
+}
+
+/// Hook for the ranking layer: panics (with [`InjectedPanic`]) if ranking-
+/// pool candidate `idx` is scheduled to fail during embedding.
+pub fn maybe_panic_compare(idx: usize) {
+    if !armed() {
+        return;
+    }
+    if with_plan(|p| p.compare_panic_units.contains(&(idx as u64))).unwrap_or(false) {
+        std::panic::panic_any(InjectedPanic { unit: idx as u64 });
+    }
+}
+
+/// Hook for comparator pre-training: true once per scheduled `epoch`
+/// (consumed), so the epoch-level rollback retries into a clean run.
+pub fn pretrain_nan(epoch: usize) -> bool {
+    if !armed() {
+        return false;
+    }
+    with_plan(|p| p.pretrain_nan_epochs.remove(&epoch)).unwrap_or(false)
+}
+
+/// Hook for persistence layers: returns a scheduled IO error for
+/// `(site, op)` exactly once, `Ok(())` otherwise.
+pub fn io_fault(site: &str, op: u64) -> std::io::Result<()> {
+    if !armed() {
+        return Ok(());
+    }
+    let fired = with_plan(|p| p.io_faults.remove(&(site.to_string(), op))).unwrap_or(false);
+    if fired {
+        Err(std::io::Error::other(format!("injected IO fault at {site}#{op}")))
+    } else {
+        Ok(())
+    }
+}
+
+// --- quiet panic hook ----------------------------------------------------
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Installed once, process-wide: mutes panics carrying the [`InjectedPanic`]
+/// payload (which only exist while a scope is active) and delegates every
+/// other panic to the hook that was installed before. Capturing the previous
+/// hook by move keeps this MSRV-clean — the hook-info type never needs to be
+/// named.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_some() {
+                return; // scheduled fault: stay quiet
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_hooks_are_noops() {
+        assert!(!armed());
+        assert!(!nan_loss_at(0));
+        maybe_panic_unit();
+        maybe_panic_compare(3);
+        assert!(!pretrain_nan(0));
+        assert!(io_fault("journal.append", 0).is_ok());
+    }
+
+    #[test]
+    fn unit_scoping_nests_and_restores() {
+        assert_eq!(current_unit(), None);
+        let out = with_unit(7, || {
+            assert_eq!(current_unit(), Some(7));
+            with_unit(9, || assert_eq!(current_unit(), Some(9)));
+            assert_eq!(current_unit(), Some(7));
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(current_unit(), None);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_and_one_shots_consume() {
+        let plan = FaultPlan::new()
+            .nan_loss(3, 1)
+            .panic_unit(5)
+            .pretrain_nan(2)
+            .io_error("journal.append", 1);
+        let _scope = FaultScope::activate(plan);
+
+        // persistent NaN loss: fires repeatedly, only for its (unit, epoch)
+        with_unit(3, || {
+            assert!(nan_loss_at(1));
+            assert!(nan_loss_at(1));
+            assert!(!nan_loss_at(0));
+        });
+        with_unit(4, || assert!(!nan_loss_at(1)));
+
+        // scheduled panic carries the InjectedPanic payload
+        let err = std::panic::catch_unwind(|| with_unit(5, maybe_panic_unit)).unwrap_err();
+        assert_eq!(err.downcast_ref::<InjectedPanic>(), Some(&InjectedPanic { unit: 5 }));
+
+        // one-shots consume
+        assert!(pretrain_nan(2));
+        assert!(!pretrain_nan(2));
+        assert!(io_fault("journal.append", 0).is_ok());
+        assert!(io_fault("journal.append", 1).is_err());
+        assert!(io_fault("journal.append", 1).is_ok());
+    }
+
+    #[test]
+    fn scope_drop_disarms() {
+        {
+            let _scope = FaultScope::activate(FaultPlan::new().panic_unit(1));
+            assert!(armed());
+        }
+        assert!(!armed());
+        with_unit(1, maybe_panic_unit); // must not panic once disarmed
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_disjoint() {
+        let a = FaultPlan::seeded(9, 32, 2, 3);
+        let b = FaultPlan::seeded(9, 32, 2, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.nan_loss_units.len(), 2);
+        assert_eq!(a.panic_units.len(), 3);
+        for u in a.nan_loss_units.keys() {
+            assert!(!a.panic_units.contains(u), "unit {u} scheduled twice");
+        }
+        assert_ne!(a, FaultPlan::seeded(10, 32, 2, 3));
+    }
+}

@@ -6,14 +6,15 @@ use crate::model_trait::CtsForecastModel;
 use octs_data::metrics;
 use octs_data::{ForecastTask, Split};
 use octs_space::ArchHyper;
-use octs_tensor::{clip_grad_norm, Adam};
+use octs_tensor::{clip_grad_norm, Adam, ParamStore};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Knobs for one training run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Maximum epochs.
     pub epochs: usize,
@@ -31,6 +32,11 @@ pub struct TrainConfig {
     pub max_eval_windows: usize,
     /// Early-stop patience in epochs (0 disables early stopping).
     pub patience: usize,
+    /// Divergence guard: how many rollback-and-retry attempts (with halved
+    /// learning rate) a run gets after a non-finite loss/gradient before it
+    /// is marked *poisoned*. 0 disables the guard (legacy behaviour: NaNs
+    /// propagate through the remaining epochs).
+    pub divergence_strikes: usize,
     /// Seed for init and shuffling.
     pub seed: u64,
 }
@@ -48,6 +54,7 @@ impl TrainConfig {
             max_train_windows: 48,
             max_eval_windows: 32,
             patience: 0,
+            divergence_strikes: 3,
             seed: 0,
         }
     }
@@ -63,6 +70,7 @@ impl TrainConfig {
             max_train_windows: 96,
             max_eval_windows: 64,
             patience: 5,
+            divergence_strikes: 3,
             seed: 0,
         }
     }
@@ -78,6 +86,7 @@ impl TrainConfig {
             max_train_windows: 12,
             max_eval_windows: 8,
             patience: 0,
+            divergence_strikes: 3,
             seed: 0,
         }
     }
@@ -117,6 +126,12 @@ pub struct TrainReport {
     pub test: EvalMetrics,
     /// Wall-clock training time.
     pub train_time: Duration,
+    /// True when the run diverged past its strike budget — the weights are
+    /// the last healthy snapshot, but the candidate should be treated as
+    /// unusable (label collection maps this to a worst-rank proxy score).
+    pub poisoned: bool,
+    /// Number of divergence rollbacks performed (0 on a clean run).
+    pub divergence_rollbacks: usize,
 }
 
 fn subsample(windows: &[usize], max: usize) -> Vec<usize> {
@@ -219,8 +234,23 @@ pub fn val_mae_scaled<M: CtsForecastModel + ?Sized>(
     abs_sum / count as f32
 }
 
+/// A rollback point: everything that determines the rest of the run.
+/// Restoring all three and replaying the epoch reproduces it bit-for-bit
+/// (modulo the halved learning rate that motivated the rollback).
+struct EpochSnapshot {
+    params: ParamStore,
+    opt: Adam,
+    rng: ChaCha8Rng,
+}
+
 /// Trains `fc` on the task with MAE objective and Adam (Section 4.1.4),
 /// early-stopping on validation MAE.
+///
+/// When `cfg.divergence_strikes > 0`, a divergence guard watches every batch:
+/// a non-finite loss, gradient or parameter rolls the model, optimizer and
+/// shuffling RNG back to the last healthy epoch boundary, halves the learning
+/// rate and retries the same epoch. After `divergence_strikes` rollbacks the
+/// run is marked [`TrainReport::poisoned`] instead of aborting the caller.
 pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
     fc: &mut M,
     task: &ForecastTask,
@@ -232,24 +262,72 @@ pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
     let train_windows = subsample(&task.windows(Split::Train), cfg.max_train_windows);
     assert!(!train_windows.is_empty(), "no training windows for task {}", task.id());
 
+    let guard = cfg.divergence_strikes > 0;
+    let mut snapshot = guard.then(|| EpochSnapshot {
+        params: fc.params_mut().snapshot(),
+        opt: opt.clone(),
+        rng: rng.clone(),
+    });
+    let mut rollbacks = 0usize;
+    let mut poisoned = false;
+
     let mut best = f32::INFINITY;
     let mut since_best = 0usize;
     let mut epochs_run = 0usize;
-    for _epoch in 0..cfg.epochs {
-        epochs_run += 1;
+    let mut epoch = 0usize;
+    while epoch < cfg.epochs {
         let mut order = train_windows.clone();
         order.shuffle(&mut rng);
         fc.set_training(true);
+        let mut diverged = false;
         for chunk in order.chunks(cfg.batch_size) {
             let batch = task.make_batch(chunk);
             let (g, pred) = fc.forward(&batch.x);
             let loss = pred.mae_loss(&g.constant(batch.y.clone()));
+            let mut loss_val = loss.value().item();
+            if octs_fault::armed() && octs_fault::nan_loss_at(epoch) {
+                loss_val = f32::NAN;
+            }
+            if guard && !loss_val.is_finite() {
+                diverged = true;
+                break;
+            }
             g.backward(&loss);
             let mut grads = g.param_grads();
+            if guard && grads.iter().any(|(_, t)| !t.all_finite()) {
+                diverged = true;
+                break;
+            }
             if cfg.grad_clip > 0.0 {
                 clip_grad_norm(&mut grads, cfg.grad_clip);
             }
             opt.step(fc.params_mut(), &grads);
+        }
+        if guard && !diverged && !fc.params_mut().all_finite() {
+            diverged = true;
+        }
+        if diverged {
+            // Roll back to the last healthy epoch boundary; the restored RNG
+            // replays the identical shuffle, so a gentler learning rate is
+            // the only difference on the retry.
+            let snap = snapshot.as_ref().expect("guard active implies snapshot");
+            *fc.params_mut() = snap.params.snapshot();
+            opt = snap.opt.clone();
+            rng = snap.rng.clone();
+            rollbacks += 1;
+            if rollbacks >= cfg.divergence_strikes {
+                poisoned = true;
+                break;
+            }
+            opt.lr *= 0.5;
+            continue; // retry the same epoch
+        }
+        epochs_run += 1;
+        epoch += 1;
+        if let Some(snap) = snapshot.as_mut() {
+            snap.params = fc.params_mut().snapshot();
+            snap.opt = opt.clone();
+            snap.rng = rng.clone();
         }
         let vm = val_mae_scaled(fc, task, cfg.max_eval_windows);
         if vm < best - 1e-5 {
@@ -265,16 +343,30 @@ pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
 
     let val = evaluate(fc, task, Split::Val, cfg.max_eval_windows);
     let test = evaluate(fc, task, Split::Test, cfg.max_eval_windows);
-    TrainReport { best_val_mae: best, epochs_run, val, test, train_time: start.elapsed() }
+    TrainReport {
+        best_val_mae: best,
+        epochs_run,
+        val,
+        test,
+        train_time: start.elapsed(),
+        poisoned,
+        divergence_rollbacks: rollbacks,
+    }
 }
 
 /// The early-validation metric `R'` (Eq. 22): validation MAE (scaled) after
-/// `cfg.epochs` (= k) training epochs. Lower is better.
+/// `cfg.epochs` (= k) training epochs. Lower is better. A poisoned run
+/// (divergence past the strike budget) reports `f32::INFINITY` — the
+/// worst-rank proxy label — rather than propagating NaN into the comparator.
 pub fn early_validation(ah: &ArchHyper, task: &ForecastTask, cfg: &TrainConfig) -> f32 {
     let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
     let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, cfg.seed);
     let report = train_forecaster(&mut fc, task, cfg);
-    report.best_val_mae
+    if report.poisoned {
+        f32::INFINITY
+    } else {
+        report.best_val_mae
+    }
 }
 
 #[cfg(test)]
@@ -376,15 +468,82 @@ mod tests {
     #[test]
     fn divergent_learning_rate_does_not_panic() {
         // Failure injection: an absurd learning rate may blow the weights up
-        // to NaN; the training loop must survive and report, not crash.
+        // to NaN; with the guard disabled the loop must still survive and
+        // report (legacy behaviour), not crash.
         let task = small_task();
         let ah = sample_ah(9);
         let dims = ModelDims::new(4, 1, task.setting);
         let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 5);
-        let cfg =
-            TrainConfig { epochs: 4, lr: 1e6, grad_clip: 0.0, patience: 0, ..TrainConfig::test() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            lr: 1e6,
+            grad_clip: 0.0,
+            patience: 0,
+            divergence_strikes: 0,
+            ..TrainConfig::test()
+        };
         let report = train_forecaster(&mut fc, &task, &cfg);
         assert_eq!(report.epochs_run, 4, "loop must complete despite divergence");
+        assert!(!report.poisoned);
+    }
+
+    #[test]
+    fn transient_divergence_rolls_back_and_recovers() {
+        // A one-shot NaN at epoch 1: the guard must roll back to the epoch-0
+        // boundary, halve the learning rate, retry, and finish unpoisoned
+        // with finite weights.
+        let task = small_task();
+        let ah = sample_ah(9);
+        let _scope =
+            octs_fault::FaultScope::activate(octs_fault::FaultPlan::new().transient_nan(77, 1));
+        octs_fault::with_unit(77, || {
+            let dims = ModelDims::new(4, 1, task.setting);
+            let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, 5);
+            let report = train_forecaster(&mut fc, &task, &TrainConfig::test());
+            assert!(!report.poisoned);
+            assert_eq!(report.divergence_rollbacks, 1);
+            assert_eq!(report.epochs_run, 2);
+            assert!(report.best_val_mae.is_finite());
+            assert!(fc.params_mut().all_finite(), "guard must leave finite weights");
+        });
+    }
+
+    #[test]
+    fn injected_nan_loss_poisons_run() {
+        // A persistent injected NaN at epoch 0 exhausts the strike budget;
+        // the run must come back poisoned with the worst-rank proxy label.
+        let task = small_task();
+        let ah = sample_ah(12);
+        let _scope = octs_fault::FaultScope::activate(octs_fault::FaultPlan::new().nan_loss(41, 0));
+        octs_fault::with_unit(41, || {
+            let report = {
+                let dims = ModelDims::new(4, 1, task.setting);
+                let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, 5);
+                train_forecaster(&mut fc, &task, &TrainConfig::test())
+            };
+            assert!(report.poisoned);
+            assert_eq!(report.divergence_rollbacks, TrainConfig::test().divergence_strikes);
+            assert!(early_validation(&ah, &task, &TrainConfig::test()).is_infinite());
+        });
+        // Other units are untouched.
+        octs_fault::with_unit(40, || {
+            assert!(early_validation(&ah, &task, &TrainConfig::test()).is_finite());
+        });
+    }
+
+    #[test]
+    fn guard_is_transparent_on_healthy_runs() {
+        // With no divergence the guard must not perturb the numerics: same
+        // losses with strikes 0 and strikes 3, bit for bit.
+        let task = small_task();
+        let ah = sample_ah(10);
+        let dims = ModelDims::new(4, 1, task.setting);
+        let run = |strikes: usize| {
+            let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, 5);
+            let cfg = TrainConfig { divergence_strikes: strikes, ..TrainConfig::test() };
+            train_forecaster(&mut fc, &task, &cfg).best_val_mae
+        };
+        assert_eq!(run(0), run(3));
     }
 
     #[test]

@@ -8,16 +8,16 @@
 //! for every new task — the cost AutoCTS++ amortizes away (compare
 //! [`crate::zeroshot::zero_shot_search`]).
 
+use crate::error::SearchError;
 use crate::evolve::{evolve_search, EvolveConfig};
-use octs_comparator::{Tahc, TahcConfig};
-use octs_data::ForecastTask;
-use octs_model::{
-    early_validation, train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport,
-};
+use octs_comparator::{label_one, LabeledAh, Tahc, TahcConfig};
+use octs_data::{ForecastTask, Split};
+use octs_model::{train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport};
 use octs_space::{ArchHyper, JointSpace};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Configuration of the per-task AutoCTS+ search.
@@ -69,11 +69,15 @@ impl AutoCtsPlusConfig {
 }
 
 /// Outcome of an AutoCTS+ search, with its cost breakdown.
+#[derive(Debug)]
 pub struct AutoCtsPlusOutcome {
     /// The selected arch-hyper.
     pub best: ArchHyper,
     /// Training report of the winner.
     pub best_report: TrainReport,
+    /// Labelled candidates that diverged or panicked and were excluded from
+    /// comparator training (empty on a healthy run).
+    pub quarantined: Vec<ArchHyper>,
     /// Wall-clock spent collecting `(ah, R')` labels — the per-task cost
     /// zero-shot search eliminates.
     pub label_time: Duration,
@@ -83,47 +87,95 @@ pub struct AutoCtsPlusOutcome {
     pub search_time: Duration,
 }
 
-/// Runs the AutoCTS+ pipeline on a single task.
+fn validate(task: &ForecastTask, cfg: &AutoCtsPlusConfig) -> Result<(), SearchError> {
+    if cfg.num_labeled == 0 {
+        return Err(SearchError::ZeroBudget { what: "num_labeled" });
+    }
+    if cfg.evolve.k_s == 0 {
+        return Err(SearchError::ZeroBudget { what: "evolve.k_s" });
+    }
+    if cfg.evolve.top_k == 0 {
+        return Err(SearchError::ZeroBudget { what: "evolve.top_k" });
+    }
+    if task.windows(Split::Train).is_empty() {
+        return Err(SearchError::InsufficientWindows { task: task.id() });
+    }
+    Ok(())
+}
+
+/// Runs the AutoCTS+ pipeline on a single task, sampling `cfg.num_labeled`
+/// candidates from the joint space. Degenerate inputs (zero budgets, a
+/// windowless task, an all-quarantined pool) come back as typed
+/// [`SearchError`]s instead of panics.
 pub fn autocts_plus_search(
     task: &ForecastTask,
     space: &JointSpace,
     cfg: &AutoCtsPlusConfig,
-) -> AutoCtsPlusOutcome {
+) -> Result<AutoCtsPlusOutcome, SearchError> {
+    validate(task, cfg)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-
-    // 1. Collect (ah, R'(ah)) samples on THIS task (Eq. 22).
-    let t0 = Instant::now();
     let candidates = space.sample_distinct(cfg.num_labeled, &mut rng);
-    let labeled: Vec<(ArchHyper, f32)> = candidates
-        .into_iter()
-        .map(|ah| {
-            let score = early_validation(&ah, task, &cfg.label_cfg);
-            (ah, score)
-        })
-        .collect();
+    autocts_plus_search_with_pool(task, space, cfg, candidates)
+}
+
+/// Runs the AutoCTS+ pipeline over an explicit candidate pool.
+///
+/// Every stage downstream of labelling consumes only the *healthy* labelled
+/// candidates, and all RNG streams are derived from fixed salts rather than
+/// threaded through the pool — so a run where faulty candidates get
+/// quarantined produces byte-identical comparator parameters (and therefore
+/// an identical winner) to a run handed the healthy subset directly. The
+/// fault-injection suite enforces this.
+pub fn autocts_plus_search_with_pool(
+    task: &ForecastTask,
+    space: &JointSpace,
+    cfg: &AutoCtsPlusConfig,
+    pool: Vec<ArchHyper>,
+) -> Result<AutoCtsPlusOutcome, SearchError> {
+    validate(task, cfg)?;
+    if pool.is_empty() {
+        return Err(SearchError::EmptyCandidatePool);
+    }
+
+    // 1. Collect (ah, R'(ah)) samples on THIS task (Eq. 22), in parallel,
+    //    each candidate isolated: a panic or divergence quarantines that
+    //    candidate only.
+    let t0 = Instant::now();
+    let idx: Vec<usize> = (0..pool.len()).collect();
+    let labeled: Vec<LabeledAh> =
+        idx.par_iter().map(|&i| label_one(&pool[i], task, i as u64, &cfg.label_cfg)).collect();
+    let quarantined: Vec<ArchHyper> =
+        labeled.iter().filter(|l| l.quarantined).map(|l| l.ah.clone()).collect();
+    let healthy: Vec<&LabeledAh> = labeled.iter().filter(|l| !l.quarantined).collect();
+    if healthy.is_empty() {
+        return Err(SearchError::AllCandidatesQuarantined);
+    }
     let label_time = t0.elapsed();
 
     // 2. Train the plain AHC with dynamic pairing: a(a-1) ordered pairs from
-    //    `a` labelled samples, shuffled fresh each epoch.
+    //    the `a` healthy labelled samples, shuffled fresh each epoch. The
+    //    shuffle RNG is its own salted stream, so its draws do not depend on
+    //    how many candidates the sampling stage consumed.
     let t1 = Instant::now();
+    let mut pair_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC3A7);
     let mut comparator = Tahc::new(
         TahcConfig { task_aware: false, ..cfg.comparator },
         space.hyper.clone(),
         cfg.seed,
     );
     let mut opt = octs_tensor::Adam::new(1e-3, 5e-4);
-    let mut pair_idx: Vec<(usize, usize)> = (0..labeled.len())
-        .flat_map(|i| (0..labeled.len()).map(move |j| (i, j)))
-        .filter(|&(i, j)| i != j && (labeled[i].1 - labeled[j].1).abs() > 1e-9)
+    let mut pair_idx: Vec<(usize, usize)> = (0..healthy.len())
+        .flat_map(|i| (0..healthy.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j && (healthy[i].score - healthy[j].score).abs() > 1e-9)
         .collect();
     for _epoch in 0..cfg.comparator_epochs {
-        pair_idx.shuffle(&mut rng);
+        pair_idx.shuffle(&mut pair_rng);
         for chunk in pair_idx.chunks(16) {
             let batch: Vec<_> = chunk
                 .iter()
                 .map(|&(i, j)| {
-                    let y = if labeled[i].1 < labeled[j].1 { 1.0 } else { 0.0 };
-                    (None, &labeled[i].0, &labeled[j].0, y)
+                    let y = if healthy[i].score < healthy[j].score { 1.0 } else { 0.0 };
+                    (None, &healthy[i].ah, &healthy[j].ah, y)
                 })
                 .collect();
             comparator.train_batch(&mut opt, &batch);
@@ -150,7 +202,14 @@ pub fn autocts_plus_search(
     }
     let search_time = t2.elapsed();
     let (best, best_report) = best.expect("top_k >= 1");
-    AutoCtsPlusOutcome { best, best_report, label_time, comparator_time, search_time }
+    Ok(AutoCtsPlusOutcome {
+        best,
+        best_report,
+        quarantined,
+        label_time,
+        comparator_time,
+        search_time,
+    })
 }
 
 #[cfg(test)]
@@ -167,9 +226,10 @@ mod tests {
     fn end_to_end_per_task_search() {
         let t = task();
         let cfg = AutoCtsPlusConfig::test();
-        let out = autocts_plus_search(&t, &JointSpace::tiny(), &cfg);
+        let out = autocts_plus_search(&t, &JointSpace::tiny(), &cfg).unwrap();
         assert!(out.best_report.best_val_mae.is_finite());
         assert_eq!(out.best.arch.c(), out.best.hyper.c);
+        assert!(out.quarantined.is_empty());
         assert!(out.label_time > Duration::ZERO);
         assert!(out.search_time > Duration::ZERO);
     }
@@ -181,8 +241,8 @@ mod tests {
         let t = task();
         let small = AutoCtsPlusConfig { num_labeled: 3, ..AutoCtsPlusConfig::test() };
         let large = AutoCtsPlusConfig { num_labeled: 9, ..AutoCtsPlusConfig::test() };
-        let o1 = autocts_plus_search(&t, &JointSpace::tiny(), &small);
-        let o2 = autocts_plus_search(&t, &JointSpace::tiny(), &large);
+        let o1 = autocts_plus_search(&t, &JointSpace::tiny(), &small).unwrap();
+        let o2 = autocts_plus_search(&t, &JointSpace::tiny(), &large).unwrap();
         assert!(
             o2.label_time > o1.label_time,
             "labelling 9 candidates must cost more than 3 ({:?} vs {:?})",
@@ -195,8 +255,95 @@ mod tests {
     fn deterministic_given_seed() {
         let t = task();
         let cfg = AutoCtsPlusConfig::test();
-        let a = autocts_plus_search(&t, &JointSpace::tiny(), &cfg);
-        let b = autocts_plus_search(&t, &JointSpace::tiny(), &cfg);
+        let a = autocts_plus_search(&t, &JointSpace::tiny(), &cfg).unwrap();
+        let b = autocts_plus_search(&t, &JointSpace::tiny(), &cfg).unwrap();
         assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_typed_errors() {
+        let t = task();
+        let space = JointSpace::tiny();
+        let zero_labels = AutoCtsPlusConfig { num_labeled: 0, ..AutoCtsPlusConfig::test() };
+        assert_eq!(
+            autocts_plus_search(&t, &space, &zero_labels).unwrap_err(),
+            SearchError::ZeroBudget { what: "num_labeled" }
+        );
+        let mut zero_top = AutoCtsPlusConfig::test();
+        zero_top.evolve.top_k = 0;
+        assert_eq!(
+            autocts_plus_search(&t, &space, &zero_top).unwrap_err(),
+            SearchError::ZeroBudget { what: "evolve.top_k" }
+        );
+        let mut zero_ks = AutoCtsPlusConfig::test();
+        zero_ks.evolve.k_s = 0;
+        assert_eq!(
+            autocts_plus_search(&t, &space, &zero_ks).unwrap_err(),
+            SearchError::ZeroBudget { what: "evolve.k_s" }
+        );
+        assert_eq!(
+            autocts_plus_search_with_pool(&t, &space, &AutoCtsPlusConfig::test(), Vec::new())
+                .unwrap_err(),
+            SearchError::EmptyCandidatePool
+        );
+        // A split carved so thin it holds no full window must be rejected
+        // up front, not panic inside the trainer.
+        let p = DatasetProfile::custom("thin", Domain::Traffic, 4, 220, 24, 0.3, 0.1, 10.0, 23);
+        let thin = ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.01, 0.9, 2);
+        assert!(matches!(
+            autocts_plus_search(&thin, &space, &AutoCtsPlusConfig::test()),
+            Err(SearchError::InsufficientWindows { .. })
+        ));
+    }
+
+    #[test]
+    fn quarantine_leaves_winner_identical_to_healthy_pool_run() {
+        // The acceptance property: with one NaN-diverging and one panicking
+        // candidate in the pool, the search must complete, quarantine
+        // exactly those two, and select the byte-identical winner a run
+        // given only the healthy candidates selects.
+        let t = task();
+        let space = JointSpace::tiny();
+        let cfg = AutoCtsPlusConfig::test();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let pool = space.sample_distinct(6, &mut rng);
+        let healthy_pool: Vec<ArchHyper> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1 && *i != 3)
+            .map(|(_, ah)| ah.clone())
+            .collect();
+
+        let reference = autocts_plus_search_with_pool(&t, &space, &cfg, healthy_pool).unwrap();
+
+        let _scope = octs_fault::FaultScope::activate(
+            octs_fault::FaultPlan::new().nan_loss(1, 0).panic_unit(3),
+        );
+        let faulted = autocts_plus_search_with_pool(&t, &space, &cfg, pool.clone()).unwrap();
+
+        assert_eq!(faulted.quarantined, vec![pool[1].clone(), pool[3].clone()]);
+        assert_eq!(faulted.best, reference.best);
+        assert_eq!(
+            faulted.best_report.best_val_mae.to_bits(),
+            reference.best_report.best_val_mae.to_bits(),
+            "winner's training must be byte-identical"
+        );
+        assert!(reference.quarantined.is_empty());
+    }
+
+    #[test]
+    fn all_quarantined_pool_is_a_typed_error() {
+        let t = task();
+        let space = JointSpace::tiny();
+        let cfg = AutoCtsPlusConfig::test();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let pool = space.sample_distinct(2, &mut rng);
+        let _scope = octs_fault::FaultScope::activate(
+            octs_fault::FaultPlan::new().panic_unit(0).panic_unit(1),
+        );
+        assert_eq!(
+            autocts_plus_search_with_pool(&t, &space, &cfg, pool).unwrap_err(),
+            SearchError::AllCandidatesQuarantined
+        );
     }
 }

@@ -1,0 +1,45 @@
+//! Typed errors for search entry points: degenerate inputs are reported to
+//! the caller instead of panicking deep inside a labelling or ranking loop.
+
+/// Why a search could not run (or could not produce a winner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The candidate pool was empty before labelling even started.
+    EmptyCandidatePool,
+    /// A budget knob (`num_labeled`, `k_s`, `top_k`, …) was zero, so the
+    /// pipeline could never select anything.
+    ZeroBudget {
+        /// Which knob was zero.
+        what: &'static str,
+    },
+    /// The task has no training windows in the requested split — too little
+    /// data for even one early-validation epoch.
+    InsufficientWindows {
+        /// Task id, for the error message.
+        task: String,
+    },
+    /// Every candidate in the pool was quarantined (diverged or panicked);
+    /// there is nothing left to rank.
+    AllCandidatesQuarantined,
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::EmptyCandidatePool => {
+                write!(f, "candidate pool is empty; nothing to label or rank")
+            }
+            SearchError::ZeroBudget { what } => {
+                write!(f, "search budget `{what}` is zero; the pipeline cannot select a winner")
+            }
+            SearchError::InsufficientWindows { task } => {
+                write!(f, "task {task} has no training windows; cannot run early validation")
+            }
+            SearchError::AllCandidatesQuarantined => {
+                write!(f, "every candidate was quarantined (diverged or panicked); nothing to rank")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}

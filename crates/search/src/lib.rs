@@ -11,12 +11,19 @@
 
 pub mod autocts_plus;
 pub mod baseline_search;
+pub mod error;
 pub mod evolve;
 pub mod rank;
 pub mod zeroshot;
 
-pub use autocts_plus::{autocts_plus_search, AutoCtsPlusConfig, AutoCtsPlusOutcome};
+pub use autocts_plus::{
+    autocts_plus_search, autocts_plus_search_with_pool, AutoCtsPlusConfig, AutoCtsPlusOutcome,
+};
 pub use baseline_search::{grid_search_hpo, random_search, supernet_search, SupernetConfig};
+pub use error::SearchError;
 pub use evolve::{evolve_search, EvolveConfig};
-pub use rank::{round_robin_cost, round_robin_rank, tournament_rank};
+pub use rank::{
+    round_robin_cost, round_robin_rank, round_robin_rank_checked, tournament_rank,
+    tournament_rank_checked, RankOutcome,
+};
 pub use zeroshot::{zero_shot_search, SearchOutcome, SearchTiming};

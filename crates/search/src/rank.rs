@@ -19,38 +19,109 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Judges every `(i, j)` match in parallel; `true` means `i` won.
+/// Outcome of a quarantine-aware ranking pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankOutcome {
+    /// Healthy candidates by descending win count (ties keep index order),
+    /// followed by the quarantined candidates in index order — so the vector
+    /// is always a permutation of the pool and legacy callers can keep
+    /// taking a prefix.
+    pub order: Vec<usize>,
+    /// Candidate indices whose comparator evaluation panicked.
+    pub quarantined: Vec<usize>,
+}
+
+/// Probes every candidate's comparator embedding under `catch_unwind` (in
+/// parallel). A candidate whose encoding panics — via an injected
+/// [`octs_fault::maybe_panic_compare`] or a genuine bug — is marked
+/// unhealthy; because [`Tahc::embedding`] memoizes, a successful probe makes
+/// the subsequent match phase reuse the cached encoding.
+fn probe_candidates(tahc: &Tahc, candidates: &[ArchHyper]) -> Vec<bool> {
+    let idx: Vec<usize> = (0..candidates.len()).collect();
+    idx.par_iter()
+        .map(|&i| {
+            catch_unwind(AssertUnwindSafe(|| {
+                octs_fault::maybe_panic_compare(i);
+                let _ = tahc.embedding(&candidates[i]);
+            }))
+            .is_ok()
+        })
+        .collect()
+}
+
+/// Judges every `(i, j)` match in parallel; `Some(true)` means `i` won,
+/// `None` that the match itself panicked (neither side scores).
 fn play_matches(
     tahc: &Tahc,
     prelim: Option<&Tensor>,
     candidates: &[ArchHyper],
     matches: &[(usize, usize)],
-) -> Vec<bool> {
-    matches.par_iter().map(|&(i, j)| tahc.compare(prelim, &candidates[i], &candidates[j])).collect()
+) -> Vec<Option<bool>> {
+    matches
+        .par_iter()
+        .map(|&(i, j)| {
+            catch_unwind(AssertUnwindSafe(|| tahc.compare(prelim, &candidates[i], &candidates[j])))
+                .ok()
+        })
+        .collect()
+}
+
+/// Tallies wins and assembles the final [`RankOutcome`]: healthy candidates
+/// by descending wins (ties by index), quarantined ones appended in index
+/// order.
+fn assemble_outcome(
+    healthy: &[bool],
+    matches: &[(usize, usize)],
+    outcomes: &[Option<bool>],
+) -> RankOutcome {
+    let mut wins = vec![0usize; healthy.len()];
+    for (&(i, j), outcome) in matches.iter().zip(outcomes) {
+        match outcome {
+            Some(true) => wins[i] += 1,
+            Some(false) => wins[j] += 1,
+            None => {}
+        }
+    }
+    let mut order: Vec<usize> = (0..healthy.len()).filter(|&i| healthy[i]).collect();
+    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
+    let quarantined: Vec<usize> = (0..healthy.len()).filter(|&i| !healthy[i]).collect();
+    order.extend(&quarantined);
+    RankOutcome { order, quarantined }
+}
+
+/// Quarantine-aware full Round-Robin: probes every candidate, then plays
+/// every healthy-vs-healthy match in parallel. The healthy candidates'
+/// relative order is byte-identical to a round-robin over the healthy
+/// subpool alone (the schedule restricted to healthy pairs is the same set
+/// of matches), so quarantining candidates outside the top-K leaves the
+/// top-K unchanged.
+pub fn round_robin_rank_checked(
+    tahc: &Tahc,
+    prelim: Option<&Tensor>,
+    candidates: &[ArchHyper],
+) -> RankOutcome {
+    let k = candidates.len();
+    let healthy = probe_candidates(tahc, candidates);
+    let matches: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| (i + 1..k).map(move |j| (i, j)))
+        .filter(|&(i, j)| healthy[i] && healthy[j])
+        .collect();
+    let outcomes = play_matches(tahc, prelim, candidates, &matches);
+    assemble_outcome(&healthy, &matches, &outcomes)
 }
 
 /// Full Round-Robin: each candidate plays every other; returns indices
 /// ordered by descending win count (stable on ties). `O(K²)` comparisons,
-/// judged in parallel.
+/// judged in parallel. Panicking candidates are quarantined to the tail; see
+/// [`round_robin_rank_checked`] to observe which.
 pub fn round_robin_rank(
     tahc: &Tahc,
     prelim: Option<&Tensor>,
     candidates: &[ArchHyper],
 ) -> Vec<usize> {
-    let k = candidates.len();
-    let matches: Vec<(usize, usize)> =
-        (0..k).flat_map(|i| (i + 1..k).map(move |j| (i, j))).collect();
-    let outcomes = play_matches(tahc, prelim, candidates, &matches);
-    let mut wins = vec![0usize; k];
-    for (&(i, j), &first_won) in matches.iter().zip(&outcomes) {
-        if first_won {
-            wins[i] += 1;
-        } else {
-            wins[j] += 1;
-        }
-    }
-    order_by_wins(&wins)
+    round_robin_rank_checked(tahc, prelim, candidates).order
 }
 
 /// Sparse tournament: each candidate plays `rounds` random opponents; cheap
@@ -67,10 +138,26 @@ pub fn tournament_rank(
     rounds: usize,
     seed: u64,
 ) -> Vec<usize> {
+    tournament_rank_checked(tahc, prelim, candidates, rounds, seed).order
+}
+
+/// Quarantine-aware sparse tournament (see [`tournament_rank`]). Each
+/// candidate's opponent schedule is still drawn from its private RNG stream
+/// *before* health filtering, so a quarantine cannot shift any other
+/// candidate's schedule; matches touching an unhealthy candidate are simply
+/// dropped.
+pub fn tournament_rank_checked(
+    tahc: &Tahc,
+    prelim: Option<&Tensor>,
+    candidates: &[ArchHyper],
+    rounds: usize,
+    seed: u64,
+) -> RankOutcome {
     let k = candidates.len();
     if k <= 1 {
-        return (0..k).collect();
+        return RankOutcome { order: (0..k).collect(), quarantined: Vec::new() };
     }
+    let healthy = probe_candidates(tahc, candidates);
     let rounds = rounds.min(k - 1);
     let matches: Vec<(usize, usize)> = (0..k)
         .flat_map(|i| {
@@ -84,17 +171,10 @@ pub fn tournament_rank(
             }
             opponents.into_iter().map(move |j| (i, j)).collect::<Vec<_>>()
         })
+        .filter(|&(i, j)| healthy[i] && healthy[j])
         .collect();
     let outcomes = play_matches(tahc, prelim, candidates, &matches);
-    let mut wins = vec![0usize; k];
-    for (&(i, j), &first_won) in matches.iter().zip(&outcomes) {
-        if first_won {
-            wins[i] += 1;
-        } else {
-            wins[j] += 1;
-        }
-    }
-    order_by_wins(&wins)
+    assemble_outcome(&healthy, &matches, &outcomes)
 }
 
 /// Candidate `i`'s private RNG stream: master seed splitmixed with the index
@@ -102,13 +182,6 @@ pub fn tournament_rank(
 fn candidate_stream(seed: u64, i: usize) -> ChaCha8Rng {
     let salt = (i as u64).wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     ChaCha8Rng::seed_from_u64(seed ^ salt)
-}
-
-/// Indices sorted by descending wins (ties keep original order).
-fn order_by_wins(wins: &[usize]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..wins.len()).collect();
-    idx.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
-    idx
 }
 
 /// Number of comparator invocations a full round-robin over `k` needs.
@@ -183,8 +256,37 @@ mod tests {
     }
 
     #[test]
-    fn order_by_wins_ties_stable() {
-        assert_eq!(order_by_wins(&[2, 3, 2]), vec![1, 0, 2]);
-        assert_eq!(order_by_wins(&[1, 1, 1]), vec![0, 1, 2]);
+    fn assemble_outcome_orders_wins_ties_and_quarantine() {
+        // Wins: 0 beats 2 (1 win each for 0, 1 via the two matches); ties
+        // keep index order; unhealthy 3 goes to the tail.
+        let healthy = [true, true, true, false];
+        let matches = [(0, 2), (1, 2), (0, 1)];
+        let outcomes = [Some(true), Some(true), None];
+        let out = assemble_outcome(&healthy, &matches, &outcomes);
+        assert_eq!(out.order, vec![0, 1, 2, 3]);
+        assert_eq!(out.quarantined, vec![3]);
+    }
+
+    #[test]
+    fn compare_panic_quarantines_without_shifting_healthy_order() {
+        // Quarantining a candidate must (a) push it to the tail and (b)
+        // leave the healthy candidates' relative order exactly as a ranking
+        // of the healthy subpool alone would produce it.
+        let (tahc, ahs) = untrained_fixture(8);
+        let victim = 5usize;
+        let baseline: Vec<ArchHyper> =
+            ahs.iter().enumerate().filter(|(i, _)| *i != victim).map(|(_, a)| a.clone()).collect();
+        let want = round_robin_rank(&tahc, None, &baseline);
+        tahc.invalidate_caches();
+
+        let _scope = octs_fault::FaultScope::activate(
+            octs_fault::FaultPlan::new().compare_panic(victim as u64),
+        );
+        let out = round_robin_rank_checked(&tahc, None, &ahs);
+        assert_eq!(out.quarantined, vec![victim]);
+        assert_eq!(out.order.last(), Some(&victim));
+        // map healthy-subpool indices back into full-pool indices
+        let remap: Vec<usize> = want.iter().map(|&i| if i >= victim { i + 1 } else { i }).collect();
+        assert_eq!(&out.order[..7], &remap[..]);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Plain stochastic gradient descent (used mostly in tests and sanity checks).
@@ -29,6 +30,12 @@ impl Sgd {
 /// Adam with L2 weight decay — the optimizer the paper uses for both the
 /// forecasting models (lr 1e-3, wd 1e-4) and T-AHC pre-training (lr 1e-3,
 /// wd 5e-4).
+///
+/// `Clone` and serde support exist so the robustness layer can snapshot the
+/// full optimizer state (moments and step count) at rollback points and in
+/// crash-safe pre-training checkpoints — resuming from a serialized `Adam`
+/// continues the run bit-for-bit.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Adam {
     /// Learning rate.
     pub lr: f32,

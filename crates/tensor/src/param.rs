@@ -123,6 +123,16 @@ impl ParamStore {
     pub fn all_finite(&self) -> bool {
         self.params.values().all(Tensor::all_finite)
     }
+
+    /// Deep copy of the store — parameters *and* RNG state.
+    ///
+    /// `ParamStore` deliberately has no `Clone` (accidental copies of large
+    /// weight sets are usually bugs); `snapshot` is the explicit spelling for
+    /// the two legitimate uses: divergence-guard rollback points and
+    /// checkpoint serialization. Restoring is plain assignment.
+    pub fn snapshot(&self) -> ParamStore {
+        ParamStore { params: self.params.clone(), rng: self.rng.clone() }
+    }
 }
 
 #[cfg(test)]

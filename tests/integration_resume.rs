@@ -1,0 +1,157 @@
+//! Kill-and-resume integration: a journaled pre-training run aborted at an
+//! arbitrary point — mid-labelling, at an epoch boundary, even mid-append —
+//! must resume from the last completed unit and finish **byte-identical** to
+//! an uninterrupted run. Crashes are simulated with deterministic injected
+//! IO faults (and raw journal truncation for the torn-write case).
+//!
+//! Every test body runs inside a [`octs_fault::FaultScope`] (empty plan for
+//! the clean reference runs) so fault activations from concurrent test
+//! threads serialize instead of cross-firing.
+
+use autocts::prelude::*;
+use autocts::{fault, AutoCts, CoreError, JOURNAL_FILE};
+use std::path::PathBuf;
+
+fn source_tasks() -> Vec<ForecastTask> {
+    let mk = |name: &str, domain, seed| {
+        let p = DatasetProfile::custom(name, domain, 3, 200, 24, 0.3, 0.1, 10.0, seed);
+        ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 2)
+    };
+    vec![mk("r-traffic", Domain::Traffic, 201), mk("r-energy", Domain::Energy, 202)]
+}
+
+fn pre_cfg() -> PretrainConfig {
+    PretrainConfig { l_shared: 3, l_random: 3, epochs: 3, ..PretrainConfig::test() }
+}
+
+fn run_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("octs_resume_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The comparator parameters, serialized — the byte-equality witness.
+fn params_of(sys: &AutoCts) -> String {
+    serde_json::to_string(&sys.tahc.ps.snapshot()).unwrap()
+}
+
+/// One uninterrupted reference run in its own directory.
+fn reference(name: &str) -> (AutoCts, octs_comparator::PretrainReport) {
+    let dir = run_dir(&format!("reference_{name}"));
+    let _quiet = fault::FaultScope::activate(fault::FaultPlan::new());
+    let (sys, report) =
+        AutoCts::resume(AutoCtsConfig::test(), source_tasks(), &pre_cfg(), &dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    (sys, report)
+}
+
+#[test]
+fn killed_mid_labelling_resumes_byte_identical() {
+    let (ref_sys, ref_report) = reference("label_kill");
+    let dir = run_dir("label_kill");
+
+    // Crash after 5 successful label appends (seq 0 = fingerprint, 1 =
+    // encoder, labels start at 2): the 12-unit labelling phase dies midway.
+    {
+        let _scope =
+            fault::FaultScope::activate(fault::FaultPlan::new().io_error("journal.append", 7));
+        let mut sys = AutoCts::new(AutoCtsConfig::test());
+        let err = sys.pretrain_journaled(source_tasks(), &pre_cfg(), &dir).unwrap_err();
+        assert!(matches!(err, CoreError::Io { op: "append", .. }), "{err}");
+        assert!(!sys.is_pretrained());
+    }
+
+    // A fresh process resumes the directory and must land exactly where the
+    // uninterrupted run did.
+    let _quiet = fault::FaultScope::activate(fault::FaultPlan::new());
+    let (sys, report) =
+        AutoCts::resume(AutoCtsConfig::test(), source_tasks(), &pre_cfg(), &dir).unwrap();
+    assert!(sys.is_pretrained());
+    assert_eq!(ref_report.epoch_losses, report.epoch_losses);
+    assert_eq!(
+        ref_report.holdout_accuracy.to_bits(),
+        report.holdout_accuracy.to_bits(),
+        "resumed holdout accuracy must match bitwise"
+    );
+    assert_eq!(params_of(&ref_sys), params_of(&sys), "comparator params must match bitwise");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_at_epoch_boundary_resumes_byte_identical() {
+    let (ref_sys, ref_report) = reference("epoch_kill");
+    let dir = run_dir("epoch_kill");
+    let n_labels = 2 * (3 + 3) as u64;
+
+    // Crash on the *second* epoch record append: epoch 1 is journaled with
+    // its sidecar, epoch 2's sidecar exists but its record never lands.
+    {
+        let _scope = fault::FaultScope::activate(
+            fault::FaultPlan::new().io_error("journal.append", 2 + n_labels + 1),
+        );
+        let mut sys = AutoCts::new(AutoCtsConfig::test());
+        let err = sys.pretrain_journaled(source_tasks(), &pre_cfg(), &dir).unwrap_err();
+        assert!(matches!(err, CoreError::Io { op: "append", .. }), "{err}");
+    }
+    assert!(dir.join("epoch_0001.ckpt").exists());
+
+    let _quiet = fault::FaultScope::activate(fault::FaultPlan::new());
+    let (sys, report) =
+        AutoCts::resume(AutoCtsConfig::test(), source_tasks(), &pre_cfg(), &dir).unwrap();
+    assert_eq!(ref_report.epoch_losses, report.epoch_losses);
+    assert_eq!(params_of(&ref_sys), params_of(&sys));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_journal_tail_resumes_byte_identical() {
+    let (ref_sys, ref_report) = reference("torn");
+    let dir = run_dir("torn");
+
+    // Abort mid-labelling, then mangle the journal the way a power cut does:
+    // chop the last line short. The torn record's unit is simply relabelled.
+    {
+        let _scope =
+            fault::FaultScope::activate(fault::FaultPlan::new().io_error("journal.append", 9));
+        let mut sys = AutoCts::new(AutoCtsConfig::test());
+        sys.pretrain_journaled(source_tasks(), &pre_cfg(), &dir).unwrap_err();
+    }
+    let journal = dir.join(JOURNAL_FILE);
+    let text = std::fs::read_to_string(&journal).unwrap();
+    std::fs::write(&journal, &text[..text.len() - 9]).unwrap();
+
+    let _quiet = fault::FaultScope::activate(fault::FaultPlan::new());
+    let (sys, report) =
+        AutoCts::resume(AutoCtsConfig::test(), source_tasks(), &pre_cfg(), &dir).unwrap();
+    assert_eq!(ref_report.epoch_losses, report.epoch_losses);
+    assert_eq!(params_of(&ref_sys), params_of(&sys));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resuming_a_completed_run_is_idempotent() {
+    let dir = run_dir("idempotent");
+    let _quiet = fault::FaultScope::activate(fault::FaultPlan::new());
+    let (first_sys, first) =
+        AutoCts::resume(AutoCtsConfig::test(), source_tasks(), &pre_cfg(), &dir).unwrap();
+    let (again_sys, again) =
+        AutoCts::resume(AutoCtsConfig::test(), source_tasks(), &pre_cfg(), &dir).unwrap();
+    assert_eq!(first.epoch_losses, again.epoch_losses);
+    assert_eq!(first.holdout_accuracy.to_bits(), again.holdout_accuracy.to_bits());
+    assert_eq!(params_of(&first_sys), params_of(&again_sys));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn changed_configuration_is_refused() {
+    let dir = run_dir("mismatch");
+    let _quiet = fault::FaultScope::activate(fault::FaultPlan::new());
+    AutoCts::resume(AutoCtsConfig::test(), source_tasks(), &pre_cfg(), &dir).unwrap();
+
+    let other = PretrainConfig { seed: 999, ..pre_cfg() };
+    let mut sys = AutoCts::new(AutoCtsConfig::test());
+    let err = sys.pretrain_journaled(source_tasks(), &other, &dir).unwrap_err();
+    assert!(matches!(err, CoreError::Mismatch { .. }), "{err}");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
