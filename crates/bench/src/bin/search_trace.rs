@@ -1,0 +1,210 @@
+//! Observability smoke + overhead measurement for the search stack.
+//!
+//! Runs one full AutoCTS+ per-task search twice — recorder off, then
+//! recorder on — and checks that (a) the winner is byte-identical, so
+//! tracing is purely observational, (b) the NDJSON trace parses and covers
+//! every required span/counter, and (c) tracing overhead on the hot ranking
+//! path stays under 5%, measured best-of-3 on `evolve_search` alone.
+//! Results land in `BENCH_search_trace.json`.
+//!
+//! ```sh
+//! cargo run --release --bin search_trace            # k_s = 2048
+//! cargo run --release --bin search_trace -- --quick # k_s = 256
+//! ```
+
+use octs_comparator::{Tahc, TahcConfig};
+use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+use octs_model::TrainConfig;
+use octs_search::{autocts_plus_search, evolve_search, AutoCtsPlusConfig, EvolveConfig};
+use octs_space::{HyperSpace, JointSpace};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Spans the trace must contain for the run to count as covering the
+/// pipeline (label -> comparator pretrain -> rank -> final training).
+const REQUIRED_SPANS: &[&str] = &[
+    "phase.label",
+    "phase.pretrain",
+    "phase.rank",
+    "phase.final_train",
+    "rank.evolve",
+    "rank.tournament",
+    "rank.round_robin",
+    "train.run",
+    "label.unit",
+];
+
+/// Counters the trace must carry.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "search.pool",
+    "rank.matches",
+    "rank.embed_cache.hits",
+    "rank.embed_cache.misses",
+    "train.epochs",
+];
+
+#[derive(Serialize)]
+struct PhaseRow {
+    phase: String,
+    total_us: u64,
+    share_of_wall: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    quick: bool,
+    k_s: usize,
+    winner_identical: bool,
+    trace_lines: usize,
+    required_spans_present: bool,
+    required_counters_present: bool,
+    phases: Vec<PhaseRow>,
+    rank_matches: u64,
+    embed_cache_hit_rate: f64,
+    task_cache_hit_rate: f64,
+    probe_p95_us: f64,
+    rank_plain_secs: f64,
+    rank_traced_secs: f64,
+    overhead_pct: f64,
+    note: String,
+}
+
+fn task() -> ForecastTask {
+    let p = DatasetProfile::custom("trace", Domain::Traffic, 4, 220, 24, 0.3, 0.1, 10.0, 23);
+    ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 2)
+}
+
+fn best_of<F: FnMut() -> f64>(n: usize, mut f: F) -> f64 {
+    (0..n).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let k_s = if quick { 256 } else { 2048 };
+
+    // --- 1. Full per-task search, recorder off then on --------------------
+    let t = task();
+    let space = JointSpace::tiny();
+    let cfg = AutoCtsPlusConfig {
+        num_labeled: 8,
+        label_cfg: TrainConfig::test(),
+        final_cfg: TrainConfig::test(),
+        evolve: EvolveConfig { k_s: 64, ..EvolveConfig::test() },
+        ..AutoCtsPlusConfig::test()
+    };
+
+    let plain = autocts_plus_search(&t, &space, &cfg).expect("plain search");
+
+    let rec = octs_obs::Recorder::new();
+    let scope = octs_obs::ObsScope::activate(&rec);
+    let traced = autocts_plus_search(&t, &space, &cfg).expect("traced search");
+    drop(scope);
+
+    let winner_identical = plain.best == traced.best
+        && plain.best_report.best_val_mae.to_bits() == traced.best_report.best_val_mae.to_bits();
+
+    let ndjson = rec.ndjson();
+    let lines = octs_obs::parse_ndjson(&ndjson).expect("trace must parse as NDJSON");
+    let summary = rec.summary();
+
+    let missing_spans: Vec<&str> =
+        REQUIRED_SPANS.iter().filter(|s| summary.span_total_us(s) == 0).copied().collect();
+    let missing_counters: Vec<&str> =
+        REQUIRED_COUNTERS.iter().filter(|c| summary.counter(c) == 0).copied().collect();
+    for s in &missing_spans {
+        eprintln!("MISSING span: {s}");
+    }
+    for c in &missing_counters {
+        eprintln!("MISSING counter: {c}");
+    }
+
+    let wall = summary.wall_us.max(1) as f64;
+    let phases: Vec<PhaseRow> =
+        ["phase.label", "phase.pretrain", "phase.rank", "phase.final_train"]
+            .iter()
+            .map(|p| {
+                let us = summary.span_total_us(p);
+                PhaseRow { phase: p.to_string(), total_us: us, share_of_wall: us as f64 / wall }
+            })
+            .collect();
+    for row in &phases {
+        eprintln!(
+            "[phase] {:<18} {:>10} us  ({:.1}% of wall)",
+            row.phase,
+            row.total_us,
+            row.share_of_wall * 100.0
+        );
+    }
+
+    let embed_hits = summary.counter("rank.embed_cache.hits");
+    let embed_misses = summary.counter("rank.embed_cache.misses");
+    let task_hits = summary.counter("rank.task_cache.hits");
+    let task_misses = summary.counter("rank.task_cache.misses");
+    let rate = |h: u64, m: u64| if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 };
+    let probe_p95_us =
+        summary.histograms.iter().find(|h| h.name == "rank.probe_us").map(|h| h.p95).unwrap_or(0.0);
+
+    // --- 2. Overhead on the hot ranking path, best-of-3 -------------------
+    let big = JointSpace::scaled();
+    let tahc = Tahc::new(
+        TahcConfig { task_aware: false, ..TahcConfig::scaled() },
+        HyperSpace::scaled(),
+        0,
+    );
+    let ecfg = EvolveConfig { k_s, ..EvolveConfig::scaled() };
+
+    let rank_plain_secs = best_of(3, || {
+        tahc.invalidate_caches();
+        let t0 = Instant::now();
+        let top = evolve_search(&tahc, None, &big, &ecfg);
+        assert!(!top.is_empty());
+        t0.elapsed().as_secs_f64()
+    });
+    let rank_traced_secs = best_of(3, || {
+        tahc.invalidate_caches();
+        let r = octs_obs::Recorder::new();
+        let s = octs_obs::ObsScope::activate(&r);
+        let t0 = Instant::now();
+        let top = evolve_search(&tahc, None, &big, &ecfg);
+        let secs = t0.elapsed().as_secs_f64();
+        drop(s);
+        assert!(!top.is_empty());
+        secs
+    });
+    let overhead_pct = (rank_traced_secs / rank_plain_secs - 1.0) * 100.0;
+    eprintln!(
+        "[overhead] plain {rank_plain_secs:.3}s traced {rank_traced_secs:.3}s => {overhead_pct:+.2}%"
+    );
+
+    let report = Report {
+        quick,
+        k_s,
+        winner_identical,
+        trace_lines: lines.len(),
+        required_spans_present: missing_spans.is_empty(),
+        required_counters_present: missing_counters.is_empty(),
+        phases,
+        rank_matches: summary.counter("rank.matches"),
+        embed_cache_hit_rate: rate(embed_hits, embed_misses),
+        task_cache_hit_rate: rate(task_hits, task_misses),
+        probe_p95_us,
+        rank_plain_secs,
+        rank_traced_secs,
+        overhead_pct,
+        note: "overhead measured best-of-3 on evolve_search (the hot ranking path); \
+               full-search trace validated for phase coverage and winner determinism"
+            .to_string(),
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_search_trace.json", &json).expect("write BENCH_search_trace.json");
+    println!("wrote BENCH_search_trace.json");
+
+    assert!(winner_identical, "recorder-on search must select the byte-identical winner");
+    assert!(missing_spans.is_empty(), "trace missing required spans: {missing_spans:?}");
+    assert!(missing_counters.is_empty(), "trace missing required counters: {missing_counters:?}");
+    assert!(
+        overhead_pct <= 5.0,
+        "tracing overhead {overhead_pct:.2}% exceeds the 5% budget \
+         ({rank_plain_secs:.3}s -> {rank_traced_secs:.3}s)"
+    );
+}

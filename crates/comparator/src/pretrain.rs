@@ -175,6 +175,7 @@ pub fn label_units(
 /// the whole labelling fan-out. Divergent (poisoned) trainings come back as
 /// `f32::INFINITY` from [`early_validation`] and are quarantined too.
 pub fn label_one(ah: &ArchHyper, task: &ForecastTask, unit: u64, cfg: &TrainConfig) -> LabeledAh {
+    let _obs = octs_obs::span_detail("label.unit", unit.to_string());
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         octs_fault::with_unit(unit, || {
             octs_fault::maybe_panic_unit();
@@ -183,7 +184,10 @@ pub fn label_one(ah: &ArchHyper, task: &ForecastTask, unit: u64, cfg: &TrainConf
     }));
     match outcome {
         Ok(score) if score.is_finite() => LabeledAh { ah: ah.clone(), score, quarantined: false },
-        Ok(_) | Err(_) => LabeledAh { ah: ah.clone(), score: f32::INFINITY, quarantined: true },
+        Ok(_) | Err(_) => {
+            octs_obs::event("label.quarantine", unit as f64, &format!("unit {unit}"));
+            LabeledAh { ah: ah.clone(), score: f32::INFINITY, quarantined: true }
+        }
     }
 }
 
@@ -226,7 +230,9 @@ pub fn collect_labels(
     space: &JointSpace,
     cfg: &PretrainConfig,
 ) -> Vec<TaskSamples> {
+    let _obs = octs_obs::span("phase.label");
     let units = label_units(tasks, space, cfg);
+    octs_obs::counter("label.units", units.len() as u64);
     let labeled: Vec<(u64, (f32, bool))> = units
         .par_iter()
         .map(|u| {
@@ -240,6 +246,7 @@ pub fn collect_labels(
 
 /// Precomputes the frozen preliminary embedding of every task.
 pub fn embed_tasks(tasks: &[ForecastTask], embedder: &mut TaskEmbedder) -> Vec<Tensor> {
+    let _obs = octs_obs::span("phase.embed");
     tasks.iter().map(|t| embedder.preliminary(t)).collect()
 }
 
@@ -398,6 +405,7 @@ impl TahcTrainer {
     /// [`PRETRAIN_MAX_RETRIES`] failed attempts the loss is recorded as-is
     /// and training moves on (downstream holdout accuracy exposes the wreck).
     pub fn run_epoch(&mut self, tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> f32 {
+        let _obs = octs_obs::span_detail("pretrain.epoch", self.epoch.to_string());
         let mut attempts = 0usize;
         loop {
             let snap_params = tahc.ps.snapshot();
@@ -423,6 +431,11 @@ impl TahcTrainer {
             self.rng = snap_rng;
             self.opt.lr *= 0.5;
             self.rollbacks += 1;
+            octs_obs::event(
+                "pretrain.divergence_rollback",
+                self.rollbacks as f64,
+                &format!("epoch {}", self.epoch),
+            );
             attempts += 1;
         }
     }
@@ -518,6 +531,7 @@ impl TahcTrainer {
 /// Algorithm 1: curriculum pre-training of T-AHC over the bank — the
 /// uninterrupted loop over [`TahcTrainer`].
 pub fn pretrain_tahc(tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> PretrainReport {
+    let _obs = octs_obs::span("phase.pretrain");
     let mut trainer = TahcTrainer::new(cfg);
     while !trainer.is_done(cfg) {
         trainer.run_epoch(tahc, bank, cfg);

@@ -113,6 +113,7 @@ impl Journal {
     pub fn append(&mut self, rec: &Record) -> Result<(), CoreError> {
         octs_fault::io_fault("journal.append", self.seq)
             .map_err(|e| CoreError::io(&self.path, "append", e))?;
+        let t0 = std::time::Instant::now();
         let json = serde_json::to_string(rec)
             .map_err(|e| CoreError::corrupt(&self.path, format!("record serialization: {e}")))?;
         let line = format!("{:016x} {json}\n", crate::persist::fnv64(json.as_bytes()));
@@ -122,6 +123,10 @@ impl Journal {
             .and_then(|_| self.file.sync_all())
             .map_err(|e| CoreError::io(&self.path, "append", e))?;
         self.seq += 1;
+        if octs_obs::armed() {
+            octs_obs::counter("journal.appends", 1);
+            octs_obs::observe("journal.append_us", t0.elapsed().as_micros() as f64);
+        }
         Ok(())
     }
 

@@ -86,6 +86,7 @@ impl AutoCts {
 
         // Phase 1: task encoder. Either restore the sidecar or train and
         // persist it before the journal records the phase as done.
+        let obs_encoder = octs_obs::span("phase.encoder");
         let encoder_ckpt = dir.join("encoder.ckpt");
         if records.iter().any(|r| r.kind == "encoder") {
             let payload = persist::read_envelope(&encoder_ckpt, PIPELINE_VERSION)?;
@@ -104,12 +105,15 @@ impl AutoCts {
             let mut rec = Record::of_kind("encoder");
             rec.detail = "encoder.ckpt".to_string();
             journal.append(&rec)?;
+            octs_obs::event("pipeline.checkpoint", journal.seq() as f64, "encoder.ckpt");
         }
+        drop(obs_encoder);
 
         // Phase 2: label collection. The unit enumeration is a pure function
         // of (space, cfg); completed units are replayed from the journal as
         // raw f32 bits, the rest are labelled in parallel with each outcome
         // journaled the moment it lands.
+        let obs_label = octs_obs::span("phase.label");
         let units = label_units(&tasks, &self.cfg.space, cfg);
         let mut scores: BTreeMap<u64, (f32, bool)> = records
             .iter()
@@ -118,6 +122,8 @@ impl AutoCts {
             .collect();
         let todo: Vec<&octs_comparator::LabelUnit> =
             units.iter().filter(|u| !scores.contains_key(&u.unit)).collect();
+        octs_obs::counter("pipeline.labels_replayed", (units.len() - todo.len()) as u64);
+        octs_obs::counter("pipeline.labels_fresh", todo.len() as u64);
         if !todo.is_empty() {
             let journal = Mutex::new(&mut journal);
             let failure: Mutex<Option<CoreError>> = Mutex::new(None);
@@ -150,6 +156,7 @@ impl AutoCts {
             }
             scores.extend(fresh.into_iter().flatten());
         }
+        drop(obs_label);
         let samples = assemble_samples(&units, &scores, tasks.len(), cfg);
         let prelims = embed_tasks(&tasks, &mut self.embedder);
         let bank = PretrainBank { tasks, prelims, samples };
@@ -157,6 +164,7 @@ impl AutoCts {
         // Phase 3: comparator epochs. Each completed epoch leaves a sidecar
         // with the exact trainer state (params, optimizer moments, RNG
         // stream); resume reloads the newest one and continues mid-stream.
+        let obs_pretrain = octs_obs::span("phase.pretrain");
         let done_epochs = records.iter().filter(|r| r.kind == "epoch").count();
         let mut trainer = if done_epochs > 0 {
             let ckpt = dir.join(format!("epoch_{done_epochs:04}.ckpt"));
@@ -179,7 +187,9 @@ impl AutoCts {
             rec.epoch = trainer.epoch() as u64;
             rec.detail = ckpt_name;
             journal.append(&rec)?;
+            octs_obs::event("pipeline.checkpoint", trainer.epoch() as f64, &rec.detail);
         }
+        drop(obs_pretrain);
 
         let report = trainer.finish(&self.tahc, &bank, cfg);
         self.mark_pretrained();

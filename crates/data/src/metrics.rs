@@ -79,15 +79,18 @@ pub fn corr(pred: &[f32], truth: &[f32]) -> f32 {
     num / (dp.sqrt() * dt.sqrt())
 }
 
-/// Ranks with average tie handling (1-based ranks).
+/// Ranks with average tie handling (1-based ranks). Sorting and tie
+/// grouping both use [`f32::total_cmp`], so the ordering is well-defined for
+/// every input (no comparator-inconsistent sorts on NaN); NaN-aware callers
+/// ([`spearman`], [`kendall_tau`]) reject NaN inputs *before* ranking.
 fn ranks(xs: &[f32]) -> Vec<f32> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut r = vec![0.0f32; xs.len()];
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+        while j + 1 < order.len() && xs[order[j + 1]].total_cmp(&xs[order[i]]).is_eq() {
             j += 1;
         }
         let avg = (i + j) as f32 / 2.0 + 1.0;
@@ -100,15 +103,82 @@ fn ranks(xs: &[f32]) -> Vec<f32> {
 }
 
 /// Spearman's rank correlation coefficient ρ.
+///
+/// **NaN policy:** a NaN anywhere in either input yields NaN — rank
+/// correlation against unordered data is undefined, and returning a
+/// plausible-looking number silently corrupts comparator-quality tables.
 pub fn spearman(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len());
+    if a.iter().chain(b).any(|x| x.is_nan()) {
+        return f32::NAN;
+    }
     corr(&ranks(a), &ranks(b))
 }
 
-/// Kendall's τ (pairwise-concordance rank correlation) — used to evaluate
-/// how faithfully a comparator's ranking matches true validation ranking.
+/// Kendall's τ-b (tie-corrected pairwise-concordance rank correlation) —
+/// used to evaluate how faithfully a comparator's ranking matches the true
+/// validation ranking.
+///
+/// τ-b divides `C − D` by `√((n₀−n₁)(n₀−n₂))`, where `n₀ = n(n−1)/2` and
+/// `n₁`/`n₂` count tied pairs within each input — so ties (ubiquitous in
+/// win-count rankings) no longer deflate |τ| the way the naive `n₀`
+/// denominator does. For tie-free inputs τ-b equals τ-a exactly; see
+/// [`kendall_tau_a`] for the legacy behaviour.
+///
+/// **NaN policy:** NaN anywhere in either input yields NaN. Degenerate
+/// inputs (fewer than two items, or either vector entirely tied) also yield
+/// NaN: no pair carries ranking signal, so no correlation exists.
 pub fn kendall_tau(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len());
+    if a.iter().chain(b).any(|x| x.is_nan()) {
+        return f32::NAN;
+    }
+    let n = a.len();
+    if n < 2 {
+        return f32::NAN;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 {
+                ties_a += 1;
+            }
+            if db == 0.0 {
+                ties_b += 1;
+            }
+            if da == 0.0 || db == 0.0 {
+                continue;
+            }
+            if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = ((n0 - ties_a) as f64 * (n0 - ties_b) as f64).sqrt();
+    if denom == 0.0 {
+        return f32::NAN; // one side entirely tied: no ranking to correlate
+    }
+    ((concordant - discordant) as f64 / denom) as f32
+}
+
+/// Kendall's τ-a: the legacy tie-ignoring variant with the fixed
+/// `n(n−1)/2` denominator, kept for callers that explicitly want the old
+/// behaviour (tied pairs count as zero and *deflate* |τ|). Prefer
+/// [`kendall_tau`] (τ-b) everywhere ties can occur. Inherits the NaN policy
+/// (NaN in → NaN out); a sub-2-element input returns 0.0 as before.
+pub fn kendall_tau_a(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    if a.iter().chain(b).any(|x| x.is_nan()) {
+        return f32::NAN;
+    }
     let n = a.len();
     if n < 2 {
         return 0.0;
@@ -117,9 +187,7 @@ pub fn kendall_tau(a: &[f32], b: &[f32]) -> f32 {
     let mut discordant = 0i64;
     for i in 0..n {
         for j in i + 1..n {
-            let da = a[i] - a[j];
-            let db = b[i] - b[j];
-            let s = da * db;
+            let s = (a[i] - a[j]) * (b[i] - b[j]);
             if s > 0.0 {
                 concordant += 1;
             } else if s < 0.0 {
@@ -136,13 +204,32 @@ pub fn kendall_tau(a: &[f32], b: &[f32]) -> f32 {
 pub struct MeanStd {
     /// Mean over runs.
     pub mean: f32,
-    /// Population standard deviation over runs.
+    /// Sample standard deviation over runs (÷(n−1); 0 for n ≤ 1).
     pub std: f32,
 }
 
 impl MeanStd {
-    /// Computes mean ± std of `xs`.
+    /// Computes mean ± std of `xs`, using the **sample** standard deviation
+    /// (Bessel-corrected, ÷(n−1)) — the unbiased-variance estimator expected
+    /// for the paper's "mean ± std over repeated runs" reporting. With one
+    /// run (or none) the std is 0.
     pub fn of(xs: &[f32]) -> Self {
+        if xs.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let std = if xs.len() > 1 {
+            let ss = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>();
+            (ss / (xs.len() - 1) as f32).sqrt()
+        } else {
+            0.0
+        };
+        Self { mean, std }
+    }
+
+    /// Population-std variant (÷n) — the pre-fix behaviour, kept for callers
+    /// that deliberately treat the runs as the entire population.
+    pub fn population(xs: &[f32]) -> Self {
         if xs.is_empty() {
             return Self { mean: 0.0, std: 0.0 };
         }
@@ -232,5 +319,104 @@ mod tests {
         assert!((ms.mean - 2.0).abs() < 1e-6);
         assert!(ms.std > 0.5);
         assert!(format!("{ms}").contains('±'));
+    }
+
+    #[test]
+    fn meanstd_uses_sample_std() {
+        // Sample std of [1, 2, 3] is 1.0 (ss = 2, ÷(n−1) = 1); the old
+        // population estimator gave sqrt(2/3) ≈ 0.816.
+        let ms = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert!((ms.std - 1.0).abs() < 1e-6, "sample std {}", ms.std);
+        let pop = MeanStd::population(&[1.0, 2.0, 3.0]);
+        assert!((pop.std - (2.0f32 / 3.0).sqrt()).abs() < 1e-6, "pop std {}", pop.std);
+        // n = 2 (the committed tables' replicate count): sample = pop × √2
+        let s2 = MeanStd::of(&[1.0, 3.0]);
+        let p2 = MeanStd::population(&[1.0, 3.0]);
+        assert!((s2.std - p2.std * 2.0f32.sqrt()).abs() < 1e-6);
+        // degenerate inputs stay defined
+        assert_eq!(MeanStd::of(&[5.0]).std, 0.0);
+        assert_eq!(MeanStd::of(&[]), MeanStd { mean: 0.0, std: 0.0 });
+    }
+
+    #[test]
+    fn kendall_tau_b_matches_hand_references() {
+        // Tie-free: τ-b == τ-a. a=[1,2,3,4] vs b=[1,3,2,4]: one discordant
+        // pair out of six ⇒ (5−1)/6 = 2/3.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 3.0, 2.0, 4.0];
+        assert!((kendall_tau(&a, &b) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((kendall_tau_a(&a, &b) - 2.0 / 3.0).abs() < 1e-6);
+
+        // Tie-heavy (scipy reference): kendalltau([1,1,2,3],[1,2,2,3]) = 0.8.
+        // C = 4, D = 0, n0 = 6, n1 = n2 = 1 ⇒ 4/√(5·5) = 0.8; the legacy
+        // τ-a deflates to 4/6 ≈ 0.667.
+        let ta = [1.0, 1.0, 2.0, 3.0];
+        let tb = [1.0, 2.0, 2.0, 3.0];
+        assert!((kendall_tau(&ta, &tb) - 0.8).abs() < 1e-6);
+        assert!((kendall_tau_a(&ta, &tb) - 2.0 / 3.0).abs() < 1e-6);
+
+        // Perfect agreement through ties still saturates at ±1.
+        let u = [1.0, 1.0, 2.0, 5.0];
+        assert!((kendall_tau(&u, &u) - 1.0).abs() < 1e-6);
+        let v: Vec<f32> = u.iter().map(|x| -x).collect();
+        assert!((kendall_tau(&u, &v) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kendall_tau_degenerate_inputs_are_nan() {
+        // All-equal vectors carry no ranking signal: τ-b is undefined.
+        let flat = [2.0, 2.0, 2.0];
+        let rising = [1.0, 2.0, 3.0];
+        assert!(kendall_tau(&flat, &rising).is_nan());
+        assert!(kendall_tau(&rising, &flat).is_nan());
+        assert!(kendall_tau(&flat, &flat).is_nan());
+        // Fewer than two items: no pairs at all.
+        assert!(kendall_tau(&[1.0], &[2.0]).is_nan());
+        assert!(kendall_tau(&[], &[]).is_nan());
+        // τ-a keeps its legacy 0.0 for sub-2 inputs but 0/flat is 0.
+        assert_eq!(kendall_tau_a(&[1.0], &[2.0]), 0.0);
+        assert_eq!(kendall_tau_a(&flat, &rising), 0.0);
+    }
+
+    #[test]
+    fn rank_metrics_propagate_nan() {
+        let clean = [1.0, 2.0, 3.0];
+        let dirty = [1.0, f32::NAN, 3.0];
+        assert!(spearman(&clean, &dirty).is_nan());
+        assert!(spearman(&dirty, &clean).is_nan());
+        assert!(kendall_tau(&clean, &dirty).is_nan());
+        assert!(kendall_tau(&dirty, &clean).is_nan());
+        assert!(kendall_tau_a(&clean, &dirty).is_nan());
+        // and NaN on one side must not poison a clean call afterwards
+        assert!((spearman(&clean, &clean) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spearman_tie_heavy_references() {
+        // Ties get averaged ranks: a=[1,2,2,3] → ranks [1, 2.5, 2.5, 4];
+        // against its own reversal ρ = −1.
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let rev = [3.0, 2.0, 2.0, 1.0];
+        assert!((spearman(&a, &rev) + 1.0).abs() < 1e-6);
+        // Classic no-tie reference: d² = [1,1,1,1,0] ⇒ ρ = 1 − 24/120 = 0.8.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        assert!((spearman(&x, &y) - 0.8).abs() < 1e-6);
+        // All-equal ranks have zero variance; Pearson-on-ranks yields 0.
+        let flat = [7.0, 7.0, 7.0];
+        assert_eq!(spearman(&flat, &x[..3]), 0.0);
+    }
+
+    #[test]
+    fn ranks_are_total_order_stable_under_negative_zero() {
+        // total_cmp distinguishes −0.0 < +0.0, but both compare equal under
+        // ==; the rank assignment must stay a consistent total order (no
+        // panic, all ranks assigned) rather than a comparator-inconsistent
+        // sort.
+        let xs = [0.0f32, -0.0, 1.0];
+        let r = ranks(&xs);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|&x| (1.0..=3.0).contains(&x)));
+        assert_eq!(r[2], 3.0);
     }
 }

@@ -256,6 +256,7 @@ pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
     task: &ForecastTask,
     cfg: &TrainConfig,
 ) -> TrainReport {
+    let _obs = octs_obs::span("train.run");
     let start = Instant::now();
     let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -315,8 +316,14 @@ pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
             opt = snap.opt.clone();
             rng = snap.rng.clone();
             rollbacks += 1;
+            octs_obs::event(
+                "train.divergence_rollback",
+                rollbacks as f64,
+                &format!("epoch {epoch}"),
+            );
             if rollbacks >= cfg.divergence_strikes {
                 poisoned = true;
+                octs_obs::event("train.poisoned", rollbacks as f64, &format!("epoch {epoch}"));
                 break;
             }
             opt.lr *= 0.5;
@@ -324,6 +331,7 @@ pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
         }
         epochs_run += 1;
         epoch += 1;
+        octs_obs::counter("train.epochs", 1);
         if let Some(snap) = snapshot.as_mut() {
             snap.params = fc.params_mut().snapshot();
             snap.opt = opt.clone();

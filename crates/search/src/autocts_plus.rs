@@ -141,12 +141,16 @@ pub fn autocts_plus_search_with_pool(
     //    each candidate isolated: a panic or divergence quarantines that
     //    candidate only.
     let t0 = Instant::now();
+    let obs_label = octs_obs::span_detail("phase.label", pool.len().to_string());
     let idx: Vec<usize> = (0..pool.len()).collect();
     let labeled: Vec<LabeledAh> =
         idx.par_iter().map(|&i| label_one(&pool[i], task, i as u64, &cfg.label_cfg)).collect();
     let quarantined: Vec<ArchHyper> =
         labeled.iter().filter(|l| l.quarantined).map(|l| l.ah.clone()).collect();
     let healthy: Vec<&LabeledAh> = labeled.iter().filter(|l| !l.quarantined).collect();
+    octs_obs::counter("search.pool", pool.len() as u64);
+    octs_obs::counter("search.quarantined", quarantined.len() as u64);
+    drop(obs_label);
     if healthy.is_empty() {
         return Err(SearchError::AllCandidatesQuarantined);
     }
@@ -157,6 +161,7 @@ pub fn autocts_plus_search_with_pool(
     //    shuffle RNG is its own salted stream, so its draws do not depend on
     //    how many candidates the sampling stage consumed.
     let t1 = Instant::now();
+    let obs_pretrain = octs_obs::span_detail("phase.pretrain", cfg.comparator_epochs.to_string());
     let mut pair_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC3A7);
     let mut comparator = Tahc::new(
         TahcConfig { task_aware: false, ..cfg.comparator },
@@ -181,11 +186,15 @@ pub fn autocts_plus_search_with_pool(
             comparator.train_batch(&mut opt, &batch);
         }
     }
+    drop(obs_pretrain);
     let comparator_time = t1.elapsed();
 
     // 3. Rank the joint space with the trained comparator and train top-K.
     let t2 = Instant::now();
+    let obs_rank = octs_obs::span_detail("phase.rank", cfg.evolve.k_s.to_string());
     let top = evolve_search(&comparator, None, space, &cfg.evolve);
+    drop(obs_rank);
+    let obs_final = octs_obs::span_detail("phase.final_train", top.len().to_string());
     let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
     let mut best: Option<(ArchHyper, TrainReport)> = None;
     for (i, ah) in top.into_iter().enumerate() {
@@ -200,6 +209,7 @@ pub fn autocts_plus_search_with_pool(
             best = Some((ah, report));
         }
     }
+    drop(obs_final);
     let search_time = t2.elapsed();
     let (best, best_report) = best.expect("top_k >= 1");
     Ok(AutoCtsPlusOutcome {
@@ -329,6 +339,45 @@ mod tests {
             "winner's training must be byte-identical"
         );
         assert!(reference.quarantined.is_empty());
+    }
+
+    #[test]
+    fn recorder_on_run_matches_recorder_off_run_exactly() {
+        // Observability must be purely observational: attaching a recorder
+        // cannot perturb RNG streams, ranking order, or training, so the
+        // winner (and its val MAE, bit for bit) must match a recorder-off
+        // run. Meanwhile the trace itself must cover the pipeline phases.
+        let t = task();
+        let space = JointSpace::tiny();
+        let cfg = AutoCtsPlusConfig::test();
+
+        let plain = autocts_plus_search(&t, &space, &cfg).unwrap();
+
+        let rec = octs_obs::Recorder::new();
+        let scope = octs_obs::ObsScope::activate(&rec);
+        let traced = autocts_plus_search(&t, &space, &cfg).unwrap();
+        drop(scope);
+
+        assert_eq!(traced.best, plain.best, "recorder must not change the winner");
+        assert_eq!(
+            traced.best_report.best_val_mae.to_bits(),
+            plain.best_report.best_val_mae.to_bits(),
+            "recorder must not perturb training"
+        );
+
+        let summary = rec.summary();
+        for span in ["phase.label", "phase.pretrain", "phase.rank", "phase.final_train"] {
+            assert!(summary.span_total_us(span) > 0, "missing span {span}");
+        }
+        assert_eq!(summary.counter("search.pool"), cfg.num_labeled as u64);
+        assert_eq!(summary.counter("search.quarantined"), 0);
+        assert!(summary.counter("rank.matches") > 0, "ranking must record matches");
+        let cache_lookups =
+            summary.counter("rank.embed_cache.hits") + summary.counter("rank.embed_cache.misses");
+        assert!(cache_lookups > 0, "ranking must record embedding-cache traffic");
+        // NDJSON round-trips through the parser.
+        let lines = octs_obs::parse_ndjson(&rec.ndjson()).unwrap();
+        assert!(!lines.is_empty());
     }
 
     #[test]

@@ -76,8 +76,10 @@ pub fn evolve_search(
     space: &JointSpace,
     cfg: &EvolveConfig,
 ) -> Vec<ArchHyper> {
+    let _obs = octs_obs::span_detail("rank.evolve", format!("k_s {}", cfg.k_s));
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let candidates = space.sample_distinct(cfg.k_s, &mut rng);
+    octs_obs::counter("evolve.sampled", candidates.len() as u64);
 
     // Seed population from a cheap tournament ranking.
     let order = tournament_rank(tahc, prelim, &candidates, cfg.tournament_rounds, cfg.seed ^ 0x70);

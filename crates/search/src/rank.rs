@@ -12,7 +12,7 @@
 //! derived from the master seed, so rankings are byte-identical for any
 //! thread count.
 
-use octs_comparator::Tahc;
+use octs_comparator::{CacheStats, Tahc};
 use octs_space::ArchHyper;
 use octs_tensor::Tensor;
 use rand::Rng;
@@ -40,15 +40,39 @@ pub struct RankOutcome {
 /// the subsequent match phase reuse the cached encoding.
 fn probe_candidates(tahc: &Tahc, candidates: &[ArchHyper]) -> Vec<bool> {
     let idx: Vec<usize> = (0..candidates.len()).collect();
+    let instrumented = octs_obs::armed();
     idx.par_iter()
         .map(|&i| {
-            catch_unwind(AssertUnwindSafe(|| {
+            let started = instrumented.then(std::time::Instant::now);
+            let ok = catch_unwind(AssertUnwindSafe(|| {
                 octs_fault::maybe_panic_compare(i);
                 let _ = tahc.embedding(&candidates[i]);
             }))
-            .is_ok()
+            .is_ok();
+            if let Some(t0) = started {
+                octs_obs::observe("rank.probe_us", t0.elapsed().as_micros() as f64);
+                if !ok {
+                    octs_obs::event("rank.quarantine", i as f64, &format!("candidate {i}"));
+                }
+            }
+            ok
         })
         .collect()
+}
+
+/// Emits the ranking pass's comparator cache activity as counter deltas
+/// (hits/misses accrued between `before` and now, for both the embedding and
+/// task-pathway caches). No-op when no recorder is attached.
+fn record_cache_deltas(tahc: &Tahc, embed_before: CacheStats, task_before: CacheStats) {
+    if !octs_obs::armed() {
+        return;
+    }
+    let embed = tahc.embed_cache_stats();
+    let task = tahc.task_cache_stats();
+    octs_obs::counter("rank.embed_cache.hits", (embed.hits - embed_before.hits) as u64);
+    octs_obs::counter("rank.embed_cache.misses", (embed.misses - embed_before.misses) as u64);
+    octs_obs::counter("rank.task_cache.hits", (task.hits - task_before.hits) as u64);
+    octs_obs::counter("rank.task_cache.misses", (task.misses - task_before.misses) as u64);
 }
 
 /// Judges every `(i, j)` match in parallel; `Some(true)` means `i` won,
@@ -102,13 +126,18 @@ pub fn round_robin_rank_checked(
     prelim: Option<&Tensor>,
     candidates: &[ArchHyper],
 ) -> RankOutcome {
+    let _obs = octs_obs::span_detail("rank.round_robin", candidates.len().to_string());
+    let embed_before = tahc.embed_cache_stats();
+    let task_before = tahc.task_cache_stats();
     let k = candidates.len();
     let healthy = probe_candidates(tahc, candidates);
     let matches: Vec<(usize, usize)> = (0..k)
         .flat_map(|i| (i + 1..k).map(move |j| (i, j)))
         .filter(|&(i, j)| healthy[i] && healthy[j])
         .collect();
+    octs_obs::counter("rank.matches", matches.len() as u64);
     let outcomes = play_matches(tahc, prelim, candidates, &matches);
+    record_cache_deltas(tahc, embed_before, task_before);
     assemble_outcome(&healthy, &matches, &outcomes)
 }
 
@@ -157,6 +186,9 @@ pub fn tournament_rank_checked(
     if k <= 1 {
         return RankOutcome { order: (0..k).collect(), quarantined: Vec::new() };
     }
+    let _obs = octs_obs::span_detail("rank.tournament", k.to_string());
+    let embed_before = tahc.embed_cache_stats();
+    let task_before = tahc.task_cache_stats();
     let healthy = probe_candidates(tahc, candidates);
     let rounds = rounds.min(k - 1);
     let matches: Vec<(usize, usize)> = (0..k)
@@ -173,7 +205,9 @@ pub fn tournament_rank_checked(
         })
         .filter(|&(i, j)| healthy[i] && healthy[j])
         .collect();
+    octs_obs::counter("rank.matches", matches.len() as u64);
     let outcomes = play_matches(tahc, prelim, candidates, &matches);
+    record_cache_deltas(tahc, embed_before, task_before);
     assemble_outcome(&healthy, &matches, &outcomes)
 }
 

@@ -54,14 +54,19 @@ pub fn zero_shot_search(
     train_cfg: &TrainConfig,
 ) -> SearchOutcome {
     let t0 = Instant::now();
+    let obs_embed = octs_obs::span_detail("phase.embed", task.id().to_string());
     let prelim = embedder.preliminary(task);
+    drop(obs_embed);
     let embed = t0.elapsed();
 
     let t1 = Instant::now();
+    let obs_rank = octs_obs::span_detail("phase.rank", evolve_cfg.k_s.to_string());
     let top = evolve_search(tahc, Some(&prelim), space, evolve_cfg);
+    drop(obs_rank);
     let rank = t1.elapsed();
 
     let t2 = Instant::now();
+    let obs_final = octs_obs::span_detail("phase.final_train", top.len().to_string());
     let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
     let mut finalists = Vec::with_capacity(top.len());
     for (i, ah) in top.into_iter().enumerate() {
@@ -74,6 +79,7 @@ pub fn zero_shot_search(
         let report = train_forecaster(&mut fc, task, train_cfg);
         finalists.push((ah, report));
     }
+    drop(obs_final);
     let train = t2.elapsed();
 
     let best_idx = finalists
