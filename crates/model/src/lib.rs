@@ -16,8 +16,11 @@ pub mod stblock;
 pub mod trainer;
 
 pub use forecaster::{Forecaster, ModelDims};
+pub use layers::{
+    gru_cell, layer_norm, linear, linear_no_bias, mlp2, multi_head_attention, self_attention,
+};
 pub use model_trait::CtsForecastModel;
-pub use operators::{apply_op, OpCtx};
+pub use operators::{adaptive_adjacency, apply_op, channel_projection, residual_norm, OpCtx};
 pub use stblock::st_block;
 pub use trainer::{
     early_validation, evaluate, evaluate_per_horizon, train_forecaster, val_mae_scaled,

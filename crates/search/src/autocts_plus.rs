@@ -121,11 +121,13 @@ pub fn autocts_plus_search(
 /// Runs the AutoCTS+ pipeline over an explicit candidate pool.
 ///
 /// Every stage downstream of labelling consumes only the *healthy* labelled
-/// candidates, and all RNG streams are derived from fixed salts rather than
-/// threaded through the pool — so a run where faulty candidates get
-/// quarantined produces byte-identical comparator parameters (and therefore
-/// an identical winner) to a run handed the healthy subset directly. The
-/// fault-injection suite enforces this.
+/// candidates — in a canonical order independent of how the pool was
+/// arranged — and all RNG streams are derived from fixed salts rather than
+/// threaded through the pool. Two consequences, both enforced by tests: a
+/// run where faulty candidates get quarantined produces byte-identical
+/// comparator parameters (and therefore an identical winner) to a run handed
+/// the healthy subset directly, and permuting the pool (or changing
+/// `RAYON_NUM_THREADS`) leaves the winner byte-identical too.
 pub fn autocts_plus_search_with_pool(
     task: &ForecastTask,
     space: &JointSpace,
@@ -147,7 +149,13 @@ pub fn autocts_plus_search_with_pool(
         idx.par_iter().map(|&i| label_one(&pool[i], task, i as u64, &cfg.label_cfg)).collect();
     let quarantined: Vec<ArchHyper> =
         labeled.iter().filter(|l| l.quarantined).map(|l| l.ah.clone()).collect();
-    let healthy: Vec<&LabeledAh> = labeled.iter().filter(|l| !l.quarantined).collect();
+    // Canonical ordering: every stage downstream consumes the healthy
+    // candidates sorted by (score bits, fingerprint) — a key independent of
+    // the pool's arrival order — so permuting the candidate pool leaves the
+    // comparator's training pair stream, and therefore the winner,
+    // byte-identical (the testkit property suite enforces this).
+    let mut healthy: Vec<&LabeledAh> = labeled.iter().filter(|l| !l.quarantined).collect();
+    healthy.sort_by_key(|l| (l.score.to_bits(), l.ah.fingerprint()));
     octs_obs::counter("search.pool", pool.len() as u64);
     octs_obs::counter("search.quarantined", quarantined.len() as u64);
     drop(obs_label);

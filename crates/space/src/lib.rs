@@ -22,5 +22,5 @@ pub use arch::{arch_cardinality, ArchDag, ArchError, Edge, MAX_IN_DEGREE};
 pub use archhyper::{ArchHyper, ArchHyperEncoding, MAX_ENC_NODES};
 pub use hyper::{HyperParams, HyperSpace};
 pub use ops::OpKind;
-pub use render::{render, render_dot};
+pub use render::{parse, render, render_dot, RenderParseError};
 pub use space::JointSpace;

@@ -1,6 +1,13 @@
-//! Textual rendering of searched ST-blocks, mirroring the case-study figures.
+//! Textual rendering of searched ST-blocks, mirroring the case-study figures,
+//! and its inverse [`parse`] — `parse(render(ah)) == ah` for every valid
+//! arch-hyper (the testkit property suite sweeps this over generated
+//! candidates), which makes the rendered form a lossless interchange format
+//! for case studies and golden fixtures.
 
+use crate::arch::{ArchDag, Edge};
 use crate::archhyper::ArchHyper;
+use crate::hyper::HyperParams;
+use crate::ops::OpKind;
 
 /// Renders an arch-hyper in the style of Figs. 8–9: the hyperparameter line
 /// followed by one line per latent node listing its incoming operators.
@@ -17,6 +24,104 @@ pub fn render(ah: &ArchHyper) -> String {
         out.push_str(&format!("  h{} <- {}\n", node, ins.join(" + ")));
     }
     out
+}
+
+/// Why a rendered block failed to parse back into an [`ArchHyper`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderParseError {
+    /// The `Hyper:` line is missing or malformed.
+    BadHyperLine(String),
+    /// A node line does not match `  hJ <- op(hI) + ...`.
+    BadNodeLine(String),
+    /// An operator label is not one of [`OpKind`]'s labels.
+    UnknownOp(String),
+    /// The edge list violates the DAG topology rules.
+    BadTopology(String),
+}
+
+impl std::fmt::Display for RenderParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderParseError::BadHyperLine(l) => write!(f, "malformed hyper line: {l:?}"),
+            RenderParseError::BadNodeLine(l) => write!(f, "malformed node line: {l:?}"),
+            RenderParseError::UnknownOp(op) => write!(f, "unknown operator label: {op:?}"),
+            RenderParseError::BadTopology(e) => write!(f, "invalid architecture: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RenderParseError {}
+
+fn op_from_label(label: &str) -> Result<OpKind, RenderParseError> {
+    OpKind::ALL
+        .into_iter()
+        .find(|op| op.label() == label)
+        .ok_or_else(|| RenderParseError::UnknownOp(label.to_string()))
+}
+
+fn parse_usize(field: &str, text: &str, line: &str) -> Result<usize, RenderParseError> {
+    text.strip_prefix(&format!("{field}="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| RenderParseError::BadHyperLine(line.to_string()))
+}
+
+/// Parses a node reference `hJ` into its index.
+fn parse_node(text: &str, line: &str) -> Result<usize, RenderParseError> {
+    text.strip_prefix('h')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| RenderParseError::BadNodeLine(line.to_string()))
+}
+
+/// The inverse of [`render`]: reconstructs the [`ArchHyper`] from its textual
+/// form. Round-trips exactly — `parse(&render(&ah)) == Ok(ah)` — because the
+/// rendering lists every edge with its operator label and the full
+/// hyperparameter assignment.
+pub fn parse(text: &str) -> Result<ArchHyper, RenderParseError> {
+    let mut lines = text.lines();
+    let hyper_line = lines.next().ok_or_else(|| RenderParseError::BadHyperLine(String::new()))?;
+    let spec = hyper_line
+        .strip_prefix("Hyper: ")
+        .ok_or_else(|| RenderParseError::BadHyperLine(hyper_line.to_string()))?;
+    let fields: Vec<&str> = spec.split(", ").collect();
+    if fields.len() != HyperParams::R {
+        return Err(RenderParseError::BadHyperLine(hyper_line.to_string()));
+    }
+    let hyper = HyperParams {
+        b: parse_usize("B", fields[0], hyper_line)?,
+        c: parse_usize("C", fields[1], hyper_line)?,
+        h: parse_usize("H", fields[2], hyper_line)?,
+        i: parse_usize("I", fields[3], hyper_line)?,
+        u: parse_usize("U", fields[4], hyper_line)?,
+        delta: parse_usize("δ", fields[5], hyper_line)?,
+    };
+
+    let mut edges = Vec::new();
+    for line in lines {
+        let body =
+            line.strip_prefix("  ").ok_or_else(|| RenderParseError::BadNodeLine(line.into()))?;
+        let (node, ins) =
+            body.split_once(" <- ").ok_or_else(|| RenderParseError::BadNodeLine(line.into()))?;
+        let to = parse_node(node, line)?;
+        if ins == "input" {
+            if to != 0 {
+                return Err(RenderParseError::BadNodeLine(line.to_string()));
+            }
+            continue;
+        }
+        for term in ins.split(" + ") {
+            let (label, rest) = term
+                .split_once('(')
+                .ok_or_else(|| RenderParseError::BadNodeLine(line.to_string()))?;
+            let src = rest
+                .strip_suffix(')')
+                .ok_or_else(|| RenderParseError::BadNodeLine(line.to_string()))?;
+            let from = parse_node(src, line)?;
+            edges.push(Edge { from, to, op: op_from_label(label)? });
+        }
+    }
+    let arch =
+        ArchDag::new(hyper.c, edges).map_err(|e| RenderParseError::BadTopology(e.to_string()))?;
+    Ok(ArchHyper::new(arch, hyper))
 }
 
 /// Graphviz DOT output for the same block (handy for documentation).
@@ -58,6 +163,40 @@ mod tests {
         assert!(s.contains("Hyper: B=2, C=3"));
         assert!(s.contains("h1 <- GDCC(h0)"));
         assert!(s.contains("h2 <- Id(h0) + INF-S(h1)"));
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let ah = ah();
+        assert_eq!(parse(&render(&ah)), Ok(ah));
+    }
+
+    #[test]
+    fn parse_roundtrips_sampled_blocks() {
+        use crate::space::JointSpace;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for space in [JointSpace::tiny(), JointSpace::scaled()] {
+            for _ in 0..25 {
+                let ah = space.sample(&mut rng);
+                assert_eq!(parse(&render(&ah)), Ok(ah));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        assert!(matches!(parse(""), Err(RenderParseError::BadHyperLine(_))));
+        assert!(matches!(
+            parse("Hyper: B=1, C=2, H=4, I=8, U=0\n"),
+            Err(RenderParseError::BadHyperLine(_))
+        ));
+        let good = render(&ah());
+        let bad_op = good.replace("GDCC", "WARP");
+        assert!(matches!(parse(&bad_op), Err(RenderParseError::UnknownOp(_))));
+        // an edge referencing a node beyond C violates topology
+        let bad_node = good.replace("GDCC(h0)", "GDCC(h9)");
+        assert!(matches!(parse(&bad_node), Err(RenderParseError::BadTopology(_))));
     }
 
     #[test]

@@ -1,15 +1,48 @@
 //! Numerical gradient checking for composite graphs.
+//!
+//! [`check_gradient`] condenses a check into one scalar; [`check_gradient_report`]
+//! exposes the per-element worst case, which the `octs-testkit` conformance
+//! sweep uses to shrink failing inputs into minimal reproducers.
 
 use crate::graph::{Graph, Var};
 use crate::tensor::Tensor;
 
+/// Where and how badly the analytic and numeric gradients disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradReport {
+    /// Largest absolute deviation `|analytic - numeric|` over all elements.
+    pub max_abs: f32,
+    /// Largest *normalized* deviation `|a - n| / max(1, |a|, |n|)` — the
+    /// magnitude-aware criterion tests should gate on.
+    pub max_rel: f32,
+    /// Flat index of the element with the largest normalized deviation.
+    pub worst_index: usize,
+    /// Analytic gradient at `worst_index`.
+    pub worst_analytic: f32,
+    /// Central-difference gradient at `worst_index`.
+    pub worst_numeric: f32,
+}
+
+/// Normalized deviation between one analytic/numeric gradient pair: the
+/// absolute error, divided by the gradient magnitude once it exceeds 1. Small
+/// gradients are judged absolutely (dividing by a tiny magnitude would turn
+/// float noise into huge ratios); large gradients are judged relatively (a
+/// gradient of 1e4 carrying 1e-2 of round-off is correct, not broken).
+pub fn normalized_deviation(analytic: f32, numeric: f32) -> f32 {
+    (analytic - numeric).abs() / 1.0f32.max(analytic.abs()).max(numeric.abs())
+}
+
 /// Checks the analytic gradient of `f` w.r.t. a single input tensor against
-/// central finite differences.
+/// central finite differences, reporting worst-case deviations.
 ///
-/// `f` must build a scalar loss from the graph and the input var. Returns the
-/// maximum absolute deviation observed. Intended for tests; O(n) forward
-/// passes.
-pub fn check_gradient(input: &Tensor, eps: f32, f: impl Fn(&Graph, &Var) -> Var) -> f32 {
+/// `f` must build a scalar loss from the graph and the input var; it must be
+/// a pure function of the input (re-seed any internal randomness per call).
+/// Intended for tests; O(n) forward passes.
+pub fn check_gradient_report(
+    input: &Tensor,
+    eps: f32,
+    f: impl Fn(&Graph, &Var) -> Var,
+) -> GradReport {
     // Analytic gradient.
     let g = Graph::new();
     let x = g.input(input.clone());
@@ -19,7 +52,13 @@ pub fn check_gradient(input: &Tensor, eps: f32, f: impl Fn(&Graph, &Var) -> Var)
     let analytic = g.grad_of(&x).expect("input did not receive a gradient");
 
     // Numeric gradient.
-    let mut max_dev = 0.0f32;
+    let mut report = GradReport {
+        max_abs: 0.0,
+        max_rel: 0.0,
+        worst_index: 0,
+        worst_analytic: 0.0,
+        worst_numeric: 0.0,
+    };
     for i in 0..input.len() {
         let eval = |delta: f32| -> f32 {
             let mut t = input.clone();
@@ -29,10 +68,26 @@ pub fn check_gradient(input: &Tensor, eps: f32, f: impl Fn(&Graph, &Var) -> Var)
             f(&g, &x).value().item()
         };
         let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
-        let dev = (numeric - analytic.data()[i]).abs();
-        max_dev = max_dev.max(dev);
+        let a = analytic.data()[i];
+        report.max_abs = report.max_abs.max((a - numeric).abs());
+        let rel = normalized_deviation(a, numeric);
+        if rel > report.max_rel || i == 0 {
+            report.max_rel = report.max_rel.max(rel);
+            report.worst_index = i;
+            report.worst_analytic = a;
+            report.worst_numeric = numeric;
+        }
     }
-    max_dev
+    report
+}
+
+/// Checks the analytic gradient of `f` w.r.t. a single input tensor against
+/// central finite differences. Returns the maximum *normalized* deviation
+/// (see [`normalized_deviation`]): absolute for small gradients, relative for
+/// large-magnitude ones, so a 1e4-sized gradient carrying 1e-2 of float
+/// round-off no longer fails (and a wrong-but-small one no longer hides).
+pub fn check_gradient(input: &Tensor, eps: f32, f: impl Fn(&Graph, &Var) -> Var) -> f32 {
+    check_gradient_report(input, eps, f).max_rel
 }
 
 #[cfg(test)]
@@ -93,5 +148,28 @@ mod tests {
             v.layer_norm(&gamma, &beta, 1e-5).abs().mean_all()
         });
         assert!(dev < 5e-2, "max deviation {dev}");
+    }
+
+    #[test]
+    fn large_magnitude_gradients_judged_relatively() {
+        // d/dx of (1e4 * x)^2 / 2e4 = 1e4 * x; at x ~ 1 the gradient is ~1e4
+        // and central differences carry absolute round-off far above any
+        // sane absolute tolerance — the normalized criterion must not care.
+        let x = Tensor::from_slice(&[0.9, 1.1, 1.3]);
+        let report = check_gradient_report(&x, 1e-3, |_, v| {
+            v.mul_scalar(1e4).mul(&v.mul_scalar(1e4)).sum_all().mul_scalar(5e-5)
+        });
+        assert!(report.max_rel < 1e-2, "normalized deviation {}", report.max_rel);
+        assert!(report.worst_analytic.abs() > 1e3, "test should exercise large gradients");
+    }
+
+    #[test]
+    fn report_pinpoints_worst_element() {
+        let x = input(4);
+        let report = check_gradient_report(&x, 1e-3, |_, v| v.tanh().sum_all());
+        assert!(report.worst_index < 4);
+        assert!(report.max_abs >= 0.0 && report.max_rel <= report.max_abs + 1e-12);
+        // tanh' is well-behaved here: analytic and numeric nearly agree
+        assert!((report.worst_analytic - report.worst_numeric).abs() < 1e-3);
     }
 }

@@ -47,6 +47,7 @@ pub mod ops {
     pub mod softmax;
 }
 
+pub use gradcheck::{check_gradient, check_gradient_report, normalized_deviation, GradReport};
 pub use graph::{Graph, Var};
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use param::{Init, ParamStore};

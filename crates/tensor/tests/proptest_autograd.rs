@@ -1,6 +1,10 @@
 //! Property-based tests of the autograd engine: analytic gradients must
 //! match finite differences for randomized inputs and op compositions, and
 //! structural ops must satisfy algebraic identities.
+//!
+//! `check_gradient` returns the maximum *normalized* deviation (absolute for
+//! small gradients, relative for large-magnitude ones), so the thresholds
+//! below stay meaningful however large the randomized gradients get.
 
 use octs_tensor::gradcheck::check_gradient;
 use octs_tensor::{Graph, Tensor};

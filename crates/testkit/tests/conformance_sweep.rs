@@ -1,0 +1,132 @@
+//! The differential gradient-conformance sweep, run as a test, plus the
+//! coverage contract pinning the enumerated op list.
+//!
+//! `OCTS_CONFORMANCE_WIDE=1` (the nightly CI profile) widens the shape set.
+
+use octs_space::OpKind;
+use octs_testkit::conformance::{all_specs, run_sweep, OpFamily};
+
+/// Fixed sweep seed: printed in every failure, so any reported reproducer
+/// replays from `(op, seed, shape)` alone.
+const SWEEP_SEED: u64 = 0x0C75_2024;
+
+fn wide() -> bool {
+    std::env::var("OCTS_CONFORMANCE_WIDE").as_deref() == Ok("1")
+}
+
+#[test]
+fn gradient_conformance_sweep_is_green() {
+    let report = run_sweep(SWEEP_SEED, wide());
+    report.assert_green();
+}
+
+/// The enumerated contract for the tensor layer: every public differentiable
+/// [`octs_tensor::Var`] method must have a sweep spec of exactly its name.
+/// Adding a new op without registering it here (and in
+/// `conformance::all_specs`) fails this test.
+const TENSOR_OPS: &[&str] = &[
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "add_bias",
+    "add_scalar",
+    "mul_scalar",
+    "neg",
+    "matmul",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "gelu",
+    "abs",
+    "sqrt",
+    "ln",
+    "softmax",
+    "layer_norm",
+    "conv1d",
+    "reshape",
+    "permute",
+    "transpose",
+    "concat",
+    "slice_axis",
+    "sum_all",
+    "mean_all",
+    "sum_axis",
+    "mean_axis",
+    "dropout",
+    "gather_rows",
+    "bce_with_logits",
+    "mae_loss",
+    "mse_loss",
+];
+
+/// Extra tensor specs exercising alternate code paths of ops already listed
+/// in [`TENSOR_OPS`] (denominator gradient, batched matmul, dilation+bias).
+const TENSOR_VARIANTS: &[&str] = &["div_denominator", "matmul_batched", "conv1d_dilated"];
+
+/// The enumerated contract for the model layer: the paper's operator set
+/// (each [`OpKind`]), the ST-block assembly, and every operator-module
+/// helper and layer in `octs-model`.
+const MODEL_OPS: &[&str] = &[
+    "model/gdcc",
+    "model/inf_t",
+    "model/dgcn",
+    "model/inf_s",
+    "model/identity",
+    "model/st_block",
+    "model/adaptive_adjacency",
+    "model/residual_norm",
+    "model/channel_projection",
+    "model/linear",
+    "model/linear_no_bias",
+    "model/mlp2",
+    "model/layer_norm",
+    "model/self_attention",
+    "model/multi_head_attention",
+    "model/gru_cell",
+];
+
+#[test]
+fn sweep_covers_every_public_tensor_op() {
+    let specs = all_specs();
+    let tensor_names: Vec<&str> =
+        specs.iter().filter(|s| s.family == OpFamily::Tensor).map(|s| s.name).collect();
+    for op in TENSOR_OPS {
+        assert!(tensor_names.contains(op), "tensor op {op} has no conformance spec");
+    }
+    for name in &tensor_names {
+        assert!(
+            TENSOR_OPS.contains(name) || TENSOR_VARIANTS.contains(name),
+            "spec {name} is not in the enumerated tensor op list — update the contract"
+        );
+    }
+}
+
+#[test]
+fn sweep_covers_every_model_operator() {
+    let specs = all_specs();
+    let model_names: Vec<&str> =
+        specs.iter().filter(|s| s.family == OpFamily::Model).map(|s| s.name).collect();
+    for op in MODEL_OPS {
+        assert!(model_names.contains(op), "model op {op} has no conformance spec");
+    }
+    for name in &model_names {
+        assert!(
+            MODEL_OPS.contains(name),
+            "spec {name} is not in the enumerated model op list — update the contract"
+        );
+    }
+    // Every operator kind of the search space maps to a registered spec, so
+    // a new OpKind cannot ship without gradient conformance.
+    for op in OpKind::ALL {
+        let expected = match op {
+            OpKind::Gdcc => "model/gdcc",
+            OpKind::InfT => "model/inf_t",
+            OpKind::Dgcn => "model/dgcn",
+            OpKind::InfS => "model/inf_s",
+            OpKind::Identity => "model/identity",
+        };
+        assert!(model_names.contains(&expected), "OpKind::{op:?} has no spec");
+    }
+}

@@ -1,0 +1,65 @@
+//! Search-determinism properties, driven by seeded testkit generators: the
+//! AutoCTS+ winner is invariant under candidate-pool permutation and under
+//! the Rayon thread count.
+
+use octs_search::{autocts_plus_search_with_pool, AutoCtsPlusConfig};
+use octs_space::JointSpace;
+use octs_testkit::Gen;
+
+#[test]
+fn winner_is_invariant_under_pool_permutation() {
+    let mut g = Gen::from_seed(0xA11CE);
+    let task = g.task("perm-invariance");
+    let space = JointSpace::tiny();
+    let cfg = AutoCtsPlusConfig::test();
+    let pool = g.arch_hyper_pool(&space, cfg.num_labeled);
+
+    let reference =
+        autocts_plus_search_with_pool(&task, &space, &cfg, pool.clone()).expect("reference search");
+    for salt in 1..=3u64 {
+        let permuted = g.fork(salt).shuffled(pool.clone());
+        assert_ne!(
+            permuted.iter().collect::<Vec<_>>(),
+            pool.iter().collect::<Vec<_>>(),
+            "salt {salt}: shuffle must actually permute for the property to bite"
+        );
+        let out =
+            autocts_plus_search_with_pool(&task, &space, &cfg, permuted).expect("permuted search");
+        assert_eq!(
+            out.best,
+            reference.best,
+            "salt {salt}: winner changed under pool permutation (seed {})",
+            g.seed()
+        );
+        assert_eq!(
+            out.best_report.best_val_mae.to_bits(),
+            reference.best_report.best_val_mae.to_bits(),
+            "salt {salt}: winner val MAE not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn winner_is_invariant_under_thread_count() {
+    let mut g = Gen::from_seed(0xB0B0);
+    let task = g.task("thread-invariance");
+    let space = JointSpace::tiny();
+    let cfg = AutoCtsPlusConfig::test();
+    let pool = g.arch_hyper_pool(&space, cfg.num_labeled);
+
+    let mut outcomes = Vec::new();
+    for threads in ["1", "2", "8"] {
+        // The vendored rayon reads RAYON_NUM_THREADS per call.
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let out = autocts_plus_search_with_pool(&task, &space, &cfg, pool.clone())
+            .unwrap_or_else(|e| panic!("search with {threads} thread(s): {e}"));
+        outcomes.push((threads, out.best.fingerprint(), out.best_report.best_val_mae.to_bits()));
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let (_, fp0, mae0) = outcomes[0];
+    for (threads, fp, mae) in &outcomes[1..] {
+        assert_eq!(*fp, fp0, "winner changed with RAYON_NUM_THREADS={threads}");
+        assert_eq!(*mae, mae0, "val MAE not byte-identical with RAYON_NUM_THREADS={threads}");
+    }
+}

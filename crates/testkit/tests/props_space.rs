@@ -1,0 +1,59 @@
+//! Property tests over the joint search space, driven by seeded testkit
+//! generators: `render`/`parse` round-trips and hyperparameter bounds hold
+//! for 10k generated `ArchHyper` samples per seed.
+
+use octs_space::{parse, render, JointSpace, MAX_IN_DEGREE};
+use octs_testkit::Gen;
+
+/// 5k samples from each of two spaces = 10k candidates per seed.
+const SAMPLES_PER_SPACE: usize = 5_000;
+
+fn spaces() -> Vec<(&'static str, JointSpace)> {
+    vec![("tiny", JointSpace::tiny()), ("scaled", JointSpace::scaled())]
+}
+
+#[test]
+fn render_round_trips_for_10k_samples_per_seed() {
+    for seed in [11u64, 12, 13] {
+        let mut g = Gen::from_seed(seed);
+        for (space_name, space) in spaces() {
+            for i in 0..SAMPLES_PER_SPACE {
+                let ah = g.arch_hyper(&space);
+                let text = render(&ah);
+                let back = parse(&text).unwrap_or_else(|e| {
+                    panic!("seed {seed} {space_name} sample {i}: parse failed: {e}\n{text}")
+                });
+                assert_eq!(back, ah, "seed {seed} {space_name} sample {i} round-trip\n{text}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hyperparameter_bounds_hold_for_10k_samples_per_seed() {
+    for seed in [21u64, 22, 23] {
+        let mut g = Gen::from_seed(seed);
+        for (space_name, space) in spaces() {
+            for i in 0..SAMPLES_PER_SPACE {
+                let ah = g.arch_hyper(&space);
+                let ctx = format!("seed {seed} {space_name} sample {i}");
+                assert!(
+                    space.hyper.contains(&ah.hyper),
+                    "{ctx}: hyperparameters {:?} outside the space",
+                    ah.hyper
+                );
+                assert_eq!(ah.arch.c(), ah.hyper.c, "{ctx}: C decoupled from node count");
+                for node in 1..ah.arch.c() {
+                    let deg = ah.arch.in_edges(node).count();
+                    assert!(
+                        (1..=MAX_IN_DEGREE).contains(&deg),
+                        "{ctx}: node {node} has in-degree {deg}"
+                    );
+                }
+                if space.require_both_st {
+                    assert!(ah.arch.has_both_st(), "{ctx}: S/T admissibility violated");
+                }
+            }
+        }
+    }
+}

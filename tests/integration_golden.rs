@@ -1,0 +1,69 @@
+//! Golden-run regression harness: fixed-seed searches must match the
+//! committed fixtures in `tests/golden/` bit-for-bit.
+//!
+//! Regenerate deliberately with `UPDATE_GOLDEN=1 cargo test --test
+//! integration_golden` after an intentional behavior change, and commit the
+//! fixture diff alongside the code.
+
+use octs_search::AutoCtsPlusConfig;
+use octs_testkit::golden::{
+    capture_autocts_plus, capture_autocts_plus_with, capture_zero_shot, check_against_fixture,
+    diff_json, UPDATE_GOLDEN_ENV,
+};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden").join(name)
+}
+
+#[test]
+fn autocts_plus_matches_golden_fixture() {
+    let run = capture_autocts_plus();
+    if let Err(diff) = check_against_fixture(&fixture("autocts_plus.json"), &run) {
+        panic!("{diff}");
+    }
+}
+
+#[test]
+fn zero_shot_matches_golden_fixture() {
+    let run = capture_zero_shot();
+    if let Err(diff) = check_against_fixture(&fixture("zero_shot.json"), &run) {
+        panic!("{diff}");
+    }
+}
+
+/// Perturbing a search constant must fail the golden check with a structural
+/// diff that names the changed fields — the fixture is the tripwire for any
+/// accidental change to search behavior.
+#[test]
+fn perturbed_search_constant_fails_with_structural_diff() {
+    if std::env::var(UPDATE_GOLDEN_ENV).as_deref() == Ok("1") {
+        // Regeneration mode rewrites fixtures instead of checking, so the
+        // perturbation would be written out as truth. Skip.
+        return;
+    }
+    let mut cfg = AutoCtsPlusConfig::test();
+    cfg.num_labeled -= 1;
+    let perturbed = capture_autocts_plus_with(&cfg);
+    let err = check_against_fixture(&fixture("autocts_plus.json"), &perturbed)
+        .expect_err("a perturbed search constant must not match the golden fixture");
+    assert!(
+        err.contains("proxy_label_bits"),
+        "diff must name the shrunken proxy-label vector:\n{err}"
+    );
+    assert!(err.contains("regenerate with UPDATE_GOLDEN=1"), "{err}");
+}
+
+/// The structural diff between a baseline capture and a perturbed capture is
+/// readable without any fixture on disk: every line names a dotted path.
+#[test]
+fn capture_diff_names_dotted_paths() {
+    let base = serde_json::to_string(&capture_autocts_plus()).unwrap();
+    let mut cfg = AutoCtsPlusConfig::test();
+    cfg.num_labeled -= 1;
+    let pert = serde_json::to_string(&capture_autocts_plus_with(&cfg)).unwrap();
+    let diffs = diff_json(&base, &pert);
+    assert!(!diffs.is_empty(), "perturbation must change the snapshot");
+    assert!(diffs.iter().all(|d| d.starts_with("$.")), "{diffs:?}");
+    assert!(diffs.iter().any(|d| d.contains("proxy_label_bits")), "{diffs:?}");
+}
