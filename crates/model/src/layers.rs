@@ -82,7 +82,7 @@ pub fn multi_head_attention(
     dim: usize,
     heads: usize,
 ) -> Var {
-    assert!(heads >= 1 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+    assert!(heads >= 1 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
     let head_dim = dim / heads;
     let q = linear_no_bias(ps, g, &format!("{name}/q"), x, dim, dim);
     let k = linear_no_bias(ps, g, &format!("{name}/k"), x, dim, dim);

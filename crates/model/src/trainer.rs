@@ -258,6 +258,7 @@ pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
 ) -> TrainReport {
     let _obs = octs_obs::span("train.run");
     let start = Instant::now();
+    let pool_before = octs_tensor::pool::stats();
     let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let train_windows = subsample(&task.windows(Split::Train), cfg.max_train_windows);
@@ -351,6 +352,12 @@ pub fn train_forecaster<M: CtsForecastModel + ?Sized>(
 
     let val = evaluate(fc, task, Split::Val, cfg.max_eval_windows);
     let test = evaluate(fc, task, Split::Test, cfg.max_eval_windows);
+    // Export this run's buffer-pool behavior as obs counters (delta against
+    // the run start, mirroring the search cache-counter idiom): a warm train
+    // loop should show hits dominating misses by >20:1.
+    let pool = octs_tensor::pool::stats().since(&pool_before);
+    octs_obs::counter("tensor.pool.hits", pool.hits);
+    octs_obs::counter("tensor.pool.misses", pool.misses);
     TrainReport {
         best_val_mae: best,
         epochs_run,

@@ -1,0 +1,56 @@
+//! Allocation-behavior regression test: the training hot path must run out
+//! of the `octs-tensor` buffer pool once warm.
+//!
+//! One warm-up run fills the thread-local pool; a second, instrumented run
+//! (100+ optimizer steps) must then serve >95% of its tensor-storage
+//! requests from the pool's free lists. The assertion reads the
+//! `tensor.pool.hits` / `tensor.pool.misses` counters the trainer exports
+//! through `octs-obs`, so it also pins the export wiring itself.
+
+use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
+use octs_model::{train_forecaster, Forecaster, ModelDims, TrainConfig};
+use octs_obs::{ObsScope, Recorder};
+use octs_space::JointSpace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn small_task() -> ForecastTask {
+    let profile = DatasetProfile::custom("pool", Domain::Traffic, 4, 240, 24, 0.3, 0.05, 10.0, 3);
+    ForecastTask::new(profile.generate(0), ForecastSetting::multi(6, 3), 0.6, 0.2, 1)
+}
+
+#[test]
+fn train_loop_pool_hit_rate_above_95_percent_after_warmup() {
+    let task = small_task();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let ah = JointSpace::tiny().sample(&mut rng);
+    let dims = ModelDims::new(4, 1, task.setting);
+
+    // 32 windows / batch 4 = 8 steps per epoch; 13 epochs ≈ 104 steps.
+    let cfg = TrainConfig { epochs: 13, max_train_windows: 32, patience: 0, ..TrainConfig::test() };
+    let steps_per_epoch = 32usize.div_ceil(cfg.batch_size);
+    assert!(cfg.epochs * steps_per_epoch >= 100, "test must cover 100 train steps");
+
+    // Warm-up: populate the pool's free lists (first-touch misses land here).
+    let mut fc = Forecaster::new(ah.clone(), dims, &task.data.adjacency, 7);
+    train_forecaster(&mut fc, &task, &cfg);
+
+    // Measured run: identical workload, counters exported via octs-obs.
+    let recorder = Recorder::new();
+    {
+        let _scope = ObsScope::activate(&recorder);
+        let mut fc = Forecaster::new(ah, dims, &task.data.adjacency, 7);
+        train_forecaster(&mut fc, &task, &cfg);
+    }
+    let summary = recorder.summary();
+    let hits = summary.counter("tensor.pool.hits");
+    let misses = summary.counter("tensor.pool.misses");
+    let total = hits + misses;
+    assert!(total > 1000, "expected substantial pool traffic, saw {total} takes");
+    let hit_rate = hits as f64 / total as f64;
+    assert!(
+        hit_rate > 0.95,
+        "warm train loop must reuse pooled buffers: hit rate {hit_rate:.4} \
+         ({hits} hits / {misses} misses)"
+    );
+}

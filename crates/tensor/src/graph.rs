@@ -99,7 +99,7 @@ enum Op {
     },
     Dropout {
         x: Id,
-        mask: Rc<Vec<f32>>,
+        mask: Rc<Tensor>,
     },
     GatherRows {
         x: Id,
@@ -262,13 +262,14 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
             let bv = nodes[*b].value.clone();
             let av = nodes[*a].value.clone();
             let da = dout.zip(&bv, |g, b| g / b);
-            let db_data: Vec<f32> = dout
-                .data()
-                .iter()
-                .zip(av.data())
-                .zip(bv.data())
-                .map(|((&g, &a), &b)| -g * a / (b * b))
-                .collect();
+            let mut db_data = crate::pool::take_empty(bv.len());
+            db_data.extend(
+                dout.data()
+                    .iter()
+                    .zip(av.data())
+                    .zip(bv.data())
+                    .map(|((&g, &a), &b)| -g * a / (b * b)),
+            );
             let db = Tensor::new(bv.shape().to_vec(), db_data);
             accumulate(nodes, *a, &da);
             accumulate(nodes, *b, &db);
@@ -296,8 +297,8 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
         Op::Matmul { a, b, kind, batch, m, k, n } => {
             let av = nodes[*a].value.clone();
             let bv = nodes[*b].value.clone();
-            let mut da = vec![0.0f32; av.len()];
-            let mut db = vec![0.0f32; bv.len()];
+            let mut da = crate::pool::take(av.len());
+            let mut db = crate::pool::take(bv.len());
             bmm_backward(
                 av.data(),
                 bv.data(),
@@ -362,9 +363,9 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
         Op::LayerNorm { x, gamma, beta, d, saved } => {
             let xv = nodes[*x].value.clone();
             let gv = nodes[*gamma].value.clone();
-            let mut dx = vec![0.0f32; xv.len()];
-            let mut dg = vec![0.0f32; *d];
-            let mut db = vec![0.0f32; *d];
+            let mut dx = crate::pool::take(xv.len());
+            let mut dg = crate::pool::take(*d);
+            let mut db = crate::pool::take(*d);
             norm::layernorm_backward(
                 xv.data(),
                 gv.data(),
@@ -383,9 +384,9 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
             let bias = *bias;
             let xv = nodes[*x].value.clone();
             let wv = nodes[*w].value.clone();
-            let mut dx = vec![0.0f32; xv.len()];
-            let mut dw = vec![0.0f32; wv.len()];
-            let mut dbias = bias.map(|_| vec![0.0f32; *c_out]);
+            let mut dx = crate::pool::take(xv.len());
+            let mut dw = crate::pool::take(wv.len());
+            let mut dbias = bias.map(|_| crate::pool::take(*c_out));
             conv::conv1d_backward(
                 xv.data(),
                 wv.data(),
@@ -479,8 +480,7 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
             });
         }
         Op::Dropout { x, mask } => {
-            let m = Tensor::new(dout.shape().to_vec(), mask.as_ref().clone());
-            let dx = dout.zip(&m, |g, mv| g * mv);
+            let dx = dout.zip(mask, |g, mv| g * mv);
             accumulate(nodes, *x, &dx);
         }
         Op::GatherRows { x, idx } => {
@@ -500,12 +500,10 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
             let zv = nodes[*logits].value.clone();
             let n = zv.len() as f32;
             let g = dout.item() / n;
-            let dz_data: Vec<f32> = zv
-                .data()
-                .iter()
-                .zip(targets.data())
-                .map(|(&z, &t)| g * (ew::sigmoid(z) - t))
-                .collect();
+            let mut dz_data = crate::pool::take_empty(zv.len());
+            dz_data.extend(
+                zv.data().iter().zip(targets.data()).map(|(&z, &t)| g * (ew::sigmoid(z) - t)),
+            );
             accumulate(nodes, *logits, &Tensor::new(zv.shape().to_vec(), dz_data));
         }
     }
@@ -832,10 +830,10 @@ impl Var {
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
         let xv = self.value();
-        let mask: Vec<f32> =
-            (0..xv.len()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
-        let out_data: Vec<f32> = xv.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
-        let out = Tensor::new(xv.shape().to_vec(), out_data);
+        let mut mask_data = crate::pool::take_empty(xv.len());
+        mask_data.extend((0..xv.len()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }));
+        let mask = Tensor::new(xv.shape().to_vec(), mask_data);
+        let out = xv.zip(&mask, |x, m| x * m);
         self.unary(out, Op::Dropout { x: self.id, mask: Rc::new(mask) })
     }
 

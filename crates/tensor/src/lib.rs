@@ -33,6 +33,7 @@ pub mod graph;
 pub mod init;
 pub mod optim;
 pub mod param;
+pub mod pool;
 pub mod shape;
 pub mod tensor;
 
@@ -51,4 +52,5 @@ pub use gradcheck::{check_gradient, check_gradient_report, normalized_deviation,
 pub use graph::{Graph, Var};
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use param::{Init, ParamStore};
+pub use pool::PoolStats;
 pub use tensor::Tensor;

@@ -5,6 +5,160 @@
 //! reads input steps `<= l`, padding the left edge with zeros, so the output
 //! length equals the input length. This is the temporal convolution used by
 //! the GDCC operator (Graph WaveNet-style gated dilated causal conv).
+//!
+//! ## im2col lowering
+//! Above [`DIRECT_MAX_WORK`] the convolution is lowered onto the packed
+//! matmul kernels: each batch element's zero-padded input is unrolled into a
+//! `(C_in·K) × L` column matrix (`im2col`), so the forward pass becomes
+//! `W[C_out × C_in·K] · cols`, the weight gradient becomes `dOut · colsᵀ` and
+//! the input gradient scatters `Wᵀ · dOut` back through `col2im`. The column
+//! scratch comes from the thread-local [`crate::pool`] and is reused across
+//! the batch, so steady-state conv calls allocate nothing.
+//!
+//! Small shapes keep the original direct loops (retained in [`direct`]),
+//! where the unroll-and-multiply detour costs more than it saves.
+
+/// Work bound (`C_out · C_in · K · L` multiply-adds per batch element) below
+/// which the direct nested loops beat the im2col + packed-matmul detour.
+const DIRECT_MAX_WORK: usize = 4096;
+
+/// Reference direct kernels: the original nested loops. Every weight tap is
+/// applied (no zero-weight skip), matching IEEE product semantics over the
+/// valid (unpadded) input range.
+pub mod direct {
+    /// Forward causal dilated conv1d. `out` must be zero-filled by the caller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv1d_forward(
+        x: &[f32],
+        w: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        b: usize,
+        c_in: usize,
+        c_out: usize,
+        l: usize,
+        ksize: usize,
+        dilation: usize,
+    ) {
+        debug_assert_eq!(x.len(), b * c_in * l);
+        debug_assert_eq!(w.len(), c_out * c_in * ksize);
+        debug_assert_eq!(out.len(), b * c_out * l);
+        let reach = (ksize - 1) * dilation;
+        for bi in 0..b {
+            for co in 0..c_out {
+                let out_row = &mut out[(bi * c_out + co) * l..(bi * c_out + co + 1) * l];
+                for ci in 0..c_in {
+                    let x_row = &x[(bi * c_in + ci) * l..(bi * c_in + ci) * l + l];
+                    let w_row = &w[(co * c_in + ci) * ksize..(co * c_in + ci + 1) * ksize];
+                    for (k, &wk) in w_row.iter().enumerate() {
+                        // input index for output l: t = l - (reach - k*dilation)
+                        let shift = reach - k * dilation;
+                        for t in shift..l {
+                            out_row[t] += wk * x_row[t - shift];
+                        }
+                    }
+                }
+                if let Some(bias) = bias {
+                    let bv = bias[co];
+                    for o in out_row.iter_mut() {
+                        *o += bv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward pass of [`conv1d_forward`].
+    ///
+    /// Accumulates into `dx`, `dw` and (optionally) `dbias`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv1d_backward(
+        x: &[f32],
+        w: &[f32],
+        dout: &[f32],
+        dx: &mut [f32],
+        dw: &mut [f32],
+        mut dbias: Option<&mut [f32]>,
+        b: usize,
+        c_in: usize,
+        c_out: usize,
+        l: usize,
+        ksize: usize,
+        dilation: usize,
+    ) {
+        let reach = (ksize - 1) * dilation;
+        for bi in 0..b {
+            for co in 0..c_out {
+                let g_row = &dout[(bi * c_out + co) * l..(bi * c_out + co + 1) * l];
+                if let Some(dbias) = dbias.as_deref_mut() {
+                    dbias[co] += g_row.iter().sum::<f32>();
+                }
+                for ci in 0..c_in {
+                    let x_row = &x[(bi * c_in + ci) * l..(bi * c_in + ci) * l + l];
+                    let w_row = &w[(co * c_in + ci) * ksize..(co * c_in + ci + 1) * ksize];
+                    let dw_row = &mut dw[(co * c_in + ci) * ksize..(co * c_in + ci + 1) * ksize];
+                    let dx_row = &mut dx[(bi * c_in + ci) * l..(bi * c_in + ci) * l + l];
+                    for k in 0..ksize {
+                        let shift = reach - k * dilation;
+                        let wk = w_row[k];
+                        let mut dwk = 0.0f32;
+                        for t in shift..l {
+                            let g = g_row[t];
+                            dwk += g * x_row[t - shift];
+                            dx_row[t - shift] += g * wk;
+                        }
+                        dw_row[k] += dwk;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unrolls one batch element (`[C_in, L]`, row-major) into the causal column
+/// matrix: `cols[(ci·K + k) · L + t] = x[ci, t - shift_k]` with zero padding
+/// left of the sequence start (`shift_k = (K-1-k) · dilation`).
+fn im2col(x: &[f32], cols: &mut [f32], c_in: usize, l: usize, ksize: usize, dilation: usize) {
+    debug_assert_eq!(x.len(), c_in * l);
+    debug_assert_eq!(cols.len(), c_in * ksize * l);
+    let reach = (ksize - 1) * dilation;
+    for ci in 0..c_in {
+        let x_row = &x[ci * l..(ci + 1) * l];
+        for k in 0..ksize {
+            let shift = reach - k * dilation;
+            let row = &mut cols[(ci * ksize + k) * l..(ci * ksize + k + 1) * l];
+            row[..shift.min(l)].fill(0.0);
+            if shift < l {
+                row[shift..].copy_from_slice(&x_row[..l - shift]);
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a `(C_in·K) × L` gradient back onto
+/// the `[C_in, L]` input layout (padding columns are discarded).
+fn col2im(dcols: &[f32], dx: &mut [f32], c_in: usize, l: usize, ksize: usize, dilation: usize) {
+    debug_assert_eq!(dcols.len(), c_in * ksize * l);
+    debug_assert_eq!(dx.len(), c_in * l);
+    let reach = (ksize - 1) * dilation;
+    for ci in 0..c_in {
+        let dx_row = &mut dx[ci * l..(ci + 1) * l];
+        for k in 0..ksize {
+            let shift = reach - k * dilation;
+            if shift >= l {
+                continue;
+            }
+            let row = &dcols[(ci * ksize + k) * l + shift..(ci * ksize + k + 1) * l];
+            for (d, &g) in dx_row[..l - shift].iter_mut().zip(row) {
+                *d += g;
+            }
+        }
+    }
+}
+
+fn use_direct(c_in: usize, c_out: usize, l: usize, ksize: usize) -> bool {
+    c_out * c_in * ksize * l < DIRECT_MAX_WORK || !crate::ops::matmul::fast_enabled()
+}
 
 /// Forward causal dilated conv1d. `out` must be zero-filled by the caller.
 #[allow(clippy::too_many_arguments)]
@@ -23,32 +177,25 @@ pub fn conv1d_forward(
     debug_assert_eq!(x.len(), b * c_in * l);
     debug_assert_eq!(w.len(), c_out * c_in * ksize);
     debug_assert_eq!(out.len(), b * c_out * l);
-    let reach = (ksize - 1) * dilation;
+    if use_direct(c_in, c_out, l, ksize) {
+        direct::conv1d_forward(x, w, bias, out, b, c_in, c_out, l, ksize, dilation);
+        return;
+    }
+    let ck = c_in * ksize;
+    let mut cols = crate::pool::take_raw(ck * l);
     for bi in 0..b {
-        for co in 0..c_out {
-            let out_row = &mut out[(bi * c_out + co) * l..(bi * c_out + co + 1) * l];
-            for ci in 0..c_in {
-                let x_row = &x[(bi * c_in + ci) * l..(bi * c_in + ci) * l + l];
-                let w_row = &w[(co * c_in + ci) * ksize..(co * c_in + ci + 1) * ksize];
-                for (k, &wk) in w_row.iter().enumerate() {
-                    if wk == 0.0 {
-                        continue;
-                    }
-                    // input index for output l: t = l - (reach - k*dilation)
-                    let shift = reach - k * dilation;
-                    for t in shift..l {
-                        out_row[t] += wk * x_row[t - shift];
-                    }
-                }
-            }
-            if let Some(bias) = bias {
-                let bv = bias[co];
-                for o in out_row.iter_mut() {
+        im2col(&x[bi * c_in * l..(bi + 1) * c_in * l], &mut cols, c_in, l, ksize, dilation);
+        let out_b = &mut out[bi * c_out * l..(bi + 1) * c_out * l];
+        crate::ops::matmul::matmul_kernel(w, &cols, out_b, c_out, ck, l);
+        if let Some(bias) = bias {
+            for (co, &bv) in bias.iter().enumerate() {
+                for o in out_b[co * l..(co + 1) * l].iter_mut() {
                     *o += bv;
                 }
             }
         }
     }
+    crate::pool::give(cols);
 }
 
 /// Backward pass of [`conv1d_forward`].
@@ -69,32 +216,30 @@ pub fn conv1d_backward(
     ksize: usize,
     dilation: usize,
 ) {
-    let reach = (ksize - 1) * dilation;
+    if use_direct(c_in, c_out, l, ksize) {
+        direct::conv1d_backward(x, w, dout, dx, dw, dbias, b, c_in, c_out, l, ksize, dilation);
+        return;
+    }
+    let ck = c_in * ksize;
+    let mut cols = crate::pool::take_raw(ck * l);
+    let mut dcols = crate::pool::take_raw(ck * l);
     for bi in 0..b {
-        for co in 0..c_out {
-            let g_row = &dout[(bi * c_out + co) * l..(bi * c_out + co + 1) * l];
-            if let Some(dbias) = dbias.as_deref_mut() {
-                dbias[co] += g_row.iter().sum::<f32>();
-            }
-            for ci in 0..c_in {
-                let x_row = &x[(bi * c_in + ci) * l..(bi * c_in + ci) * l + l];
-                let w_row = &w[(co * c_in + ci) * ksize..(co * c_in + ci + 1) * ksize];
-                let dw_row = &mut dw[(co * c_in + ci) * ksize..(co * c_in + ci + 1) * ksize];
-                let dx_row = &mut dx[(bi * c_in + ci) * l..(bi * c_in + ci) * l + l];
-                for k in 0..ksize {
-                    let shift = reach - k * dilation;
-                    let wk = w_row[k];
-                    let mut dwk = 0.0f32;
-                    for t in shift..l {
-                        let g = g_row[t];
-                        dwk += g * x_row[t - shift];
-                        dx_row[t - shift] += g * wk;
-                    }
-                    dw_row[k] += dwk;
-                }
+        let g_b = &dout[bi * c_out * l..(bi + 1) * c_out * l];
+        if let Some(dbias) = dbias.as_deref_mut() {
+            for (co, db) in dbias.iter_mut().enumerate() {
+                *db += g_b[co * l..(co + 1) * l].iter().sum::<f32>();
             }
         }
+        im2col(&x[bi * c_in * l..(bi + 1) * c_in * l], &mut cols, c_in, l, ksize, dilation);
+        // dW += dOut · colsᵀ
+        crate::ops::matmul::matmul_a_bt(g_b, &cols, dw, c_out, l, ck);
+        // dCols = Wᵀ · dOut, then scatter back through the unroll.
+        dcols.fill(0.0);
+        crate::ops::matmul::matmul_at_b(w, g_b, &mut dcols, c_out, ck, l);
+        col2im(&dcols, &mut dx[bi * c_in * l..(bi + 1) * c_in * l], c_in, l, ksize, dilation);
     }
+    crate::pool::give(dcols);
+    crate::pool::give(cols);
 }
 
 #[cfg(test)]
@@ -176,6 +321,97 @@ mod tests {
             wm[i] -= eps;
             let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
             assert!((num - dw[i]).abs() < 1e-2, "dw[{i}]: {num} vs {}", dw[i]);
+        }
+    }
+
+    fn seq(n: usize, scale: f32, shift: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32).mul_add(scale, shift).sin()).collect()
+    }
+
+    /// Shapes big enough to take the im2col route must agree with the direct
+    /// loops, forward and backward, within float tolerance.
+    #[test]
+    fn im2col_route_matches_direct_kernels() {
+        for &(b, c_in, c_out, l, k, d) in
+            &[(2, 8, 16, 48, 3, 1), (1, 16, 16, 64, 2, 4), (3, 4, 32, 96, 3, 2)]
+        {
+            assert!(c_out * c_in * k * l >= DIRECT_MAX_WORK, "shape must exercise the im2col path");
+            let x = seq(b * c_in * l, 0.11, 0.2);
+            let w = seq(c_out * c_in * k, 0.07, -0.3);
+            let bias = seq(c_out, 0.41, 0.9);
+            let mut fast = vec![0.0; b * c_out * l];
+            let mut slow = vec![0.0; b * c_out * l];
+            conv1d_forward(&x, &w, Some(&bias), &mut fast, b, c_in, c_out, l, k, d);
+            direct::conv1d_forward(&x, &w, Some(&bias), &mut slow, b, c_in, c_out, l, k, d);
+            for (i, (&f, &s)) in fast.iter().zip(&slow).enumerate() {
+                assert!((f - s).abs() <= 1e-4 * s.abs().max(1.0), "fwd[{i}]: {f} vs {s}");
+            }
+
+            let dout = seq(b * c_out * l, 0.19, 0.5);
+            let mut dxf = vec![0.0; x.len()];
+            let mut dwf = vec![0.0; w.len()];
+            let mut dbf = vec![0.0; c_out];
+            conv1d_backward(
+                &x,
+                &w,
+                &dout,
+                &mut dxf,
+                &mut dwf,
+                Some(&mut dbf),
+                b,
+                c_in,
+                c_out,
+                l,
+                k,
+                d,
+            );
+            let mut dxs = vec![0.0; x.len()];
+            let mut dws = vec![0.0; w.len()];
+            let mut dbs = vec![0.0; c_out];
+            direct::conv1d_backward(
+                &x,
+                &w,
+                &dout,
+                &mut dxs,
+                &mut dws,
+                Some(&mut dbs),
+                b,
+                c_in,
+                c_out,
+                l,
+                k,
+                d,
+            );
+            for (name, fast, slow) in
+                [("dx", &dxf, &dxs), ("dw", &dwf, &dws), ("dbias", &dbf, &dbs)]
+            {
+                for (i, (&f, &s)) in fast.iter().zip(slow.iter()).enumerate() {
+                    assert!((f - s).abs() <= 2e-4 * s.abs().max(1.0), "{name}[{i}]: {f} vs {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_roundtrip_counts_taps() {
+        // col2im(im2col(x)) multiplies each x[t] by the number of kernel taps
+        // that can reach it without crossing the left edge.
+        let (c_in, l, k, d) = (2, 6, 3, 2);
+        let x = seq(c_in * l, 0.3, 0.1);
+        let mut cols = vec![0.0; c_in * k * l];
+        im2col(&x, &mut cols, c_in, l, k, d);
+        let mut back = vec![0.0; c_in * l];
+        col2im(&cols, &mut back, c_in, l, k, d);
+        let reach = (k - 1) * d;
+        for ci in 0..c_in {
+            for t in 0..l {
+                // taps with shift s = reach - kk*d need t + s <= l-1... the
+                // roundtrip count is how many shifts s satisfy t < l - s.
+                let count = (0..k).filter(|kk| t < l - (reach - kk * d).min(l)).count() as f32;
+                let got = back[ci * l + t];
+                let want = count * x[ci * l + t];
+                assert!((got - want).abs() < 1e-5, "t={t}: {got} vs {want}");
+            }
         }
     }
 }

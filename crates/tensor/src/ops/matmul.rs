@@ -1,4 +1,438 @@
 //! Matrix-multiply kernels (plain and batched) and their gradients.
+//!
+//! Three kernel families share one register-blocked core:
+//! - [`matmul_kernel`]: `out += a · b`
+//! - [`matmul_at_b`]: `out += aᵀ · b` (no materialized transpose)
+//! - [`matmul_a_bt`]: `out += a · bᵀ` (no materialized transpose)
+//!
+//! ## Fast path
+//! The fast path packs the right operand into `NR`-wide column panels and the
+//! left operand into `MR`-tall row panels (both zero-padded), then runs a
+//! `MR×NR` micro-kernel whose accumulator tile lives entirely in registers.
+//! The micro-kernel is runtime-dispatched: AVX-512 (one ZMM per tile row),
+//! then AVX2+FMA (two YMM per row), then a portable unrolled core that LLVM
+//! auto-vectorizes. Packing makes every inner-loop access contiguous
+//! regardless of which operand is logically transposed, which is what lets
+//! all three signatures share the core.
+//!
+//! Above [`PAR_MIN_WORK`] the output is split into *fixed-height* row bands
+//! farmed out via rayon. Band boundaries depend only on the shape — never on
+//! the worker count — and each output element is still reduced sequentially
+//! over `p = 0..k`, so results are byte-identical for any `RAYON_NUM_THREADS`
+//! (the determinism contract the search stack relies on).
+//!
+//! ## Reference path
+//! The original scalar triple loops are retained in [`naive`] (minus the
+//! historical `a == 0.0` skip, which violated IEEE semantics by dropping
+//! `0 × NaN` / `0 × inf` contributions). They remain the differential-testing
+//! reference and the small-shape fallback below [`FAST_MIN_WORK`], where
+//! packing overhead would dominate.
+//!
+//! All scratch (packed panels) comes from the thread-local
+//! [`crate::pool`], so steady-state matmuls allocate nothing.
+
+use rayon::prelude::*;
+use std::cell::Cell;
+
+/// Micro-kernel tile height (rows of the left operand per register block).
+const MR: usize = 6;
+/// Micro-kernel tile width (columns of the right operand per register block).
+/// `6 × 16` is the classic f32 tile for 256-bit SIMD: twelve 8-lane
+/// accumulators plus two loaded B vectors fit the 16-register file.
+const NR: usize = 16;
+
+/// Below this `m·k·n` product the packed path is skipped: packing two panels
+/// costs O(mk + kn) writes, which only pays for itself once the O(mkn) core
+/// dominates.
+const FAST_MIN_WORK: usize = 4096;
+
+/// Above this `m·k·n` product the row-band rayon split engages.
+const PAR_MIN_WORK: usize = 1 << 21;
+
+/// Fixed row-band height for the parallel split. Chosen from the shape alone
+/// so that band boundaries are identical for every worker count; each output
+/// element's reduction depends only on its own row and column, so band (and
+/// `MR`-panel) grouping never changes results.
+const BAND_ROWS: usize = 32;
+
+thread_local! {
+    static FAST_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables or disables the fast packed kernels on this thread (the naive
+/// reference kernels run instead). Used by differential tests and the
+/// before/after columns of `kernel_bench`.
+pub fn set_fast_enabled(enabled: bool) {
+    FAST_ENABLED.with(|f| f.set(enabled));
+}
+
+/// Whether the fast packed kernels are active on this thread.
+pub fn fast_enabled() -> bool {
+    FAST_ENABLED.with(Cell::get)
+}
+
+/// Reference scalar kernels: the original triple loops, IEEE-faithful
+/// (every `a[i,p] * b[p,j]` product is formed, including `0 × NaN`).
+pub mod naive {
+    /// `out[m,n] += a[m,k] * b[k,n]` over contiguous row-major slices.
+    pub fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        // ikj loop order: streams through b and out rows contiguously.
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+    }
+
+    /// `out[m,n] += a[k,m]ᵀ * b[k,n]` without materializing the transpose.
+    pub fn matmul_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_pi * b_pj;
+                }
+            }
+        }
+    }
+
+    /// `out[m,k] += a[m,n] * b[k,n]ᵀ` without materializing the transpose.
+    pub fn matmul_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+        debug_assert_eq!(a.len(), m * n);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * k);
+        for i in 0..m {
+            let a_row = &a[i * n..(i + 1) * n];
+            let out_row = &mut out[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * n..(j + 1) * n];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o += acc;
+            }
+        }
+    }
+}
+
+/// How the left operand's element `(i, p)` is laid out in memory.
+#[derive(Clone, Copy)]
+enum Lhs<'a> {
+    /// Row-major `m × k`: element `(i, p)` at `data[i * k + p]`.
+    Rows(&'a [f32]),
+    /// Row-major `k × m`, read transposed: element `(i, p)` at `data[p * m + i]`.
+    Cols(&'a [f32]),
+}
+
+/// Packs rows `i0 .. i0 + iw` (`iw <= MR`) of the left operand into an
+/// `MR`-tall panel: `panel[p * MR + ir] = lhs(i0 + ir, p)`, zero-padded rows.
+fn pack_lhs_panel(lhs: Lhs<'_>, m: usize, k: usize, i0: usize, iw: usize, panel: &mut [f32]) {
+    debug_assert!(panel.len() >= k * MR);
+    match lhs {
+        Lhs::Rows(a) => {
+            for ir in 0..MR {
+                if ir < iw {
+                    let row = &a[(i0 + ir) * k..(i0 + ir + 1) * k];
+                    for (p, &v) in row.iter().enumerate() {
+                        panel[p * MR + ir] = v;
+                    }
+                } else {
+                    for p in 0..k {
+                        panel[p * MR + ir] = 0.0;
+                    }
+                }
+            }
+        }
+        Lhs::Cols(a) => {
+            for p in 0..k {
+                let src = &a[p * m + i0..p * m + i0 + iw];
+                let dst = &mut panel[p * MR..p * MR + MR];
+                dst[..iw].copy_from_slice(src);
+                dst[iw..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Packs the whole right operand (`k × n`, row-major) into `NR`-wide column
+/// panels: `packed[panel * k * NR + p * NR + jr] = b[p, panel * NR + jr]`.
+fn pack_rhs_rows(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    let npanels = n.div_ceil(NR);
+    for jp in 0..npanels {
+        let j0 = jp * NR;
+        let jw = NR.min(n - j0);
+        let dst_panel = &mut packed[jp * k * NR..(jp + 1) * k * NR];
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + jw];
+            let dst = &mut dst_panel[p * NR..p * NR + NR];
+            dst[..jw].copy_from_slice(src);
+            dst[jw..].fill(0.0);
+        }
+    }
+}
+
+/// Packs the right operand transposed: logical `(p, j)` read from a row-major
+/// `n_out × k` matrix at `b[j * k + p]` (the `a · bᵀ` case, where the
+/// reduction runs along `b`'s rows).
+fn pack_rhs_cols(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    let npanels = n.div_ceil(NR);
+    for jp in 0..npanels {
+        let j0 = jp * NR;
+        let jw = NR.min(n - j0);
+        let dst_panel = &mut packed[jp * k * NR..(jp + 1) * k * NR];
+        for jr in 0..NR {
+            if jr < jw {
+                let src = &b[(j0 + jr) * k..(j0 + jr + 1) * k];
+                for (p, &v) in src.iter().enumerate() {
+                    dst_panel[p * NR + jr] = v;
+                }
+            } else {
+                for p in 0..k {
+                    dst_panel[p * NR + jr] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Portable register-blocked core:
+/// `acc[ir, jr] += Σ_p apanel[p, ir] * bpanel[p, jr]`.
+///
+/// `MR`/`NR` are constants, so the two inner loops unroll completely and the
+/// `NR`-wide axis auto-vectorizes; the `MR × NR` accumulator tile stays in
+/// registers for the whole `p` sweep.
+#[inline(always)]
+fn microkernel_portable(apanel: &[f32], bpanel: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    for p in 0..kc {
+        let arow: &[f32; MR] = apanel[p * MR..p * MR + MR].try_into().expect("panel layout");
+        let brow: &[f32; NR] = bpanel[p * NR..p * NR + NR].try_into().expect("panel layout");
+        for ir in 0..MR {
+            let a = arow[ir];
+            for jr in 0..NR {
+                acc[ir * NR + jr] += a * brow[jr];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// AVX2+FMA micro-kernel: the `6 × 16` tile lives in twelve YMM
+    /// accumulators (two 8-lane vectors per row). Each accumulator is a
+    /// single FMA chain sweeping `p = 0..kc` in order — the same
+    /// per-element reduction order as the portable kernel and the band
+    /// split, so determinism across worker counts is preserved (only the
+    /// rounding of each step differs, because FMA does not round the
+    /// intermediate product).
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA (checked by the caller).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn microkernel_avx2(
+        apanel: &[f32],
+        bpanel: &[f32],
+        kc: usize,
+        acc: &mut [f32; MR * NR],
+    ) {
+        debug_assert!(apanel.len() >= kc * MR);
+        debug_assert!(bpanel.len() >= kc * NR);
+        let mut c = [[_mm256_setzero_ps(); 2]; MR];
+        for (r, row) in c.iter_mut().enumerate() {
+            row[0] = _mm256_loadu_ps(acc.as_ptr().add(r * NR));
+            row[1] = _mm256_loadu_ps(acc.as_ptr().add(r * NR + 8));
+        }
+        let mut ap = apanel.as_ptr();
+        let mut bp = bpanel.as_ptr();
+        // k-unroll by 2 to thin loop overhead; both steps stay in p order,
+        // so each accumulator remains one sequential FMA chain.
+        for _ in 0..kc / 2 {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for (r, row) in c.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(*ap.add(r));
+                row[0] = _mm256_fmadd_ps(a, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(a, b1, row[1]);
+            }
+            let b0 = _mm256_loadu_ps(bp.add(NR));
+            let b1 = _mm256_loadu_ps(bp.add(NR + 8));
+            for (r, row) in c.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(*ap.add(MR + r));
+                row[0] = _mm256_fmadd_ps(a, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(a, b1, row[1]);
+            }
+            ap = ap.add(2 * MR);
+            bp = bp.add(2 * NR);
+        }
+        if kc % 2 == 1 {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for (r, row) in c.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(*ap.add(r));
+                row[0] = _mm256_fmadd_ps(a, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(a, b1, row[1]);
+            }
+        }
+        for (r, row) in c.iter().enumerate() {
+            _mm256_storeu_ps(acc.as_mut_ptr().add(r * NR), row[0]);
+            _mm256_storeu_ps(acc.as_mut_ptr().add(r * NR + 8), row[1]);
+        }
+    }
+
+    /// AVX-512 micro-kernel over the same `6 × 16` panel layout: each tile
+    /// row is exactly one 16-lane ZMM accumulator, so one B load and six
+    /// broadcast-FMAs cover a whole `p` step — half the uops per flop of the
+    /// AVX2 version. Reduction order per element is unchanged (one
+    /// sequential FMA chain per accumulator).
+    ///
+    /// # Safety
+    /// The CPU must support AVX-512F (checked by the caller).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn microkernel_avx512(
+        apanel: &[f32],
+        bpanel: &[f32],
+        kc: usize,
+        acc: &mut [f32; MR * NR],
+    ) {
+        debug_assert!(apanel.len() >= kc * MR);
+        debug_assert!(bpanel.len() >= kc * NR);
+        let mut c = [_mm512_setzero_ps(); MR];
+        for (r, row) in c.iter_mut().enumerate() {
+            *row = _mm512_loadu_ps(acc.as_ptr().add(r * NR));
+        }
+        let mut ap = apanel.as_ptr();
+        let mut bp = bpanel.as_ptr();
+        for _ in 0..kc / 2 {
+            let b0 = _mm512_loadu_ps(bp);
+            for (r, row) in c.iter_mut().enumerate() {
+                *row = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(r)), b0, *row);
+            }
+            let b1 = _mm512_loadu_ps(bp.add(NR));
+            for (r, row) in c.iter_mut().enumerate() {
+                *row = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(MR + r)), b1, *row);
+            }
+            ap = ap.add(2 * MR);
+            bp = bp.add(2 * NR);
+        }
+        if kc % 2 == 1 {
+            let b0 = _mm512_loadu_ps(bp);
+            for (r, row) in c.iter_mut().enumerate() {
+                *row = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(r)), b0, *row);
+            }
+        }
+        for (r, row) in c.iter().enumerate() {
+            _mm512_storeu_ps(acc.as_mut_ptr().add(r * NR), *row);
+        }
+    }
+}
+
+/// Runs the best micro-kernel the CPU supports: AVX2+FMA when detected
+/// (checked once, cached), the portable unrolled core otherwise.
+#[inline(always)]
+fn microkernel(apanel: &[f32], bpanel: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        #[derive(Clone, Copy, PartialEq)]
+        enum Simd {
+            Avx512,
+            Avx2,
+            None,
+        }
+        static SIMD: OnceLock<Simd> = OnceLock::new();
+        let simd = *SIMD.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                Simd::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                Simd::Avx2
+            } else {
+                Simd::None
+            }
+        });
+        match simd {
+            // SAFETY: the matching CPU feature was just verified.
+            Simd::Avx512 => return unsafe { x86::microkernel_avx512(apanel, bpanel, kc, acc) },
+            Simd::Avx2 => return unsafe { x86::microkernel_avx2(apanel, bpanel, kc, acc) },
+            Simd::None => {}
+        }
+    }
+    microkernel_portable(apanel, bpanel, kc, acc)
+}
+
+/// Multiplies rows `rows.start .. rows.end` of the (logical) left operand
+/// against the pre-packed right operand, accumulating into `out_rows` (the
+/// matching band of the output, `(rows.end - rows.start) × n`).
+fn gemm_rows(
+    lhs: Lhs<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    bpack: &[f32],
+    rows: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+) {
+    let npanels = n.div_ceil(NR);
+    let mut apanel = crate::pool::take_raw(k * MR);
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let iw = MR.min(rows.end - i0);
+        pack_lhs_panel(lhs, m, k, i0, iw, &mut apanel);
+        for jp in 0..npanels {
+            let j0 = jp * NR;
+            let jw = NR.min(n - j0);
+            let mut acc = [0.0f32; MR * NR];
+            microkernel(&apanel, &bpack[jp * k * NR..(jp + 1) * k * NR], k, &mut acc);
+            for ir in 0..iw {
+                let orow = &mut out_rows[(i0 - rows.start + ir) * n + j0..][..jw];
+                for (o, &v) in orow.iter_mut().zip(&acc[ir * NR..ir * NR + jw]) {
+                    *o += v;
+                }
+            }
+        }
+        i0 += iw;
+    }
+    crate::pool::give(apanel);
+}
+
+/// Shared fast-path driver: packs the right operand once, then runs
+/// [`gemm_rows`] either sequentially or over fixed row bands in parallel.
+fn gemm_packed(lhs: Lhs<'_>, m: usize, k: usize, n: usize, bpack: &[f32], out: &mut [f32]) {
+    let work = m * k * n;
+    if work >= PAR_MIN_WORK && rayon::current_num_threads() > 1 && m > BAND_ROWS {
+        // Fixed-height bands: boundaries derive from the shape alone, so the
+        // grouping of partial sums is identical for every worker count.
+        let bands: Vec<(usize, &mut [f32])> = out.chunks_mut(BAND_ROWS * n).enumerate().collect();
+        bands.into_par_iter().for_each(|(bi, band)| {
+            let r0 = bi * BAND_ROWS;
+            let r1 = (r0 + BAND_ROWS).min(m);
+            gemm_rows(lhs, m, k, n, bpack, r0..r1, band);
+        });
+    } else {
+        gemm_rows(lhs, m, k, n, bpack, 0..m, out);
+    }
+}
+
+fn use_fast(m: usize, k: usize, n: usize) -> bool {
+    m * k * n >= FAST_MIN_WORK && k > 0 && fast_enabled()
+}
 
 /// `out[m,n] += a[m,k] * b[k,n]` over contiguous row-major slices.
 ///
@@ -7,20 +441,15 @@ pub fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    // ikj loop order: streams through b and out rows contiguously.
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
-            }
-        }
+    if !use_fast(m, k, n) {
+        naive::matmul_kernel(a, b, out, m, k, n);
+        return;
     }
+    let npanels = n.div_ceil(NR);
+    let mut bpack = crate::pool::take_raw(npanels * k * NR);
+    pack_rhs_rows(b, k, n, &mut bpack);
+    gemm_packed(Lhs::Rows(a), m, k, n, &bpack, out);
+    crate::pool::give(bpack);
 }
 
 /// `out[m,n] += a[k,m]^T * b[k,n]` (i.e. `aᵀ·b`) without materializing the transpose.
@@ -28,19 +457,15 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n:
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * b_pj;
-            }
-        }
+    if !use_fast(m, k, n) {
+        naive::matmul_at_b(a, b, out, k, m, n);
+        return;
     }
+    let npanels = n.div_ceil(NR);
+    let mut bpack = crate::pool::take_raw(npanels * k * NR);
+    pack_rhs_rows(b, k, n, &mut bpack);
+    gemm_packed(Lhs::Cols(a), m, k, n, &bpack, out);
+    crate::pool::give(bpack);
 }
 
 /// `out[m,k] += a[m,n] * b[k,n]^T` (i.e. `a·bᵀ`) without materializing the transpose.
@@ -48,18 +473,16 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k:
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * k);
-    for i in 0..m {
-        let a_row = &a[i * n..(i + 1) * n];
-        let out_row = &mut out[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * n..(j + 1) * n];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *o += acc;
-        }
+    // Here the reduction length is `n` and the output is `m × k`.
+    if !use_fast(m, n, k) {
+        naive::matmul_a_bt(a, b, out, m, n, k);
+        return;
     }
+    let npanels = k.div_ceil(NR);
+    let mut bpack = crate::pool::take_raw(npanels * n * NR);
+    pack_rhs_cols(b, n, k, &mut bpack);
+    gemm_packed(Lhs::Rows(a), m, n, k, &bpack, out);
+    crate::pool::give(bpack);
 }
 
 /// Describes how the batch dimensions of the two matmul operands relate.
@@ -210,5 +633,113 @@ mod tests {
     #[should_panic]
     fn resolve_batch_rejects_mismatch() {
         resolve_batch(&[2, 3, 4], &[3, 4, 5]);
+    }
+
+    fn seq(n: usize, scale: f32, shift: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32).mul_add(scale, shift).sin()).collect()
+    }
+
+    fn assert_close(fast: &[f32], reference: &[f32], what: &str) {
+        assert_eq!(fast.len(), reference.len());
+        for (i, (&f, &r)) in fast.iter().zip(reference).enumerate() {
+            let tol = 1e-4 * r.abs().max(1.0);
+            assert!((f - r).abs() <= tol, "{what}[{i}]: fast {f} vs naive {r}");
+        }
+    }
+
+    /// The packed path (forced past the small-shape fallback) must agree with
+    /// the reference loops on all three kernel variants, including ragged
+    /// shapes that exercise partial MR/NR tiles.
+    #[test]
+    fn fast_kernels_match_naive_on_ragged_shapes() {
+        for &(m, k, n) in &[(17, 23, 29), (32, 64, 32), (1, 100, 250), (64, 3, 150)] {
+            let a = seq(m * k, 0.13, 0.7);
+            let b = seq(k * n, 0.31, -0.4);
+            let mut fast = vec![0.0; m * n];
+            let mut slow = vec![0.0; m * n];
+            let npanels = n.div_ceil(NR);
+            let mut bpack = vec![0.0; npanels * k * NR];
+            pack_rhs_rows(&b, k, n, &mut bpack);
+            gemm_packed(Lhs::Rows(&a), m, k, n, &bpack, &mut fast);
+            naive::matmul_kernel(&a, &b, &mut slow, m, k, n);
+            assert_close(&fast, &slow, "a_b");
+
+            // aᵀ·b with a stored k×m
+            let at = seq(k * m, 0.21, 0.1);
+            let mut fast2 = vec![0.0; m * n];
+            let mut slow2 = vec![0.0; m * n];
+            gemm_packed(Lhs::Cols(&at), m, k, n, &bpack, &mut fast2);
+            naive::matmul_at_b(&at, &b, &mut slow2, k, m, n);
+            assert_close(&fast2, &slow2, "at_b");
+        }
+    }
+
+    /// `0 × NaN` and `0 × inf` must poison the product (IEEE semantics); the
+    /// historical zero-skip silently dropped those contributions.
+    #[test]
+    fn nan_and_inf_propagate_through_zero_operands() {
+        // a row contains an explicit 0 that multiplies a NaN/inf in b.
+        let a = [0.0, 1.0]; // 1x2
+        let b = [f32::NAN, 0.0, 1.0, 1.0]; // 2x2: b[0,0] = NaN
+        let mut out = [0.0; 2];
+        matmul_kernel(&a, &b, &mut out, 1, 2, 2);
+        assert!(out[0].is_nan(), "0*NaN + 1*1 must be NaN, got {}", out[0]);
+        assert_eq!(out[1], 1.0);
+
+        let binf = [f32::INFINITY, 0.0, 1.0, 1.0];
+        let mut out = [0.0; 2];
+        matmul_kernel(&a, &binf, &mut out, 1, 2, 2);
+        assert!(out[0].is_nan(), "0*inf must contribute NaN, got {}", out[0]);
+
+        // Same contract for the transposed variant (a stored k×m).
+        let at = [0.0, 1.0]; // 2x1: column [0, 1]
+        let mut out = [0.0; 2];
+        matmul_at_b(&at, &b, &mut out, 2, 1, 2);
+        assert!(out[0].is_nan(), "at_b must keep 0*NaN, got {}", out[0]);
+
+        // And on the fast path, forced by a large-enough shape.
+        let n = 64;
+        let mut big_b = vec![1.0f32; n * n];
+        big_b[0] = f32::NAN;
+        let mut big_a = vec![1.0f32; n * n];
+        big_a[0] = 0.0; // multiplies big_b[0] = NaN in out[0,0]
+        let mut out = vec![0.0; n * n];
+        matmul_kernel(&big_a, &big_b, &mut out, n, n, n);
+        assert!(out[0].is_nan(), "fast path must keep 0*NaN");
+    }
+
+    /// Results must not depend on whether the row-band parallel split
+    /// engaged: fixed band boundaries mean byte-identical output.
+    #[test]
+    fn banded_split_is_byte_identical_to_sequential() {
+        let (m, k, n) = (70, 96, 80);
+        let a = seq(m * k, 0.17, 0.3);
+        let b = seq(k * n, 0.29, -0.8);
+        let npanels = n.div_ceil(NR);
+        let mut bpack = vec![0.0; npanels * k * NR];
+        pack_rhs_rows(&b, k, n, &mut bpack);
+
+        let mut sequential = vec![0.0; m * n];
+        gemm_rows(Lhs::Rows(&a), m, k, n, &bpack, 0..m, &mut sequential);
+
+        let mut banded = vec![0.0; m * n];
+        for (bi, band) in banded.chunks_mut(BAND_ROWS * n).enumerate() {
+            let r0 = bi * BAND_ROWS;
+            let r1 = (r0 + BAND_ROWS).min(m);
+            gemm_rows(Lhs::Rows(&a), m, k, n, &bpack, r0..r1, band);
+        }
+        assert_eq!(sequential, banded, "band boundaries must not change results");
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        // k = 0: nothing to accumulate, out untouched.
+        let mut out = [3.0f32; 4];
+        matmul_kernel(&[], &[], &mut out, 2, 0, 2);
+        assert_eq!(out, [3.0; 4]);
+        // m = 0 / n = 0: empty output.
+        let mut out: [f32; 0] = [];
+        matmul_kernel(&[], &[1.0, 2.0], &mut out, 0, 1, 2);
+        matmul_a_bt(&[], &[], &mut out, 0, 3, 0);
     }
 }

@@ -10,10 +10,26 @@ use std::fmt;
 /// deliberately simple — owned contiguous storage, no views — because the
 /// AutoCTS+ workloads are small enough that copies are cheaper than the
 /// complexity of borrowed views.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Storage is drawn from the thread-local [`crate::pool`] and handed back on
+/// drop, so the constructors and elementwise combinators here allocate
+/// nothing once the pool is warm (the train-loop steady state).
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Self { shape: self.shape.clone(), data: crate::pool::take_copy(&self.data) }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::pool::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -33,35 +49,33 @@ impl Tensor {
         Self { shape, data }
     }
 
-    /// Creates an all-zero tensor.
+    /// Creates an all-zero tensor (pooled storage).
     pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
         let shape = shape.into();
         let n = numel(&shape);
-        Self { shape, data: vec![0.0; n] }
+        Self { shape, data: crate::pool::take(n) }
     }
 
-    /// Creates an all-one tensor.
+    /// Creates an all-one tensor (pooled storage).
     pub fn ones(shape: impl Into<Vec<usize>>) -> Self {
-        let shape = shape.into();
-        let n = numel(&shape);
-        Self { shape, data: vec![1.0; n] }
+        Self::full(shape, 1.0)
     }
 
-    /// Creates a tensor filled with `value`.
+    /// Creates a tensor filled with `value` (pooled storage).
     pub fn full(shape: impl Into<Vec<usize>>, value: f32) -> Self {
         let shape = shape.into();
         let n = numel(&shape);
-        Self { shape, data: vec![value; n] }
+        Self { shape, data: crate::pool::take_filled(n, value) }
     }
 
     /// Creates a scalar tensor of shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![1], data: vec![value] }
+        Self { shape: vec![1], data: crate::pool::take_filled(1, value) }
     }
 
-    /// Creates a rank-1 tensor from a slice.
+    /// Creates a rank-1 tensor from a slice (pooled storage).
     pub fn from_slice(values: &[f32]) -> Self {
-        Self { shape: vec![values.len()], data: values.to_vec() }
+        Self { shape: vec![values.len()], data: crate::pool::take_copy(values) }
     }
 
     /// An `n × n` identity matrix.
@@ -103,9 +117,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its storage.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its storage (which then bypasses the
+    /// pool: the caller owns the buffer outright).
+    pub fn into_data(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Value of a scalar (single-element) tensor.
@@ -132,7 +147,7 @@ impl Tensor {
     pub fn reshaped(&self, shape: impl Into<Vec<usize>>) -> Self {
         let shape = shape.into();
         assert_eq!(numel(&shape), self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
-        Self { shape, data: self.data.clone() }
+        Self { shape, data: crate::pool::take_copy(&self.data) }
     }
 
     /// In-place reshape (same number of elements).
@@ -174,18 +189,19 @@ impl Tensor {
         self.permuted(&axes)
     }
 
-    /// Applies `f` elementwise, returning a new tensor.
+    /// Applies `f` elementwise, returning a new tensor (pooled storage).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut data = crate::pool::take_empty(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
+        Self { shape: self.shape.clone(), data }
     }
 
-    /// Combines two same-shaped tensors elementwise.
+    /// Combines two same-shaped tensors elementwise (pooled storage).
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        Self {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        let mut data = crate::pool::take_empty(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+        Self { shape: self.shape.clone(), data }
     }
 
     /// Adds `other * scale` into `self` (axpy).
