@@ -1,0 +1,231 @@
+//! Serving-layer benchmark: latency percentiles and throughput of the
+//! forecast server across concurrency levels, micro-batched vs unbatched.
+//!
+//! A trained-shape forecaster is published to a temp registry, then served
+//! under closed-loop client load (each client thread submits its next
+//! request as soon as the previous one returns). Every concurrency level is
+//! measured twice — `max_batch = 1` (unbatched baseline) and the default
+//! coalescing policy — and the report gates on the micro-batcher actually
+//! paying off. Results land in `BENCH_serving.json`.
+//!
+//! ```sh
+//! cargo run --release --bin serving_bench            # full load, 1.5x gate
+//! cargo run --release --bin serving_bench -- --quick # CI smoke, 1.0x gate
+//! ```
+
+use octs_data::Adjacency;
+use octs_model::{Forecaster, ModelDims};
+use octs_serve::{BatchPolicy, ForecastServer, ModelRegistry, ServableCheckpoint};
+use octs_space::JointSpace;
+use octs_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 2;
+const F: usize = 2;
+const P: usize = 8;
+const OUT: usize = 3;
+const TASK: &str = "bench";
+
+#[derive(Serialize)]
+struct LatencyStats {
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    rps: f64,
+}
+
+#[derive(Serialize)]
+struct LevelRow {
+    concurrency: usize,
+    unbatched: LatencyStats,
+    batched: LatencyStats,
+    throughput_ratio: f64,
+    batched_mean_batch_size: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    quick: bool,
+    requests_per_client: usize,
+    model_params: usize,
+    levels: Vec<LevelRow>,
+    best_ratio: f64,
+    ratio_at_max_concurrency: f64,
+    note: String,
+}
+
+/// Deterministic pseudo-random `[F, N, P]` request input, distinct per tag.
+fn request_input(tag: u64) -> Tensor {
+    let len = F * N * P;
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag);
+            ((h >> 33) % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect();
+    Tensor::new([F, N, P], data)
+}
+
+/// Nearest-rank percentile over sorted microsecond latencies (same
+/// convention as octs-obs histogram aggregation).
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    sorted[((n as f64 * q).ceil() as usize).clamp(1, n) - 1]
+}
+
+fn stats(mut lat_us: Vec<f64>, wall: Duration) -> LatencyStats {
+    lat_us.sort_by(f64::total_cmp);
+    let mean = lat_us.iter().sum::<f64>() / lat_us.len() as f64;
+    LatencyStats {
+        p50_us: pct(&lat_us, 0.50),
+        p95_us: pct(&lat_us, 0.95),
+        p99_us: pct(&lat_us, 0.99),
+        mean_us: mean,
+        rps: lat_us.len() as f64 / wall.as_secs_f64(),
+    }
+}
+
+/// Runs `clients` closed-loop threads of `requests` each against a fresh
+/// server under `policy`; returns client-observed latencies and the mean
+/// batch size the worker actually formed.
+fn run_load(
+    registry_root: &std::path::Path,
+    policy: BatchPolicy,
+    clients: usize,
+    requests: usize,
+) -> (LatencyStats, f64) {
+    let registry = ModelRegistry::open(registry_root).expect("open registry");
+    let rec = octs_obs::Recorder::new();
+    let obs = octs_obs::ObsScope::activate(&rec);
+    let server = Arc::new(ForecastServer::new(registry, policy));
+    server.serve_task(TASK).expect("serve bench task");
+
+    // Warm the pool and the kernel paths outside the timed window.
+    for w in 0..8u64 {
+        server.submit(TASK, request_input(w)).expect("warmup");
+    }
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let input = request_input(c as u64);
+                let mut lat = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let t = Instant::now();
+                    let fc = server.submit(TASK, input.clone()).expect("forecast");
+                    lat.push(t.elapsed().as_micros() as f64);
+                    assert!(fc.values.all_finite());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat_us = Vec::with_capacity(clients * requests);
+    for h in handles {
+        lat_us.extend(h.join().expect("client thread"));
+    }
+    let wall = t0.elapsed();
+    drop(obs);
+
+    let summary = rec.summary();
+    let mean_batch = summary
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve.batch_size")
+        .map(|h| h.mean)
+        .unwrap_or(0.0);
+    (stats(lat_us, wall), mean_batch)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let levels: &[usize] = if quick { &[1, 4, 8] } else { &[1, 4, 8, 16] };
+    let requests = if quick { 60 } else { 250 };
+
+    // Build and publish the served model: sampled arch, materialized
+    // (randomly initialized) weights — serving cost only depends on shapes.
+    let space = JointSpace::tiny();
+    let ah = space.sample(&mut ChaCha8Rng::seed_from_u64(7));
+    let adj = Adjacency::identity(N);
+    let dims = ModelDims { n: N, f: F, p: P, out_steps: OUT };
+    let mut fc = Forecaster::new(ah, dims, &adj, 1);
+    fc.training = false;
+    fc.predict(&Tensor::zeros([1, F, N, P]));
+    let model_params = fc.num_params();
+
+    let root = std::env::temp_dir().join(format!("octs_serving_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let registry = ModelRegistry::open(&root).expect("open registry");
+    let mut ckpt = ServableCheckpoint::new(TASK, &fc, &adj, 1);
+    registry.publish(&mut ckpt).expect("publish bench model");
+    drop(registry);
+
+    // Pure queue-pressure batching: under closed-loop load, requests pile up
+    // while the previous batch computes, so the greedy drain forms batches
+    // with zero added latency; a delay window would only idle the core.
+    let batched_policy = BatchPolicy { max_delay: Duration::ZERO, ..BatchPolicy::default() };
+
+    let mut rows = Vec::new();
+    for &clients in levels {
+        let (unbatched, _) = run_load(&root, BatchPolicy::unbatched(), clients, requests);
+        let (batched, mean_bs) = run_load(&root, batched_policy, clients, requests);
+        let ratio = batched.rps / unbatched.rps;
+        eprintln!(
+            "[c={clients:>2}] unbatched {:>7.0} rps p99 {:>7.0}us | batched {:>7.0} rps \
+             p99 {:>7.0}us (mean batch {:.1}) | ratio {:.2}x",
+            unbatched.rps, unbatched.p99_us, batched.rps, batched.p99_us, mean_bs, ratio
+        );
+        rows.push(LevelRow {
+            concurrency: clients,
+            unbatched,
+            batched,
+            throughput_ratio: ratio,
+            batched_mean_batch_size: mean_bs,
+        });
+    }
+    std::fs::remove_dir_all(&root).ok();
+
+    let best_ratio = rows.iter().map(|r| r.throughput_ratio).fold(f64::NEG_INFINITY, f64::max);
+    let ratio_at_max = rows.last().map(|r| r.throughput_ratio).unwrap_or(0.0);
+    let worst_p99 = rows
+        .iter()
+        .flat_map(|r| [r.unbatched.p99_us, r.batched.p99_us])
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let report = Report {
+        quick,
+        requests_per_client: requests,
+        model_params,
+        levels: rows,
+        best_ratio,
+        ratio_at_max_concurrency: ratio_at_max,
+        note: "closed-loop clients against one task lane; unbatched = max_batch 1, batched = \
+               max_batch 32 / max_delay 0 (queue-pressure batching); latencies are client-observed submit-to-response"
+            .to_string(),
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("wrote BENCH_serving.json");
+
+    // Gates. Quick mode (CI smoke, noisy shared runners) only requires the
+    // batcher to not lose; the full run holds the paper-grade bar.
+    assert!(worst_p99 < 5_000_000.0, "p99 latency {worst_p99:.0}us exceeds the 5s sanity bound");
+    let (min_ratio, at) = if quick { (1.0, 8) } else { (1.5, 8) };
+    let gated: Vec<&LevelRow> = report.levels.iter().filter(|r| r.concurrency >= at).collect();
+    assert!(!gated.is_empty(), "no concurrency level >= {at} was measured");
+    for row in gated {
+        assert!(
+            row.throughput_ratio >= min_ratio,
+            "micro-batching ratio {:.2}x at concurrency {} is below the {min_ratio:.1}x gate",
+            row.throughput_ratio,
+            row.concurrency
+        );
+    }
+}

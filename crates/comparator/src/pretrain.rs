@@ -714,6 +714,35 @@ mod tests {
     }
 
     #[test]
+    fn repeated_task_pretrain_reports_nonzero_task_cache_hits() {
+        // The full AutoCTS+ per-task search runs the comparator task-unaware
+        // (prelim = None), so its task-cache counters are legitimately zero.
+        // A task-aware run over repeated tasks is the regime the cache
+        // exists for: the hold-out evaluation consults the pathway once per
+        // comparison with only one distinct prelim per task, so after
+        // pretraining the stats must show real hits, not a dead cache.
+        let tasks = tiny_tasks(2);
+        let mut emb = tiny_embedder();
+        let space = JointSpace::tiny();
+        let cfg = PretrainConfig::test();
+        let bank = collect_bank(tasks, &mut emb, &space, &cfg);
+        let mut tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 3);
+        assert!(tahc.cfg.task_aware, "fixture must exercise the task pathway");
+        let report = pretrain_tahc(&mut tahc, &bank, &cfg);
+        assert!(report.holdout_accuracy.is_finite());
+        let stats = tahc.task_cache_stats();
+        assert!(
+            stats.hits > 0,
+            "repeated-task evaluation must hit the task-pathway cache: {stats:?}"
+        );
+        assert!(
+            stats.misses <= bank.tasks.len(),
+            "one distinct prelim per task allows at most one miss each: {stats:?}"
+        );
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
     fn pretraining_improves_over_chance() {
         let tasks = tiny_tasks(2);
         let mut emb = tiny_embedder();

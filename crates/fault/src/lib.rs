@@ -76,6 +76,10 @@ pub struct FaultPlan {
     /// One-shot IO failures keyed by `(site, op index)`, e.g.
     /// `("journal.append", 7)` fails the 8th journal append.
     pub io_faults: BTreeSet<(String, u64)>,
+    /// One-shot IO delays in milliseconds keyed by `(site, op index)` —
+    /// e.g. `("registry.load", 0)` makes the first checkpoint load slow, the
+    /// latency-degradation sibling of [`FaultPlan::io_error`].
+    pub io_delays: BTreeMap<(String, u64), u64>,
 }
 
 impl FaultPlan {
@@ -119,6 +123,13 @@ impl FaultPlan {
     /// Schedules a one-shot IO failure at `(site, op)`.
     pub fn io_error(mut self, site: &str, op: u64) -> Self {
         self.io_faults.insert((site.to_string(), op));
+        self
+    }
+
+    /// Schedules a one-shot IO delay of `millis` at `(site, op)` — the
+    /// slow-disk / cold-cache scenario for checkpoint loads.
+    pub fn slow_io(mut self, site: &str, op: u64, millis: u64) -> Self {
+        self.io_delays.insert((site.to_string(), op), millis);
         self
     }
 
@@ -293,6 +304,20 @@ pub fn io_fault(site: &str, op: u64) -> std::io::Result<()> {
     }
 }
 
+/// Hook for persistence layers: sleeps for a scheduled IO delay at
+/// `(site, op)` exactly once (consumed), a no-op otherwise. Callers time the
+/// surrounding operation as usual, so an injected delay surfaces in the same
+/// latency histograms a genuinely slow disk would.
+pub fn io_delay(site: &str, op: u64) {
+    if !armed() {
+        return;
+    }
+    let millis = with_plan(|p| p.io_delays.remove(&(site.to_string(), op))).flatten();
+    if let Some(ms) = millis {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
 // --- quiet panic hook ----------------------------------------------------
 
 static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
@@ -368,6 +393,24 @@ mod tests {
         assert!(io_fault("journal.append", 0).is_ok());
         assert!(io_fault("journal.append", 1).is_err());
         assert!(io_fault("journal.append", 1).is_ok());
+    }
+
+    #[test]
+    fn scheduled_delays_fire_once_and_consume() {
+        let plan = FaultPlan::new().slow_io("registry.load", 1, 30);
+        let _scope = FaultScope::activate(plan);
+
+        let t0 = std::time::Instant::now();
+        io_delay("registry.load", 0); // not scheduled: no sleep
+        assert!(t0.elapsed() < std::time::Duration::from_millis(20));
+
+        let t1 = std::time::Instant::now();
+        io_delay("registry.load", 1);
+        assert!(t1.elapsed() >= std::time::Duration::from_millis(30));
+
+        let t2 = std::time::Instant::now();
+        io_delay("registry.load", 1); // one-shot: consumed above
+        assert!(t2.elapsed() < std::time::Duration::from_millis(20));
     }
 
     #[test]

@@ -8,9 +8,10 @@ use octs_space::ArchHyper;
 use octs_tensor::{Graph, ParamStore, Tensor, Var};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Static shape information the model is built for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ModelDims {
     /// Number of time series `N`.
     pub n: usize,
@@ -60,6 +61,23 @@ impl Forecaster {
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5EED),
             training: true,
         }
+    }
+
+    /// Rebuilds a trained forecaster from a parameter snapshot, in
+    /// evaluation mode. The installed `params` are found (not re-initialized)
+    /// by the lazy `ParamStore::entry` lookups on the first forward, so
+    /// predictions match the model the snapshot was taken from bit-for-bit.
+    pub fn from_trained(
+        ah: ArchHyper,
+        dims: ModelDims,
+        adjacency: &Adjacency,
+        params: ParamStore,
+        seed: u64,
+    ) -> Self {
+        let mut fc = Self::new(ah, dims, adjacency, seed);
+        fc.ps = params;
+        fc.training = false;
+        fc
     }
 
     /// Runs the model on `x` (`[B, F, N, P]`), returning the prediction var

@@ -92,6 +92,8 @@ pub struct HistAgg {
     pub p50: f64,
     /// 95th percentile (nearest-rank).
     pub p95: f64,
+    /// 99th percentile (nearest-rank) — the tail the serving layer gates on.
+    pub p99: f64,
 }
 
 /// Aggregated view of one recording, ready to serialize as a single JSON
@@ -231,6 +233,7 @@ impl Recorder {
                     mean: sorted.iter().sum::<f64>() / n as f64,
                     p50: pct(0.50),
                     p95: pct(0.95),
+                    p99: pct(0.99),
                 }
             })
             .collect();
@@ -481,6 +484,7 @@ mod tests {
         let h = s.histograms.iter().find(|h| h.name == "h").unwrap();
         assert_eq!(h.p50, 50.0);
         assert_eq!(h.p95, 95.0);
+        assert_eq!(h.p99, 99.0);
         assert_eq!(h.count, 100);
     }
 

@@ -1,0 +1,223 @@
+//! Per-task serving lanes: a bounded request queue, a dedicated worker
+//! thread owning the model, and the dynamic micro-batcher between them.
+
+use crate::model::ServableModel;
+use crate::ServeError;
+use octs_tensor::Tensor;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When and how hard the micro-batcher coalesces.
+///
+/// The worker takes the first queued request, greedily drains whatever else
+/// is already queued (zero added latency — under load, requests pile up
+/// while the previous batch computes), and then, if the batch is still
+/// below `max_batch` and `max_delay` is nonzero, keeps the batch open up to
+/// `max_delay` waiting for stragglers — the classic latency/throughput
+/// dial. `max_batch == 1` disables coalescing entirely (the unbatched
+/// baseline the serving bench compares against); `max_delay == 0` gives
+/// pure queue-pressure batching.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Largest batch one forward may carry.
+    pub max_batch: usize,
+    /// Longest a batch stays open waiting for more requests.
+    pub max_delay: Duration,
+    /// Bound of the lane's request queue; submits block (backpressure) once
+    /// this many requests are waiting.
+    pub queue_depth: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self { max_batch: 32, max_delay: Duration::from_millis(2), queue_depth: 256 }
+    }
+}
+
+impl BatchPolicy {
+    /// One-request-per-forward policy: the unbatched baseline.
+    pub fn unbatched() -> Self {
+        Self { max_batch: 1, max_delay: Duration::ZERO, ..Self::default() }
+    }
+}
+
+/// A completed forecast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    /// Registry version of the model that produced it.
+    pub version: u32,
+    /// Predicted values, `[out_steps, N]`.
+    pub values: Tensor,
+}
+
+/// Handle to a forecast still in flight; [`PendingForecast::wait`] blocks
+/// for the result. Dropping it abandons the request (the worker's reply is
+/// discarded harmlessly).
+pub struct PendingForecast {
+    rx: Receiver<Result<Forecast, ServeError>>,
+}
+
+impl PendingForecast {
+    /// Blocks until the forecast (or its failure) arrives.
+    pub fn wait(self) -> Result<Forecast, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+struct Job {
+    input: Tensor,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Forecast, ServeError>>,
+}
+
+/// One task's serving lane: bounded queue in, dedicated worker out.
+///
+/// The worker thread owns the [`ServableModel`] exclusively — the
+/// forecaster's forward needs `&mut self`, and a single owner beats a lock
+/// convoy of client threads. Hot swaps arrive through a mailbox the worker
+/// drains at batch boundaries, so an in-flight batch always completes on the
+/// version it started with.
+pub struct TaskLane {
+    tx: Option<SyncSender<Job>>,
+    swap: Arc<Mutex<Option<ServableModel>>>,
+    version: Arc<AtomicU32>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl TaskLane {
+    /// Spawns the worker thread serving `model` under `policy`.
+    pub fn spawn(model: ServableModel, policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        assert!(policy.queue_depth >= 1, "queue_depth must be at least 1");
+        let (tx, rx) = mpsc::sync_channel::<Job>(policy.queue_depth);
+        let swap = Arc::new(Mutex::new(None));
+        let version = Arc::new(AtomicU32::new(model.version));
+        let worker = {
+            let swap = Arc::clone(&swap);
+            let version = Arc::clone(&version);
+            std::thread::Builder::new()
+                .name(format!("serve-{}", model.task))
+                .spawn(move || worker_loop(model, policy, rx, swap, version))
+                .expect("spawn serving worker")
+        };
+        Self { tx: Some(tx), swap, version, worker: Some(worker) }
+    }
+
+    /// Registry version currently being served (in-flight batches may still
+    /// complete on the previous one for an instant after a swap).
+    pub fn version(&self) -> u32 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Queues `model` for hot swap; the worker installs it at the next batch
+    /// boundary. A second swap before that overwrites the first (latest
+    /// wins).
+    pub fn swap(&self, model: ServableModel) {
+        *self.swap.lock().unwrap_or_else(|e| e.into_inner()) = Some(model);
+    }
+
+    /// Submits one forecast request (`input` is `[F, N, P]`) and blocks for
+    /// the result.
+    pub fn submit(&self, input: Tensor) -> Result<Forecast, ServeError> {
+        self.submit_async(input).wait()
+    }
+
+    /// Submits one forecast request without waiting. Blocks only if the
+    /// lane's queue is full (backpressure).
+    pub fn submit_async(&self, input: Tensor) -> PendingForecast {
+        let (reply, rx) = mpsc::channel();
+        let job = Job { input, enqueued: Instant::now(), reply };
+        if let Some(tx) = &self.tx {
+            // A send error means the worker is gone; the dropped reply sender
+            // then surfaces as Shutdown in wait().
+            let _ = tx.send(job);
+        }
+        PendingForecast { rx }
+    }
+}
+
+impl Drop for TaskLane {
+    fn drop(&mut self) {
+        // Closing the queue lets the worker drain remaining jobs and exit.
+        drop(self.tx.take());
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    mut model: ServableModel,
+    policy: BatchPolicy,
+    rx: Receiver<Job>,
+    swap: Arc<Mutex<Option<ServableModel>>>,
+    version: Arc<AtomicU32>,
+) {
+    loop {
+        // Block for the batch-opening request.
+        let Ok(first) = rx.recv() else { break };
+
+        // Batch boundary: install a pending hot swap before any new work.
+        if let Some(next) = swap.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            version.store(next.version, Ordering::Release);
+            octs_obs::event("serve.swap", next.version as f64, &next.task);
+            model = next;
+        }
+
+        let mut batch = vec![first];
+        // Greedy drain: take everything already queued, at no latency cost.
+        while batch.len() < policy.max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        // Dynamic window: hold the batch open for stragglers.
+        if batch.len() < policy.max_batch && !policy.max_delay.is_zero() {
+            let deadline = Instant::now() + policy.max_delay;
+            while batch.len() < policy.max_batch {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(left) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+
+        octs_obs::observe("serve.batch_size", batch.len() as f64);
+        for job in &batch {
+            octs_obs::observe("serve.queue_wait_us", job.enqueued.elapsed().as_micros() as f64);
+        }
+
+        // Split off requests violating the model's input contract; they get
+        // an error reply instead of poisoning the whole batch.
+        let expected = model.input_shape();
+        let (good, bad): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|j| j.input.shape() == expected);
+        for job in bad {
+            let _ = job.reply.send(Err(ServeError::ShapeMismatch {
+                expected: expected.to_vec(),
+                got: job.input.shape().to_vec(),
+            }));
+        }
+        if good.is_empty() {
+            continue;
+        }
+
+        let inputs: Vec<&Tensor> = good.iter().map(|j| &j.input).collect();
+        let outputs = model.predict_batch(&inputs);
+        octs_obs::counter("serve.requests", good.len() as u64);
+        octs_obs::counter("serve.batches", 1);
+        for (job, values) in good.into_iter().zip(outputs) {
+            octs_obs::observe("serve.e2e_us", job.enqueued.elapsed().as_micros() as f64);
+            let _ = job.reply.send(Ok(Forecast { version: model.version, values }));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Forecast-serving layer: the deployment half of AutoCTS+.
+//!
+//! Search (Algorithm 2) ends with a winning arch-hyper and trained weights;
+//! this crate is what actually answers forecast requests with them, at the
+//! traffic levels the ROADMAP's north star targets. Three pieces:
+//!
+//! - [`ModelRegistry`] — versioned on-disk storage of servable checkpoints,
+//!   one directory per task, each version a checksummed [`autocts::persist`]
+//!   envelope (`v00001.ckpt`, `v00002.ckpt`, …). Publishing is atomic
+//!   (temp sibling + rename), so a serving process never loads a torn file.
+//! - [`ForecastServer`] / [`TaskLane`] — a bounded worker-pool front-end.
+//!   Each served task gets one lane: a bounded request queue plus a dedicated
+//!   worker thread that owns the model exclusively (the forecaster's forward
+//!   pass needs `&mut`), so many client threads submit concurrently with
+//!   backpressure and no model locking.
+//! - The **dynamic micro-batcher** inside each lane's worker: concurrent
+//!   requests arriving within a [`BatchPolicy`] time/size window are stacked
+//!   into one `[B, F, N, P]` tensor and answered by a single pooled-GEMM
+//!   forward, then demuxed per request. Batched rows are bit-identical to
+//!   single-request forwards (row dot products are independent of `B`), so
+//!   batching is purely a throughput decision.
+//!
+//! Hot swap: when a new search winner is published, [`ForecastServer::reload`]
+//! loads it and hands it to the lane through a swap mailbox. The worker
+//! applies it at a batch boundary — in-flight requests complete on the old
+//! version, later requests see the new one, and a failed or poisoned load
+//! (NaN weights, corrupt envelope, injected IO fault) leaves the current
+//! model serving: graceful degradation, reported via `serve.swap_failed`.
+//!
+//! Observability: `serve.queue_wait_us`, `serve.batch_size` and
+//! `serve.e2e_us` histograms plus `serve.requests` / `serve.batches`
+//! counters flow through `octs-obs` whenever a recorder is attached. Fault
+//! injection: `octs-fault` hooks at the `registry.load` site cover slow and
+//! failed checkpoint loads.
+
+mod batcher;
+mod model;
+mod registry;
+mod server;
+
+pub use batcher::{BatchPolicy, Forecast, PendingForecast, TaskLane};
+pub use model::{ServableCheckpoint, ServableModel, SERVABLE_VERSION};
+pub use registry::ModelRegistry;
+pub use server::ForecastServer;
+
+use autocts::CoreError;
+
+/// What went wrong while serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The registry or checkpoint layer failed (IO, corruption, version).
+    Core(CoreError),
+    /// The task has no published checkpoint (or the requested version is
+    /// absent).
+    NoSuchVersion {
+        /// Task the lookup was for.
+        task: String,
+        /// Requested registry version (0 = latest).
+        version: u32,
+    },
+    /// A loaded checkpoint fails validation — non-finite weights or a
+    /// non-finite probe forecast. Serving it would emit garbage.
+    Poisoned {
+        /// Task the checkpoint belongs to.
+        task: String,
+        /// Registry version of the poisoned checkpoint.
+        version: u32,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A request's input tensor does not match the served model's
+    /// `[F, N, P]` contract.
+    ShapeMismatch {
+        /// Shape the model expects.
+        expected: Vec<usize>,
+        /// Shape the request carried.
+        got: Vec<usize>,
+    },
+    /// The lane's worker is gone (server shut down while the request was
+    /// queued or in flight).
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::NoSuchVersion { task, version: 0 } => {
+                write!(f, "task {task:?} has no published checkpoint")
+            }
+            ServeError::NoSuchVersion { task, version } => {
+                write!(f, "task {task:?} has no checkpoint version {version}")
+            }
+            ServeError::Poisoned { task, version, detail } => {
+                write!(f, "checkpoint {task:?} v{version} is poisoned: {detail}")
+            }
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "request shape {got:?} does not match model input {expected:?}")
+            }
+            ServeError::Shutdown => write!(f, "serving lane is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}

@@ -1,0 +1,113 @@
+//! Servable checkpoints: the on-disk unit the registry stores and the
+//! in-memory model a lane serves from.
+
+use crate::ServeError;
+use octs_data::Adjacency;
+use octs_model::{Forecaster, ModelDims};
+use octs_space::ArchHyper;
+use octs_tensor::{ParamStore, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Envelope schema version of [`ServableCheckpoint`] payloads.
+pub const SERVABLE_VERSION: u32 = 1;
+
+/// Everything needed to reconstruct a trained forecaster for serving: the
+/// winning arch-hyper, the shape contract, the task graph, and the trained
+/// weights. Serialized as the payload of a checksummed `persist` envelope.
+#[derive(Serialize, Deserialize)]
+pub struct ServableCheckpoint {
+    /// Task identifier — doubles as the registry directory name.
+    pub task: String,
+    /// Registry version, assigned by [`crate::ModelRegistry::publish`]
+    /// (0 until published).
+    pub version: u32,
+    /// The searched winner this checkpoint realizes.
+    pub ah: ArchHyper,
+    /// Shape contract the weights were trained under.
+    pub dims: ModelDims,
+    /// Task adjacency the spatial operators diffuse over.
+    pub adjacency: Adjacency,
+    /// Trained parameters.
+    pub params: ParamStore,
+    /// Seed the forecaster was built with (only feeds the eval-mode-unused
+    /// dropout RNG, kept for reproducibility bookkeeping).
+    pub seed: u64,
+}
+
+impl ServableCheckpoint {
+    /// Packages a trained forecaster for publication. The registry assigns
+    /// the version at publish time.
+    pub fn new(task: impl Into<String>, fc: &Forecaster, adjacency: &Adjacency, seed: u64) -> Self {
+        Self {
+            task: task.into(),
+            version: 0,
+            ah: fc.ah.clone(),
+            dims: fc.dims,
+            adjacency: adjacency.clone(),
+            params: fc.ps.snapshot(),
+            seed,
+        }
+    }
+}
+
+/// A checkpoint rebuilt into a live, validated, evaluation-mode model — the
+/// thing a [`crate::TaskLane`] worker owns and forwards through.
+pub struct ServableModel {
+    /// Registry version this model was loaded from.
+    pub version: u32,
+    /// Task the model serves.
+    pub task: String,
+    fc: Forecaster,
+}
+
+impl ServableModel {
+    /// Rebuilds and validates a model from a loaded checkpoint.
+    ///
+    /// Validation is the poisoned-model tripwire: every stored weight must be
+    /// finite and a probe forward on a zero input must produce a finite
+    /// forecast. A checkpoint that fails either check is rejected with
+    /// [`ServeError::Poisoned`] so the caller can keep serving the previous
+    /// version.
+    pub fn from_checkpoint(ckpt: ServableCheckpoint) -> Result<Self, ServeError> {
+        let ServableCheckpoint { task, version, ah, dims, adjacency, params, seed } = ckpt;
+        if !params.all_finite() {
+            return Err(ServeError::Poisoned {
+                task,
+                version,
+                detail: "non-finite parameter values".to_string(),
+            });
+        }
+        let mut fc = Forecaster::from_trained(ah, dims, &adjacency, params, seed);
+        let probe = Tensor::zeros([1, dims.f, dims.n, dims.p]);
+        if !fc.predict(&probe).all_finite() {
+            return Err(ServeError::Poisoned {
+                task,
+                version,
+                detail: "probe forecast is non-finite".to_string(),
+            });
+        }
+        Ok(Self { version, task, fc })
+    }
+
+    /// The `[F, N, P]` input shape every request must carry.
+    pub fn input_shape(&self) -> [usize; 3] {
+        [self.fc.dims.f, self.fc.dims.n, self.fc.dims.p]
+    }
+
+    /// Shape contract of the served model.
+    pub fn dims(&self) -> ModelDims {
+        self.fc.dims
+    }
+
+    /// One batched eval-mode forward: stacks `inputs` (each `[F, N, P]`)
+    /// into `[B, F, N, P]`, runs a single pooled-GEMM forward, and demuxes
+    /// the `[B, out_steps, N]` prediction back into per-request tensors.
+    ///
+    /// Each returned row is bit-identical to the forecast a lone
+    /// single-request forward would produce: every output element is a dot
+    /// product over one batch row, independent of `B`.
+    pub fn predict_batch(&mut self, inputs: &[&Tensor]) -> Vec<Tensor> {
+        let x = Tensor::stack(inputs);
+        self.fc.predict(&x).unstack()
+    }
+}

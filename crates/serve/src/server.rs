@@ -1,0 +1,100 @@
+//! The multi-task front door: routes requests to per-task lanes and drives
+//! registry reloads with graceful degradation.
+
+use crate::batcher::{BatchPolicy, Forecast, PendingForecast, TaskLane};
+use crate::model::ServableModel;
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+use octs_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Serves forecasts for many tasks concurrently, one [`TaskLane`] per task,
+/// all backed by one [`ModelRegistry`].
+pub struct ForecastServer {
+    registry: ModelRegistry,
+    policy: BatchPolicy,
+    lanes: Mutex<BTreeMap<String, Arc<TaskLane>>>,
+}
+
+impl ForecastServer {
+    /// A server answering from `registry` with `policy` on every lane.
+    pub fn new(registry: ModelRegistry, policy: BatchPolicy) -> Self {
+        Self { registry, policy, lanes: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The backing registry (e.g. for publishing new versions in tests).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Starts serving `task` from its latest published checkpoint. A task
+    /// already being served is left untouched (use [`ForecastServer::reload`]
+    /// to pick up a newer version).
+    pub fn serve_task(&self, task: &str) -> Result<u32, ServeError> {
+        let mut lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(lane) = lanes.get(task) {
+            return Ok(lane.version());
+        }
+        let model = ServableModel::from_checkpoint(self.registry.load_latest(task)?)?;
+        let version = model.version;
+        lanes.insert(task.to_string(), Arc::new(TaskLane::spawn(model, self.policy)));
+        Ok(version)
+    }
+
+    /// Tasks currently being served.
+    pub fn tasks(&self) -> Vec<String> {
+        self.lanes.lock().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect()
+    }
+
+    /// Registry version `task` is serving, if it is being served.
+    pub fn version(&self, task: &str) -> Option<u32> {
+        self.lane(task).map(|l| l.version())
+    }
+
+    fn lane(&self, task: &str) -> Option<Arc<TaskLane>> {
+        self.lanes.lock().unwrap_or_else(|e| e.into_inner()).get(task).cloned()
+    }
+
+    /// Reloads `task` from the registry's latest checkpoint and hot-swaps it
+    /// into the lane.
+    ///
+    /// Graceful degradation: when the load or validation fails — corrupt
+    /// envelope, injected IO fault, poisoned weights — the lane keeps
+    /// serving its current version, a `serve.swap_failed` event is emitted,
+    /// and the error is returned for the operator to act on.
+    pub fn reload(&self, task: &str) -> Result<u32, ServeError> {
+        let lane = self
+            .lane(task)
+            .ok_or_else(|| ServeError::NoSuchVersion { task: task.to_string(), version: 0 })?;
+        let model =
+            self.registry.load_latest(task).and_then(ServableModel::from_checkpoint).inspect_err(
+                |e| {
+                    octs_obs::event("serve.swap_failed", lane.version() as f64, &e.to_string());
+                },
+            )?;
+        let version = model.version;
+        lane.swap(model);
+        Ok(version)
+    }
+
+    /// Submits a forecast request for `task` (`input` is `[F, N, P]`) and
+    /// blocks for the result.
+    pub fn submit(&self, task: &str, input: Tensor) -> Result<Forecast, ServeError> {
+        self.submit_async(task, input)?.wait()
+    }
+
+    /// Submits a forecast request without waiting for the result. Blocks
+    /// only when the task's queue is full (backpressure).
+    pub fn submit_async(&self, task: &str, input: Tensor) -> Result<PendingForecast, ServeError> {
+        let lane = self
+            .lane(task)
+            .ok_or_else(|| ServeError::NoSuchVersion { task: task.to_string(), version: 0 })?;
+        Ok(lane.submit_async(input))
+    }
+
+    /// Stops all lanes, waiting for queued requests to drain.
+    pub fn shutdown(self) {
+        // Lanes join their workers on drop.
+    }
+}

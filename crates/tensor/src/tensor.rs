@@ -78,6 +78,44 @@ impl Tensor {
         Self { shape: vec![values.len()], data: crate::pool::take_copy(values) }
     }
 
+    /// Stacks same-shaped tensors along a new leading axis: `K` tensors of
+    /// shape `S` become one `[K, ..S]` tensor in a single pooled write pass.
+    /// The serving micro-batcher uses this to coalesce per-request inputs
+    /// into one batched forward.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty or the shapes disagree.
+    pub fn stack(items: &[&Tensor]) -> Self {
+        let first = items.first().expect("stack of zero tensors");
+        let mut data = crate::pool::take_empty(items.len() * first.len());
+        let mut shape = Vec::with_capacity(first.rank() + 1);
+        shape.push(items.len());
+        shape.extend_from_slice(first.shape());
+        for t in items {
+            assert_eq!(t.shape(), first.shape(), "stack of mismatched shapes");
+            data.extend_from_slice(t.data());
+        }
+        Self { shape, data }
+    }
+
+    /// The inverse of [`Tensor::stack`]: splits along axis 0 into per-row
+    /// tensors (the batcher's per-request demux).
+    ///
+    /// # Panics
+    /// Panics on a rank-0 tensor.
+    pub fn unstack(&self) -> Vec<Tensor> {
+        assert!(self.rank() >= 1, "unstack needs a leading axis");
+        let rows = self.shape[0];
+        let row_shape: Vec<usize> = self.shape[1..].to_vec();
+        let stride = numel(&row_shape);
+        (0..rows)
+            .map(|r| Tensor {
+                shape: row_shape.clone(),
+                data: crate::pool::take_copy(&self.data[r * stride..(r + 1) * stride]),
+            })
+            .collect()
+    }
+
     /// An `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros([n, n]);
@@ -340,5 +378,27 @@ mod tests {
         assert!(t.all_finite());
         let bad = Tensor::from_slice(&[f32::NAN]);
         assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let a = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::new([2, 3], vec![7., 8., 9., 10., 11., 12.]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 2, 3]);
+        assert_eq!(s.at(&[0, 1, 2]), 6.0);
+        assert_eq!(s.at(&[1, 0, 0]), 7.0);
+        let rows = s.unstack();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], a);
+        assert_eq!(rows[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched shapes")]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([3, 2]);
+        let _ = Tensor::stack(&[&a, &b]);
     }
 }

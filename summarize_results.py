@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Summarize results/*.csv into win counts for EXPERIMENTS.md."""
-import csv, glob, os, sys
+"""Summarize results/*.csv into win counts, and BENCH_*.json reports into
+one-line digests, for EXPERIMENTS.md."""
+import csv, glob, json, os, sys
 
 def wins(path, lower_better_metrics=("MAE","RMSE","MAPE%","RRSE"), higher=("CORR",)):
     rows = list(csv.DictReader(open(path)))
@@ -30,5 +31,30 @@ for path in sorted(glob.glob("results/table[5-9]_*.csv")) + sorted(glob.glob("re
         ranked = sorted(count.items(), key=lambda kv:-kv[1])
         summary = ", ".join(f"{k}:{v}" for k,v in ranked if v>0)
         print(f"{os.path.basename(path)}: best-of-{total} rows -> {summary}")
+    except Exception as e:
+        print(f"{path}: skipped ({e})")
+
+def bench_digest(name, r):
+    if name == "BENCH_serving.json":
+        levels = ", ".join(
+            f"c={row['concurrency']}: {row['throughput_ratio']:.2f}x "
+            f"(batched p99 {row['batched']['p99_us']:.0f}us)"
+            for row in r.get("levels", [])
+        )
+        return f"batched/unbatched throughput {levels}; best {r.get('best_ratio', 0):.2f}x"
+    if name == "BENCH_search_trace.json":
+        return (f"tracing overhead {r.get('overhead_pct', 0):+.2f}%, "
+                f"embed cache {r.get('embed_cache_hit_rate', 0):.1%}, "
+                f"task cache {r.get('task_cache_hit_rate', 0):.1%} "
+                f"({r.get('task_cache_hits', 0)} hits)")
+    # generic: surface the report's scalar gates
+    scalars = {k: v for k, v in r.items() if isinstance(v, (int, float, bool))}
+    return ", ".join(f"{k}={v}" for k, v in list(scalars.items())[:6]) or "no scalar fields"
+
+for path in sorted(glob.glob("BENCH_*.json")):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+        print(f"{os.path.basename(path)}: {bench_digest(os.path.basename(path), report)}")
     except Exception as e:
         print(f"{path}: skipped ({e})")
