@@ -135,12 +135,7 @@ fn run_load(
     drop(obs);
 
     let summary = rec.summary();
-    let mean_batch = summary
-        .histograms
-        .iter()
-        .find(|h| h.name == "serve.batch_size")
-        .map(|h| h.mean)
-        .unwrap_or(0.0);
+    let mean_batch = summary.histogram("serve.batch_size").map(|h| h.mean).unwrap_or(0.0);
     (stats(lat_us, wall), mean_batch)
 }
 

@@ -1,0 +1,333 @@
+//! Overload benchmark: goodput and tail latency of the forecast server at
+//! 1×/2×/4× its measured capacity, with and without load shedding.
+//!
+//! A deliberately heavy forecaster (service time in the hundreds of
+//! microseconds, so open-loop pacing is sleepable) is published to a temp
+//! registry. Capacity is calibrated closed-loop, then each overload level
+//! runs **open-loop**: clients submit on a fixed schedule derived from the
+//! offered rate and latency is measured from the request's *intended* send
+//! time, not the actual one — the coordinated-omission-safe convention, so
+//! a backed-up client cannot hide queueing delay by submitting late.
+//!
+//! Two admission configurations face the same offered load:
+//!
+//! - **block** — the pre-resilience default: full queue blocks the
+//!   submitter. Overload turns into unbounded schedule slip, and p99 from
+//!   intended time grows with the length of the run.
+//! - **shed** — `RejectWhenFull` plus a per-request deadline: the queue
+//!   rejects new work when full and drops stale work at dequeue, so the
+//!   requests that *are* served stay fast.
+//!
+//! Results land in `BENCH_serving_overload.json`. The full run gates the
+//! resilience claim: at ≥2× capacity, shed-mode p99 of completed requests
+//! stays within 2× the 1×-load p99 while block-mode p99 does not.
+//!
+//! ```sh
+//! cargo run --release --bin serving_overload            # full run + gates
+//! cargo run --release --bin serving_overload -- --quick # CI smoke
+//! ```
+
+use octs_data::Adjacency;
+use octs_model::{Forecaster, ModelDims};
+use octs_serve::{
+    BatchPolicy, Forecast, ForecastServer, ModelRegistry, PendingForecast, ServableCheckpoint,
+    ServeError, ShedPolicy,
+};
+use octs_space::JointSpace;
+use octs_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// Heavy enough that one forward costs hundreds of microseconds — capacity
+// lands in the low thousands of rps and per-client pacing intervals are
+// multi-millisecond, comfortably above thread::sleep jitter.
+const N: usize = 48;
+const F: usize = 2;
+const P: usize = 48;
+const OUT: usize = 6;
+const TASK: &str = "overload";
+const CLIENTS: usize = 16;
+// Shallower than CLIENTS (inline-waiting clients cap outstanding requests at
+// CLIENTS, so a deeper queue would never fill and admission control would
+// never engage) and shallow in absolute terms: every admitted request waits
+// at most ~2 service times, which is what keeps accepted-request p99 under
+// overload in the same envelope as the 1x run.
+const QUEUE_DEPTH: usize = 2;
+const TTL_MS: u64 = 10;
+
+#[derive(Serialize)]
+struct Row {
+    multiplier: f64,
+    mode: &'static str,
+    offered_rps: f64,
+    completed: u64,
+    shed: u64,
+    deadline_expired: u64,
+    goodput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_s: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    quick: bool,
+    model_params: usize,
+    capacity_rps: f64,
+    clients: usize,
+    queue_depth: usize,
+    ttl_ms: u64,
+    run_seconds: f64,
+    baseline_p99_ms: f64,
+    rows: Vec<Row>,
+    note: String,
+}
+
+fn request_input(tag: u64) -> Tensor {
+    let len = F * N * P;
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag);
+            ((h >> 33) % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect();
+    Tensor::new([F, N, P], data)
+}
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    sorted[((n as f64 * q).ceil() as usize).clamp(1, n) - 1]
+}
+
+fn policy(shed: ShedPolicy) -> BatchPolicy {
+    BatchPolicy {
+        max_delay: Duration::ZERO,
+        queue_depth: QUEUE_DEPTH,
+        shed,
+        ..BatchPolicy::default()
+    }
+}
+
+fn server_for(root: &std::path::Path, shed: ShedPolicy) -> Arc<ForecastServer> {
+    let registry = ModelRegistry::open(root).expect("open registry");
+    let server = Arc::new(ForecastServer::new(registry, policy(shed)));
+    server.serve_task(TASK).expect("serve overload task");
+    for w in 0..8u64 {
+        server.submit(TASK, request_input(w)).expect("warmup");
+    }
+    server
+}
+
+/// Closed-loop capacity calibration: saturate the lane and measure rps.
+fn calibrate(root: &std::path::Path, requests: usize) -> f64 {
+    let server = server_for(root, ShedPolicy::Block);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let input = request_input(c as u64);
+                for _ in 0..requests {
+                    server.submit(TASK, input.clone()).expect("calibration forecast");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("calibration client");
+    }
+    (CLIENTS * requests) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One open-loop run: `CLIENTS` threads offer `offered_rps` between them for
+/// `run_seconds`, under `mode` ("block" or "shed").
+fn run_level(
+    root: &std::path::Path,
+    multiplier: f64,
+    offered_rps: f64,
+    run_seconds: f64,
+    shed: bool,
+) -> Row {
+    let mode = if shed { "shed" } else { "block" };
+    let server =
+        server_for(root, if shed { ShedPolicy::RejectWhenFull } else { ShedPolicy::Block });
+
+    let interval = Duration::from_secs_f64(CLIENTS as f64 / offered_rps);
+    let per_client = (offered_rps * run_seconds / CLIENTS as f64).ceil() as usize;
+    let t_wall = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let input = request_input(c as u64);
+                // Stagger client phases so the aggregate arrival process is
+                // near-uniform rather than CLIENTS-sized bursts.
+                let start = Instant::now() + interval.mul_f64(c as f64 / CLIENTS as f64);
+                let mut lat_ms = Vec::with_capacity(per_client);
+                let (mut shed_n, mut expired_n) = (0u64, 0u64);
+                for i in 0..per_client {
+                    let intended = start + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if intended > now {
+                        std::thread::sleep(intended - now);
+                    }
+                    let pending: Result<PendingForecast, ServeError> = if shed {
+                        server.try_submit_deadline(
+                            TASK,
+                            input.clone(),
+                            Duration::from_millis(TTL_MS),
+                        )
+                    } else {
+                        server.submit_async(TASK, input.clone())
+                    };
+                    let reply: Result<Forecast, ServeError> = match pending {
+                        Ok(p) => p.wait(),
+                        Err(e) => Err(e),
+                    };
+                    match reply {
+                        Ok(_) => lat_ms.push(intended.elapsed().as_secs_f64() * 1e3),
+                        Err(ServeError::Overloaded { .. }) => shed_n += 1,
+                        Err(ServeError::DeadlineExceeded) => expired_n += 1,
+                        Err(e) => panic!("unexpected serving error under load: {e}"),
+                    }
+                }
+                (lat_ms, shed_n, expired_n)
+            })
+        })
+        .collect();
+
+    let mut lat_ms = Vec::new();
+    let (mut shed_n, mut expired_n) = (0u64, 0u64);
+    for h in handles {
+        let (l, s, d) = h.join().expect("load client");
+        lat_ms.extend(l);
+        shed_n += s;
+        expired_n += d;
+    }
+    let wall = t_wall.elapsed().as_secs_f64();
+    lat_ms.sort_by(f64::total_cmp);
+    let completed = lat_ms.len() as u64;
+    assert!(completed > 0, "mode {mode} at {multiplier}x completed zero requests");
+    let row = Row {
+        multiplier,
+        mode,
+        offered_rps,
+        completed,
+        shed: shed_n,
+        deadline_expired: expired_n,
+        goodput_rps: completed as f64 / wall,
+        p50_ms: pct(&lat_ms, 0.50),
+        p99_ms: pct(&lat_ms, 0.99),
+        wall_s: wall,
+    };
+    eprintln!(
+        "[{multiplier}x {mode:>5}] offered {:>6.0} rps | goodput {:>6.0} rps | p50 {:>8.2}ms \
+         p99 {:>8.2}ms | shed {} expired {} (wall {:.1}s)",
+        row.offered_rps,
+        row.goodput_rps,
+        row.p50_ms,
+        row.p99_ms,
+        row.shed,
+        row.deadline_expired,
+        row.wall_s
+    );
+    row
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let run_seconds = if quick { 0.4 } else { 1.5 };
+    let calib_requests = if quick { 40 } else { 150 };
+
+    let space = JointSpace::tiny();
+    let ah = space.sample(&mut ChaCha8Rng::seed_from_u64(7));
+    let adj = Adjacency::identity(N);
+    let dims = ModelDims { n: N, f: F, p: P, out_steps: OUT };
+    let mut fc = Forecaster::new(ah, dims, &adj, 1);
+    fc.training = false;
+    fc.predict(&Tensor::zeros([1, F, N, P]));
+    let model_params = fc.num_params();
+
+    let root = std::env::temp_dir().join(format!("octs_overload_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let registry = ModelRegistry::open(&root).expect("open registry");
+    let mut ckpt = ServableCheckpoint::new(TASK, &fc, &adj, 1);
+    registry.publish(&mut ckpt).expect("publish overload model");
+    drop(registry);
+
+    let capacity = calibrate(&root, calib_requests);
+    eprintln!("calibrated capacity: {capacity:.0} rps ({model_params} params, {CLIENTS} clients)");
+
+    let mut rows = Vec::new();
+    for &m in &[1.0f64, 2.0, 4.0] {
+        for &shed in &[false, true] {
+            rows.push(run_level(&root, m, m * capacity, run_seconds, shed));
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+
+    // The resilience reference point: shed-mode p99 at 1× offered load.
+    let baseline_p99 =
+        rows.iter().find(|r| r.multiplier == 1.0 && r.mode == "shed").map(|r| r.p99_ms).unwrap();
+
+    let report = Report {
+        quick,
+        model_params,
+        capacity_rps: capacity,
+        clients: CLIENTS,
+        queue_depth: QUEUE_DEPTH,
+        ttl_ms: TTL_MS,
+        run_seconds,
+        baseline_p99_ms: baseline_p99,
+        rows,
+        note: "open-loop offered load at 1x/2x/4x closed-loop capacity; latency measured from \
+               intended send time (coordinated-omission safe); block = Block policy, shed = \
+               RejectWhenFull + per-request deadline; p99 is over completed requests only, with \
+               shed/deadline_expired counts reported alongside"
+            .to_string(),
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_serving_overload.json", &json)
+        .expect("write BENCH_serving_overload.json");
+    println!("wrote BENCH_serving_overload.json");
+
+    // Gates. Quick mode (CI smoke on noisy shared runners) only checks the
+    // run terminates with nonzero goodput and balanced books — the no-hang
+    // property. The full run holds the resilience bar from the issue: at
+    // >=2x capacity, shedding keeps completed-request p99 within 2x the
+    // 1x-load p99, and the block-only baseline does not.
+    for row in &report.rows {
+        assert!(row.goodput_rps > 0.0, "{} at {}x has zero goodput", row.mode, row.multiplier);
+        assert!(row.p99_ms.is_finite(), "{} at {}x has non-finite p99", row.mode, row.multiplier);
+    }
+    if !quick {
+        for row in report.rows.iter().filter(|r| r.multiplier >= 2.0) {
+            if row.mode == "shed" {
+                assert!(
+                    row.p99_ms <= 2.0 * baseline_p99,
+                    "shed p99 {:.2}ms at {}x exceeds 2x the 1x baseline ({:.2}ms)",
+                    row.p99_ms,
+                    row.multiplier,
+                    baseline_p99
+                );
+                assert!(
+                    row.shed + row.deadline_expired > 0,
+                    "shed mode at {}x shed nothing — overload never materialized",
+                    row.multiplier
+                );
+            } else {
+                assert!(
+                    row.p99_ms > 2.0 * baseline_p99,
+                    "block p99 {:.2}ms at {}x unexpectedly within 2x the baseline ({:.2}ms) — \
+                     offered load too low to demonstrate overload",
+                    row.p99_ms,
+                    row.multiplier,
+                    baseline_p99
+                );
+            }
+        }
+    }
+}

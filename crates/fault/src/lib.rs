@@ -23,6 +23,10 @@
 //!   layer's quarantine.
 //! - **(site, op)** for IO faults ([`FaultPlan::io_error`]) — e.g. the `k`-th
 //!   journal append fails, simulating a crash at that journal boundary.
+//! - **(site, op)** for forward faults ([`FaultPlan::panic_at`],
+//!   [`FaultPlan::nan_at`]) — the `k`-th batched forward at a serving site
+//!   (e.g. `serve.forward.<task>`) panics mid-flight or emits non-finite
+//!   output, exercising the lane's batch isolation and circuit breaker.
 //! - **epoch** for transient comparator pre-training NaNs
 //!   ([`FaultPlan::pretrain_nan`]) — consumed once, so the rollback + retry
 //!   path is seen to recover.
@@ -80,6 +84,14 @@ pub struct FaultPlan {
     /// e.g. `("registry.load", 0)` makes the first checkpoint load slow, the
     /// latency-degradation sibling of [`FaultPlan::io_error`].
     pub io_delays: BTreeMap<(String, u64), u64>,
+    /// Forward-site panics keyed by `(site, op index)`: the `op`-th guarded
+    /// forward at `site` panics mid-flight. Each ordinal occurs at most once
+    /// per site counter, so these fire at most once by construction.
+    pub site_panics: BTreeSet<(String, u64)>,
+    /// One-shot non-finite-output injections keyed by `(site, op index)`:
+    /// the `op`-th guarded forward at `site` reports garbage output, the
+    /// numeric-poisoning sibling of [`FaultPlan::panic_at`].
+    pub site_nans: BTreeSet<(String, u64)>,
 }
 
 impl FaultPlan {
@@ -133,10 +145,32 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a panic in the `op`-th guarded forward at `site`.
+    pub fn panic_at(mut self, site: &str, op: u64) -> Self {
+        self.site_panics.insert((site.to_string(), op));
+        self
+    }
+
+    /// Schedules non-finite output from the `op`-th guarded forward at
+    /// `site` (consumed on fire).
+    pub fn nan_at(mut self, site: &str, op: u64) -> Self {
+        self.site_nans.insert((site.to_string(), op));
+        self
+    }
+
     /// A seeded random plan over `n_units` labelling units: `n_nan` distinct
     /// units diverge with NaN losses (at epoch 0) and `n_panic` further
-    /// distinct units panic. Fully determined by `seed`.
-    pub fn seeded(seed: u64, n_units: u64, n_nan: usize, n_panic: usize) -> Self {
+    /// distinct units panic. For every registered IO site `(name, n_ops)` in
+    /// `io_sites`, one IO error and one IO delay (1–15 ms) are drawn from the
+    /// site's first `n_ops` operation ordinals, so seeded chaos plans cover
+    /// the IO paths too. Fully determined by `seed` and the site list.
+    pub fn seeded(
+        seed: u64,
+        n_units: u64,
+        n_nan: usize,
+        n_panic: usize,
+        io_sites: &[(&str, u64)],
+    ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut units: Vec<u64> = (0..n_units).collect();
         units.shuffle(&mut rng);
@@ -151,6 +185,15 @@ impl FaultPlan {
             if let Some(u) = it.next() {
                 plan.panic_units.insert(u);
             }
+        }
+        for &(site, n_ops) in io_sites {
+            if n_ops == 0 {
+                continue;
+            }
+            use rand::Rng;
+            plan.io_faults.insert((site.to_string(), rng.gen_range(0..n_ops)));
+            let op = rng.gen_range(0..n_ops);
+            plan.io_delays.insert((site.to_string(), op), rng.gen_range(1..=15));
         }
         plan
     }
@@ -304,6 +347,30 @@ pub fn io_fault(site: &str, op: u64) -> std::io::Result<()> {
     }
 }
 
+/// Hook for guarded forwards (e.g. a serving lane's batched predict):
+/// panics with [`InjectedPanic`] when the `op`-th forward at `site` is
+/// scheduled to fail. Call inside the `catch_unwind` that isolates the
+/// forward, so the injected panic exercises the real recovery path.
+pub fn maybe_panic_site(site: &str, op: u64) {
+    if !armed() {
+        return;
+    }
+    if with_plan(|p| p.site_panics.contains(&(site.to_string(), op))).unwrap_or(false) {
+        std::panic::panic_any(InjectedPanic { unit: op });
+    }
+}
+
+/// Hook for guarded forwards: true when the `op`-th forward at `site` is
+/// scheduled to produce non-finite output (consumed on fire). The caller is
+/// responsible for actually poisoning its output so the downstream finite
+/// check fails the way a genuinely garbage forward would.
+pub fn nan_at_site(site: &str, op: u64) -> bool {
+    if !armed() {
+        return false;
+    }
+    with_plan(|p| p.site_nans.remove(&(site.to_string(), op))).unwrap_or(false)
+}
+
 /// Hook for persistence layers: sleeps for a scheduled IO delay at
 /// `(site, op)` exactly once (consumed), a no-op otherwise. Callers time the
 /// surrounding operation as usual, so an injected delay surfaces in the same
@@ -351,6 +418,8 @@ mod tests {
         maybe_panic_compare(3);
         assert!(!pretrain_nan(0));
         assert!(io_fault("journal.append", 0).is_ok());
+        maybe_panic_site("serve.forward.t", 0);
+        assert!(!nan_at_site("serve.forward.t", 0));
     }
 
     #[test]
@@ -425,14 +494,54 @@ mod tests {
 
     #[test]
     fn seeded_plans_are_deterministic_and_disjoint() {
-        let a = FaultPlan::seeded(9, 32, 2, 3);
-        let b = FaultPlan::seeded(9, 32, 2, 3);
+        let a = FaultPlan::seeded(9, 32, 2, 3, &[]);
+        let b = FaultPlan::seeded(9, 32, 2, 3, &[]);
         assert_eq!(a, b);
         assert_eq!(a.nan_loss_units.len(), 2);
         assert_eq!(a.panic_units.len(), 3);
         for u in a.nan_loss_units.keys() {
             assert!(!a.panic_units.contains(u), "unit {u} scheduled twice");
         }
-        assert_ne!(a, FaultPlan::seeded(10, 32, 2, 3));
+        assert!(a.io_faults.is_empty() && a.io_delays.is_empty(), "no sites registered");
+        assert_ne!(a, FaultPlan::seeded(10, 32, 2, 3, &[]));
+    }
+
+    #[test]
+    fn seeded_plans_cover_registered_io_sites_deterministically() {
+        let sites: &[(&str, u64)] = &[("registry.load", 6), ("journal.append", 10)];
+        let a = FaultPlan::seeded(21, 16, 1, 1, sites);
+        let b = FaultPlan::seeded(21, 16, 1, 1, sites);
+        assert_eq!(a, b, "same seed and sites must give the same plan");
+        for &(site, n_ops) in sites {
+            assert!(
+                a.io_faults.iter().any(|(s, op)| s == site && *op < n_ops),
+                "site {site} got no IO error in range"
+            );
+            assert!(
+                a.io_delays.iter().any(|((s, op), ms)| s == site && *op < n_ops && *ms >= 1),
+                "site {site} got no IO delay in range"
+            );
+        }
+        assert_ne!(a, FaultPlan::seeded(22, 16, 1, 1, sites), "seed changes the plan");
+        assert!(
+            FaultPlan::seeded(21, 16, 1, 1, &[("registry.load", 0)]).io_faults.is_empty(),
+            "a zero-op site registers nothing"
+        );
+    }
+
+    #[test]
+    fn site_panics_and_nans_fire_at_their_ordinal() {
+        let plan = FaultPlan::new().panic_at("serve.forward.t", 2).nan_at("serve.forward.t", 4);
+        let _scope = FaultScope::activate(plan);
+
+        maybe_panic_site("serve.forward.t", 1); // not scheduled
+        maybe_panic_site("serve.forward.u", 2); // other site
+        let err = std::panic::catch_unwind(|| maybe_panic_site("serve.forward.t", 2)).unwrap_err();
+        assert_eq!(err.downcast_ref::<InjectedPanic>(), Some(&InjectedPanic { unit: 2 }));
+
+        assert!(!nan_at_site("serve.forward.t", 3));
+        assert!(!nan_at_site("serve.forward.u", 4));
+        assert!(nan_at_site("serve.forward.t", 4));
+        assert!(!nan_at_site("serve.forward.t", 4), "one-shot: consumed");
     }
 }

@@ -122,6 +122,11 @@ impl Summary {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// Aggregate of histogram `name`, when any sample was observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistAgg> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
 }
 
 struct Inner {

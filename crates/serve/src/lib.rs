@@ -27,18 +27,42 @@
 //! (NaN weights, corrupt envelope, injected IO fault) leaves the current
 //! model serving: graceful degradation, reported via `serve.swap_failed`.
 //!
+//! Resilience (the overload/fault half):
+//!
+//! - **Admission control** — a [`ShedPolicy`] on [`BatchPolicy`] decides what
+//!   a submit does when the lane queue is full: block (backpressure),
+//!   reject the new request ([`ServeError::Overloaded`]), or shed the oldest
+//!   queued one. [`TaskLane::try_submit`] never blocks regardless of policy.
+//! - **Deadlines** — requests may carry a time-to-live; the batcher answers
+//!   expired jobs [`ServeError::DeadlineExceeded`] at dequeue instead of
+//!   computing forecasts nobody is waiting for, and
+//!   [`PendingForecast::wait_timeout`] bounds the client-side wait.
+//! - **Self-healing lanes** — every forward runs under `catch_unwind` plus a
+//!   finite-output check, so a poisoned batch fails only itself
+//!   ([`ServeError::ForwardFailed`]); consecutive failures trip a per-lane
+//!   circuit breaker that sheds with [`ServeError::CircuitOpen`] during
+//!   exponential backoff, re-loads the model from the registry
+//!   (transient IO errors retried), and closes again after a successful
+//!   one-request half-open probe.
+//!
 //! Observability: `serve.queue_wait_us`, `serve.batch_size` and
-//! `serve.e2e_us` histograms plus `serve.requests` / `serve.batches`
-//! counters flow through `octs-obs` whenever a recorder is attached. Fault
-//! injection: `octs-fault` hooks at the `registry.load` site cover slow and
-//! failed checkpoint loads.
+//! `serve.e2e_us` histograms plus `serve.requests` / `serve.batches` /
+//! `serve.shed` / `serve.deadline_expired` / `serve.breaker_open` /
+//! `serve.breaker_close` / `serve.lane_restart` counters flow through
+//! `octs-obs` whenever a recorder is attached. Fault injection: `octs-fault`
+//! hooks at the `registry.load` site cover slow and failed checkpoint loads,
+//! and the task-qualified `serve.forward.<task>` site covers slow, panicking
+//! and NaN-emitting forwards.
 
 mod batcher;
 mod model;
 mod registry;
 mod server;
 
-pub use batcher::{BatchPolicy, Forecast, PendingForecast, TaskLane};
+pub use batcher::{
+    forward_fault_site, BatchPolicy, Forecast, PendingForecast, Reloader, ShedPolicy, TaskLane,
+    FORWARD_FAULT_SITE,
+};
 pub use model::{ServableCheckpoint, ServableModel, SERVABLE_VERSION};
 pub use registry::ModelRegistry;
 pub use server::ForecastServer;
@@ -79,6 +103,36 @@ pub enum ServeError {
     /// The lane's worker is gone (server shut down while the request was
     /// queued or in flight).
     Shutdown,
+    /// The lane's queue was full and the request was shed under the lane's
+    /// [`ShedPolicy`] — either this request was rejected at admission, or it
+    /// was the oldest queued one when a `DropOldest` lane admitted a newer
+    /// request.
+    Overloaded {
+        /// Task whose lane shed the request.
+        task: String,
+        /// The lane's configured queue bound at the time.
+        queue_depth: usize,
+    },
+    /// The request's deadline passed — either the batcher dropped it at
+    /// dequeue (its time-to-live expired while queued) or
+    /// [`PendingForecast::wait_timeout`] gave up waiting for the reply.
+    DeadlineExceeded,
+    /// The lane's circuit breaker is open: too many consecutive forwards
+    /// failed, and the lane is rejecting work while it backs off, re-loads
+    /// its model and probes its way back to healthy.
+    CircuitOpen {
+        /// Task whose lane is tripped.
+        task: String,
+    },
+    /// The batched forward this request rode in failed — it panicked or
+    /// produced non-finite output. Only the batch failed; the lane keeps
+    /// serving (or trips its breaker after repeated failures).
+    ForwardFailed {
+        /// Task whose forward failed.
+        task: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -98,6 +152,16 @@ impl std::fmt::Display for ServeError {
                 write!(f, "request shape {got:?} does not match model input {expected:?}")
             }
             ServeError::Shutdown => write!(f, "serving lane is shut down"),
+            ServeError::Overloaded { task, queue_depth } => {
+                write!(f, "task {task:?} lane is overloaded (queue depth {queue_depth})")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::CircuitOpen { task } => {
+                write!(f, "task {task:?} lane circuit breaker is open")
+            }
+            ServeError::ForwardFailed { task, detail } => {
+                write!(f, "task {task:?} forward failed: {detail}")
+            }
         }
     }
 }

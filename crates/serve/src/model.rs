@@ -111,3 +111,13 @@ impl ServableModel {
         self.fc.predict(&x).unstack()
     }
 }
+
+/// The post-forward half of the poisoned-model tripwire: every served
+/// forecast must be finite. Returns the failure detail so the batcher can
+/// reply [`ServeError::ForwardFailed`] and feed its circuit breaker.
+pub fn validate_outputs(outputs: &[Tensor]) -> Result<(), String> {
+    match outputs.iter().position(|t| !t.all_finite()) {
+        None => Ok(()),
+        Some(i) => Err(format!("non-finite forecast in batch row {i}")),
+    }
+}

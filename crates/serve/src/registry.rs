@@ -124,4 +124,30 @@ impl ModelRegistry {
             .ok_or_else(|| ServeError::NoSuchVersion { task: task.to_string(), version: 0 })?;
         self.load(task, version)
     }
+
+    /// [`ModelRegistry::load_latest`] with retry-with-backoff on transient
+    /// IO failures (the `io_error` class a flaky disk — or the `octs-fault`
+    /// `registry.load` site — produces). Up to `attempts` tries, waiting
+    /// `backoff` then doubling between them; any non-IO error (missing
+    /// version, corrupt envelope, poisoned payload) fails immediately. This
+    /// is the load path a lane's circuit breaker heals through.
+    pub fn load_latest_retry(
+        &self,
+        task: &str,
+        attempts: usize,
+        mut backoff: std::time::Duration,
+    ) -> Result<ServableCheckpoint, ServeError> {
+        let mut tries = 0;
+        loop {
+            tries += 1;
+            match self.load_latest(task) {
+                Err(ServeError::Core(CoreError::Io { .. })) if tries < attempts.max(1) => {
+                    octs_obs::counter("serve.reload_retry", 1);
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+    }
 }

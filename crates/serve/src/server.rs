@@ -1,18 +1,21 @@
 //! The multi-task front door: routes requests to per-task lanes and drives
 //! registry reloads with graceful degradation.
 
-use crate::batcher::{BatchPolicy, Forecast, PendingForecast, TaskLane};
+use crate::batcher::{BatchPolicy, Forecast, PendingForecast, Reloader, TaskLane};
 use crate::model::ServableModel;
 use crate::registry::ModelRegistry;
 use crate::ServeError;
 use octs_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Serves forecasts for many tasks concurrently, one [`TaskLane`] per task,
-/// all backed by one [`ModelRegistry`].
+/// all backed by one [`ModelRegistry`]. The registry is shared with every
+/// lane's circuit breaker, which heals by re-loading the task's latest
+/// checkpoint (with retry on transient IO failures).
 pub struct ForecastServer {
-    registry: ModelRegistry,
+    registry: Arc<ModelRegistry>,
     policy: BatchPolicy,
     lanes: Mutex<BTreeMap<String, Arc<TaskLane>>>,
 }
@@ -20,7 +23,7 @@ pub struct ForecastServer {
 impl ForecastServer {
     /// A server answering from `registry` with `policy` on every lane.
     pub fn new(registry: ModelRegistry, policy: BatchPolicy) -> Self {
-        Self { registry, policy, lanes: Mutex::new(BTreeMap::new()) }
+        Self { registry: Arc::new(registry), policy, lanes: Mutex::new(BTreeMap::new()) }
     }
 
     /// The backing registry (e.g. for publishing new versions in tests).
@@ -38,8 +41,26 @@ impl ForecastServer {
         }
         let model = ServableModel::from_checkpoint(self.registry.load_latest(task)?)?;
         let version = model.version;
-        lanes.insert(task.to_string(), Arc::new(TaskLane::spawn(model, self.policy)));
+        let reloader = self.reloader(task);
+        lanes.insert(
+            task.to_string(),
+            Arc::new(TaskLane::spawn_with_reloader(model, self.policy, Some(reloader))),
+        );
         Ok(version)
+    }
+
+    /// The heal path a lane's circuit breaker uses: re-load the task's
+    /// latest checkpoint, retrying transient IO failures with backoff.
+    fn reloader(&self, task: &str) -> Reloader {
+        let registry = Arc::clone(&self.registry);
+        let task = task.to_string();
+        let attempts = self.policy.reload_retries;
+        let backoff = self.policy.reload_backoff;
+        Arc::new(move || {
+            registry
+                .load_latest_retry(&task, attempts, backoff)
+                .and_then(ServableModel::from_checkpoint)
+        })
     }
 
     /// Tasks currently being served.
@@ -56,6 +77,11 @@ impl ForecastServer {
         self.lanes.lock().unwrap_or_else(|e| e.into_inner()).get(task).cloned()
     }
 
+    fn lane_or_err(&self, task: &str) -> Result<Arc<TaskLane>, ServeError> {
+        self.lane(task)
+            .ok_or_else(|| ServeError::NoSuchVersion { task: task.to_string(), version: 0 })
+    }
+
     /// Reloads `task` from the registry's latest checkpoint and hot-swaps it
     /// into the lane.
     ///
@@ -64,9 +90,7 @@ impl ForecastServer {
     /// serving its current version, a `serve.swap_failed` event is emitted,
     /// and the error is returned for the operator to act on.
     pub fn reload(&self, task: &str) -> Result<u32, ServeError> {
-        let lane = self
-            .lane(task)
-            .ok_or_else(|| ServeError::NoSuchVersion { task: task.to_string(), version: 0 })?;
+        let lane = self.lane_or_err(task)?;
         let model =
             self.registry.load_latest(task).and_then(ServableModel::from_checkpoint).inspect_err(
                 |e| {
@@ -84,13 +108,52 @@ impl ForecastServer {
         self.submit_async(task, input)?.wait()
     }
 
-    /// Submits a forecast request without waiting for the result. Blocks
-    /// only when the task's queue is full (backpressure).
+    /// Submits a forecast request without waiting for the result. When the
+    /// task's queue is full the lane's [`crate::ShedPolicy`] decides: block
+    /// for space (`Block`, the default), resolve the handle to
+    /// [`ServeError::Overloaded`] (`RejectWhenFull`), or shed the oldest
+    /// queued request (`DropOldest`).
     pub fn submit_async(&self, task: &str, input: Tensor) -> Result<PendingForecast, ServeError> {
-        let lane = self
-            .lane(task)
-            .ok_or_else(|| ServeError::NoSuchVersion { task: task.to_string(), version: 0 })?;
-        Ok(lane.submit_async(input))
+        Ok(self.lane_or_err(task)?.submit_async(input))
+    }
+
+    /// [`ForecastServer::submit_async`] with a dequeue deadline of `ttl`
+    /// from now: a request still queued past it is answered
+    /// [`ServeError::DeadlineExceeded`] instead of being computed.
+    pub fn submit_async_deadline(
+        &self,
+        task: &str,
+        input: Tensor,
+        ttl: Duration,
+    ) -> Result<PendingForecast, ServeError> {
+        Ok(self.lane_or_err(task)?.submit_async_deadline(input, ttl))
+    }
+
+    /// Admission-controlled submit that never blocks: a full queue rejects
+    /// with [`ServeError::Overloaded`] even under the `Block` policy.
+    pub fn try_submit(&self, task: &str, input: Tensor) -> Result<PendingForecast, ServeError> {
+        self.lane_or_err(task)?.try_submit(input)
+    }
+
+    /// [`ForecastServer::try_submit`] with a dequeue deadline of `ttl` from
+    /// now.
+    pub fn try_submit_deadline(
+        &self,
+        task: &str,
+        input: Tensor,
+        ttl: Duration,
+    ) -> Result<PendingForecast, ServeError> {
+        self.lane_or_err(task)?.try_submit_deadline(input, ttl)
+    }
+
+    /// Stops accepting new requests on every lane: queued requests still
+    /// drain, later submits fail promptly with [`ServeError::Shutdown`].
+    /// Unlike [`ForecastServer::shutdown`] this does not consume the server,
+    /// so outstanding [`PendingForecast`] handles can still be waited on.
+    pub fn stop(&self) {
+        for lane in self.lanes.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            lane.close();
+        }
     }
 
     /// Stops all lanes, waiting for queued requests to drain.

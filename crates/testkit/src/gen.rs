@@ -123,6 +123,55 @@ impl Gen {
         }
         plan
     }
+
+    /// A fault plan over a serving lane: a generated mix of forward panics,
+    /// NaN forward outputs, and slow forwards at `forward_site` (ordinals in
+    /// `0..n_forwards`), plus one-shot IO failures and delays at `io_site`
+    /// (ordinals in `io_lo..io_hi` — lets callers exempt the ops a lane
+    /// start-up is known to consume). Always injects at least one forward
+    /// fault so a chaos run exercises the breaker path.
+    pub fn serve_fault_plan(
+        &mut self,
+        forward_site: &str,
+        n_forwards: u64,
+        io_site: &str,
+        io_lo: u64,
+        io_hi: u64,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let mut injected = false;
+        for op in 0..n_forwards {
+            match self.usize_in(0, 7) {
+                0 => {
+                    plan = plan.panic_at(forward_site, op);
+                    injected = true;
+                }
+                1 => {
+                    plan = plan.nan_at(forward_site, op);
+                    injected = true;
+                }
+                2 => plan = plan.slow_io(forward_site, op, self.rng.gen_range(1..=5)),
+                _ => {}
+            }
+        }
+        if !injected && n_forwards > 0 {
+            let op = self.rng.gen_range(0..n_forwards);
+            plan = if self.flip() {
+                plan.panic_at(forward_site, op)
+            } else {
+                plan.nan_at(forward_site, op)
+            };
+        }
+        if io_hi > io_lo {
+            if self.flip() {
+                plan = plan.io_error(io_site, self.rng.gen_range(io_lo..io_hi));
+            }
+            if self.flip() {
+                plan = plan.slow_io(io_site, self.rng.gen_range(io_lo..io_hi), 1);
+            }
+        }
+        plan
+    }
 }
 
 /// Greedy shrinking: starting from a failing `value`, repeatedly replace it
@@ -180,6 +229,21 @@ pub fn smaller_fault_plans(plan: &FaultPlan) -> Vec<FaultPlan> {
     for fault in plan.io_faults.iter() {
         let mut p = plan.clone();
         p.io_faults.remove(fault);
+        out.push(p);
+    }
+    for key in plan.io_delays.keys() {
+        let mut p = plan.clone();
+        p.io_delays.remove(key);
+        out.push(p);
+    }
+    for fault in plan.site_panics.iter() {
+        let mut p = plan.clone();
+        p.site_panics.remove(fault);
+        out.push(p);
+    }
+    for fault in plan.site_nans.iter() {
+        let mut p = plan.clone();
+        p.site_nans.remove(fault);
         out.push(p);
     }
     out

@@ -42,6 +42,18 @@ def bench_digest(name, r):
             for row in r.get("levels", [])
         )
         return f"batched/unbatched throughput {levels}; best {r.get('best_ratio', 0):.2f}x"
+    if name == "BENCH_serving_overload.json":
+        by = {(row["multiplier"], row["mode"]): row for row in r.get("rows", [])}
+        parts = []
+        for m in sorted({k[0] for k in by}):
+            b, s = by.get((m, "block")), by.get((m, "shed"))
+            if b and s:
+                parts.append(
+                    f"{m:g}x: block p99 {b['p99_ms']:.0f}ms vs shed p99 {s['p99_ms']:.1f}ms "
+                    f"(shed {s['shed']}, expired {s['deadline_expired']})"
+                )
+        return (f"capacity {r.get('capacity_rps', 0):.0f} rps; " + "; ".join(parts)
+                + f"; 1x-load p99 baseline {r.get('baseline_p99_ms', 0):.1f}ms")
     if name == "BENCH_search_trace.json":
         return (f"tracing overhead {r.get('overhead_pct', 0):+.2f}%, "
                 f"embed cache {r.get('embed_cache_hit_rate', 0):.1%}, "
