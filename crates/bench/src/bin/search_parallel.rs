@@ -5,6 +5,13 @@
 //! order is byte-identical across worker counts, and records wall-clock,
 //! speedup and embedding-cache hit rates to `BENCH_search_parallel.json`.
 //!
+//! Every row is annotated with the host's effective core budget
+//! (`min(threads, available_parallelism)`): a row whose thread count exceeds
+//! the physical cores measures oversubscription overhead, not scaling, so
+//! the speedup gate (`> 1.0x`) applies only to rows that both run more than
+//! one thread *and* fit the machine — and never in `--quick` mode, whose
+//! workload is too small for stable timing.
+//!
 //! ```sh
 //! cargo run --release --bin search_parallel            # k_s = 2048
 //! cargo run --release --bin search_parallel -- --quick # k_s = 256
@@ -21,6 +28,10 @@ use std::time::Instant;
 #[derive(Serialize)]
 struct ThreadRun {
     threads: usize,
+    /// `min(threads, available cores)` — what this row can actually use.
+    effective_cores: usize,
+    /// Whether the `speedup > 1.0x` gate applies to this row.
+    gate_applied: bool,
     tournament_secs: f64,
     speedup_vs_serial: f64,
     topk_identical_to_serial: bool,
@@ -32,6 +43,10 @@ struct ThreadRun {
 #[derive(Serialize)]
 struct EvolveRun {
     threads: usize,
+    /// `min(threads, available cores)` — what this row can actually use.
+    effective_cores: usize,
+    /// Whether the `speedup > 1.0x` gate applies to this row.
+    gate_applied: bool,
     evolve_secs: f64,
     speedup_vs_serial: f64,
     top_identical_to_serial: bool,
@@ -71,6 +86,12 @@ fn main() {
         thread_counts.push(cores);
     }
 
+    // Untimed warm-up: fault in the allocator pools and code paths so the
+    // serial row (measured first) is not charged one-time start-up costs.
+    set_threads(1);
+    tournament_rank(&tahc, None, &candidates, 1, 7);
+    tahc.invalidate_caches();
+
     // --- K_s seeding tournament under each worker count -------------------
     let mut tournament = Vec::new();
     let mut serial_secs = 0.0f64;
@@ -88,6 +109,8 @@ fn main() {
         }
         let run = ThreadRun {
             threads,
+            effective_cores: threads.min(cores),
+            gate_applied: !quick && threads > 1 && threads <= cores,
             tournament_secs: secs,
             speedup_vs_serial: serial_secs / secs,
             topk_identical_to_serial: order == serial_order,
@@ -96,10 +119,13 @@ fn main() {
             embed_cache_hit_rate: stats.hit_rate(),
         };
         eprintln!(
-            "[tournament] threads={} {:.3}s speedup={:.2}x identical={} cache hit rate {:.3}",
+            "[tournament] threads={} cores={} {:.3}s speedup={:.2}x gated={} identical={} \
+             cache hit rate {:.3}",
             threads,
+            run.effective_cores,
             secs,
             run.speedup_vs_serial,
+            run.gate_applied,
             run.topk_identical_to_serial,
             stats.hit_rate()
         );
@@ -123,13 +149,20 @@ fn main() {
         }
         let run = EvolveRun {
             threads,
+            effective_cores: threads.min(cores),
+            gate_applied: !quick && threads > 1 && threads <= cores,
             evolve_secs: secs,
             speedup_vs_serial: serial_evolve / secs,
             top_identical_to_serial: top == serial_top,
         };
         eprintln!(
-            "[evolve]     threads={} {:.3}s speedup={:.2}x identical={}",
-            threads, secs, run.speedup_vs_serial, run.top_identical_to_serial
+            "[evolve]     threads={} cores={} {:.3}s speedup={:.2}x gated={} identical={}",
+            threads,
+            run.effective_cores,
+            secs,
+            run.speedup_vs_serial,
+            run.gate_applied,
+            run.top_identical_to_serial
         );
         evolve.push(run);
     }
@@ -140,7 +173,9 @@ fn main() {
         tournament_rounds: rounds,
         available_cores: cores,
         note: format!(
-            "measured on a {cores}-core host; parallel speedup requires >= 2 cores, while the \
+            "measured on a {cores}-core host; rows with threads > effective_cores oversubscribe \
+             the machine and measure scheduling overhead, not scaling, so the speedup gate \
+             applies only to rows with gate_applied=true (threads <= cores, non-quick); the \
              embedding memoization (hit-rate column) cuts GIN forwards regardless of cores"
         ),
         tournament,
@@ -153,4 +188,29 @@ fn main() {
     let all_identical = report.tournament.iter().all(|r| r.topk_identical_to_serial)
         && report.evolve.iter().all(|r| r.top_identical_to_serial);
     assert!(all_identical, "rankings must be byte-identical across thread counts");
+
+    for r in &report.tournament {
+        assert!(
+            !r.gate_applied || r.speedup_vs_serial > 1.0,
+            "tournament with {} thread(s) on {} core(s) must beat serial, got {:.2}x",
+            r.threads,
+            r.effective_cores,
+            r.speedup_vs_serial
+        );
+    }
+    for r in &report.evolve {
+        assert!(
+            !r.gate_applied || r.speedup_vs_serial > 1.0,
+            "evolve with {} thread(s) on {} core(s) must beat serial, got {:.2}x",
+            r.threads,
+            r.effective_cores,
+            r.speedup_vs_serial
+        );
+    }
+    if cores < 2 {
+        eprintln!(
+            "note: {cores}-core host — every multi-thread row is oversubscribed, so no \
+             scaling claim is made or gated; re-run on a multi-core host to measure speedup"
+        );
+    }
 }

@@ -10,11 +10,11 @@
 
 use crate::error::SearchError;
 use crate::evolve::{evolve_search, EvolveConfig};
-use octs_comparator::{label_one, LabeledAh, Tahc, TahcConfig};
+use crate::fidelity::{train_finalists, train_pairwise_comparator};
+use octs_comparator::{label_one, LabeledAh, TahcConfig};
 use octs_data::{ForecastTask, Split};
-use octs_model::{train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport};
+use octs_model::{TrainConfig, TrainReport};
 use octs_space::{ArchHyper, JointSpace};
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -167,33 +167,19 @@ pub fn autocts_plus_search_with_pool(
     // 2. Train the plain AHC with dynamic pairing: a(a-1) ordered pairs from
     //    the `a` healthy labelled samples, shuffled fresh each epoch. The
     //    shuffle RNG is its own salted stream, so its draws do not depend on
-    //    how many candidates the sampling stage consumed.
+    //    how many candidates the sampling stage consumed. (Shared with the
+    //    fidelity ladder, which passes several fidelity groups; a single
+    //    group reproduces the historical pair stream byte-for-byte.)
     let t1 = Instant::now();
     let obs_pretrain = octs_obs::span_detail("phase.pretrain", cfg.comparator_epochs.to_string());
-    let mut pair_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC3A7);
-    let mut comparator = Tahc::new(
-        TahcConfig { task_aware: false, ..cfg.comparator },
-        space.hyper.clone(),
+    let comparator = train_pairwise_comparator(
+        space,
+        &cfg.comparator,
+        cfg.comparator_epochs,
         cfg.seed,
+        0xC3A7,
+        &[&healthy],
     );
-    let mut opt = octs_tensor::Adam::new(1e-3, 5e-4);
-    let mut pair_idx: Vec<(usize, usize)> = (0..healthy.len())
-        .flat_map(|i| (0..healthy.len()).map(move |j| (i, j)))
-        .filter(|&(i, j)| i != j && (healthy[i].score - healthy[j].score).abs() > 1e-9)
-        .collect();
-    for _epoch in 0..cfg.comparator_epochs {
-        pair_idx.shuffle(&mut pair_rng);
-        for chunk in pair_idx.chunks(16) {
-            let batch: Vec<_> = chunk
-                .iter()
-                .map(|&(i, j)| {
-                    let y = if healthy[i].score < healthy[j].score { 1.0 } else { 0.0 };
-                    (None, &healthy[i].ah, &healthy[j].ah, y)
-                })
-                .collect();
-            comparator.train_batch(&mut opt, &batch);
-        }
-    }
     drop(obs_pretrain);
     let comparator_time = t1.elapsed();
 
@@ -203,20 +189,7 @@ pub fn autocts_plus_search_with_pool(
     let top = evolve_search(&comparator, None, space, &cfg.evolve);
     drop(obs_rank);
     let obs_final = octs_obs::span_detail("phase.final_train", top.len().to_string());
-    let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
-    let mut best: Option<(ArchHyper, TrainReport)> = None;
-    for (i, ah) in top.into_iter().enumerate() {
-        let mut fc =
-            Forecaster::new(ah.clone(), dims, &task.data.adjacency, cfg.seed ^ (i as u64 + 1));
-        let report = train_forecaster(&mut fc, task, &cfg.final_cfg);
-        let better = match &best {
-            Some((_, b)) => report.best_val_mae < b.best_val_mae,
-            None => true,
-        };
-        if better {
-            best = Some((ah, report));
-        }
-    }
+    let best = train_finalists(task, &cfg.final_cfg, cfg.seed, top);
     drop(obs_final);
     let search_time = t2.elapsed();
     let (best, best_report) = best.expect("top_k >= 1");

@@ -21,6 +21,12 @@ pub enum SearchError {
     /// Every candidate in the pool was quarantined (diverged or panicked);
     /// there is nothing left to rank.
     AllCandidatesQuarantined,
+    /// A successive-halving promotion quota does not shrink monotonically
+    /// (`pool ≥ stage1 ≥ stage2` is required).
+    LadderQuotaNotMonotone {
+        /// Which relation was violated.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for SearchError {
@@ -37,6 +43,9 @@ impl std::fmt::Display for SearchError {
             }
             SearchError::AllCandidatesQuarantined => {
                 write!(f, "every candidate was quarantined (diverged or panicked); nothing to rank")
+            }
+            SearchError::LadderQuotaNotMonotone { what } => {
+                write!(f, "fidelity-ladder quotas must shrink monotonically: {what}")
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Comparator-guided evolutionary search over the joint space (Section 3.3).
 
-use crate::rank::{round_robin_rank, tournament_rank};
+use crate::rank::{round_robin_rank_checked, tournament_rank_checked, RankOutcome};
 use octs_comparator::Tahc;
 use octs_space::{ArchHyper, JointSpace};
 use octs_tensor::Tensor;
@@ -65,11 +65,17 @@ impl EvolveConfig {
 /// population via a sparse tournament, evolve with comparator-judged
 /// survival, and return the Round-Robin top-K of the final population.
 ///
-/// Comparator calls fan out across threads (see [`crate::rank`]); the result
-/// is byte-identical for any `RAYON_NUM_THREADS`, because candidate
-/// generation stays on the master RNG stream and match schedules come from
-/// per-candidate streams. The comparator's embedding cache persists across
-/// generations, so surviving candidates are never re-encoded.
+/// Comparator calls fan out across threads in fixed-size chunks (see
+/// [`crate::rank`] — the evolutionary loop's tiny per-generation round-robins
+/// are exactly the schedules that used to drown in per-item task overhead);
+/// the result is byte-identical for any `RAYON_NUM_THREADS`, because
+/// candidate generation stays on the master RNG stream and match schedules
+/// come from per-candidate streams. The comparator's embedding cache
+/// persists across generations, so surviving candidates are never
+/// re-encoded. Candidates whose comparator evaluation panics are quarantined
+/// by the rankers (never promoted into the surviving population while
+/// healthy candidates remain) and surface through the
+/// `evolve.quarantined` counter.
 pub fn evolve_search(
     tahc: &Tahc,
     prelim: Option<&Tensor>,
@@ -80,11 +86,15 @@ pub fn evolve_search(
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let candidates = space.sample_distinct(cfg.k_s, &mut rng);
     octs_obs::counter("evolve.sampled", candidates.len() as u64);
+    let mut quarantined_total = 0usize;
+    let mut tally = |out: &RankOutcome| quarantined_total += out.quarantined.len();
 
     // Seed population from a cheap tournament ranking.
-    let order = tournament_rank(tahc, prelim, &candidates, cfg.tournament_rounds, cfg.seed ^ 0x70);
+    let seeding =
+        tournament_rank_checked(tahc, prelim, &candidates, cfg.tournament_rounds, cfg.seed ^ 0x70);
+    tally(&seeding);
     let mut population: Vec<ArchHyper> =
-        order.iter().take(cfg.k_p).map(|&i| candidates[i].clone()).collect();
+        seeding.order.iter().take(cfg.k_p).map(|&i| candidates[i].clone()).collect();
 
     for _gen in 0..cfg.generations {
         // Generate offspring.
@@ -102,12 +112,17 @@ pub fn evolve_search(
         }
         population.extend(offspring);
         // Survival: Round-Robin over the (small) population, keep k_p.
-        let order = round_robin_rank(tahc, prelim, &population);
-        population = order.iter().take(cfg.k_p).map(|&i| population[i].clone()).collect();
+        let survival = round_robin_rank_checked(tahc, prelim, &population);
+        tally(&survival);
+        population = survival.order.iter().take(cfg.k_p).map(|&i| population[i].clone()).collect();
     }
 
-    let order = round_robin_rank(tahc, prelim, &population);
-    order.iter().take(cfg.top_k).map(|&i| population[i].clone()).collect()
+    let final_rank = round_robin_rank_checked(tahc, prelim, &population);
+    tally(&final_rank);
+    if quarantined_total > 0 {
+        octs_obs::counter("evolve.quarantined", quarantined_total as u64);
+    }
+    final_rank.order.iter().take(cfg.top_k).map(|&i| population[i].clone()).collect()
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ pub mod autocts_plus;
 pub mod baseline_search;
 pub mod error;
 pub mod evolve;
+pub mod fidelity;
 pub mod rank;
 pub mod zeroshot;
 
@@ -22,8 +23,14 @@ pub use autocts_plus::{
 pub use baseline_search::{grid_search_hpo, random_search, supernet_search, SupernetConfig};
 pub use error::SearchError;
 pub use evolve::{evolve_search, EvolveConfig};
+pub use fidelity::{
+    fidelity_ladder_search, fidelity_ladder_search_with_pool, promote_by_score, LadderConfig,
+    LadderOutcome, StageReport, FULL_FIDELITY_UNIT_BASE,
+};
 pub use rank::{
     round_robin_cost, round_robin_rank, round_robin_rank_checked, tournament_rank,
     tournament_rank_checked, RankOutcome,
 };
-pub use zeroshot::{zero_shot_search, SearchOutcome, SearchTiming};
+pub use zeroshot::{
+    zero_shot_search, zero_shot_search_laddered, FinalistPromotion, SearchOutcome, SearchTiming,
+};

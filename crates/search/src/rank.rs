@@ -11,6 +11,15 @@
 //! schedule order and opponent schedules come from per-candidate RNG streams
 //! derived from the master seed, so rankings are byte-identical for any
 //! thread count.
+//!
+//! Fan-out granularity: probes and matches are batched into fixed-size
+//! chunks, one chunk per rayon task, instead of one task per item. A single
+//! comparator call is microseconds of work, so item-granular fan-out drowned
+//! in scheduling overhead — BENCH_search_parallel.json regressed *below* 1×
+//! with extra threads before chunking. Small schedules (at most one chunk)
+//! skip the parallel runtime entirely, which is what the evolutionary loop's
+//! many tiny round-robins hit. Chunk outputs are collected in schedule
+//! order, so the deterministic top-k contract is untouched.
 
 use octs_comparator::{CacheStats, Tahc};
 use octs_space::ArchHyper;
@@ -20,6 +29,30 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Probes or matches judged by one rayon task. Comparator inference on the
+/// test-sized configs runs in the tens of microseconds, so a batch this size
+/// gives each task hundreds of microseconds of real work — coarse enough
+/// that thread-spawn/scheduling overhead stays in the noise, fine enough
+/// that a `K_s = 2048` tournament still splits into dozens of tasks.
+const RANK_CHUNK: usize = 64;
+
+/// Runs `f(i)` for `i in 0..n`, batched into [`RANK_CHUNK`]-sized chunks
+/// with one rayon task per chunk. Outputs come back in index order (the
+/// vendored rayon's `collect` preserves input order and chunks are
+/// contiguous), so callers observe exactly the serial result. Work that
+/// fits in a single chunk never touches the parallel runtime.
+fn par_chunked<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync + Send) -> Vec<R> {
+    if n <= RANK_CHUNK {
+        return (0..n).map(f).collect();
+    }
+    let starts: Vec<usize> = (0..n).step_by(RANK_CHUNK).collect();
+    let per_chunk: Vec<Vec<R>> = starts
+        .par_iter()
+        .map(|&start| (start..(start + RANK_CHUNK).min(n)).map(&f).collect())
+        .collect();
+    per_chunk.into_iter().flatten().collect()
+}
 
 /// Outcome of a quarantine-aware ranking pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,25 +72,25 @@ pub struct RankOutcome {
 /// unhealthy; because [`Tahc::embedding`] memoizes, a successful probe makes
 /// the subsequent match phase reuse the cached encoding.
 fn probe_candidates(tahc: &Tahc, candidates: &[ArchHyper]) -> Vec<bool> {
-    let idx: Vec<usize> = (0..candidates.len()).collect();
     let instrumented = octs_obs::armed();
-    idx.par_iter()
-        .map(|&i| {
-            let started = instrumented.then(std::time::Instant::now);
-            let ok = catch_unwind(AssertUnwindSafe(|| {
-                octs_fault::maybe_panic_compare(i);
-                let _ = tahc.embedding(&candidates[i]);
-            }))
-            .is_ok();
-            if let Some(t0) = started {
-                octs_obs::observe("rank.probe_us", t0.elapsed().as_micros() as f64);
-                if !ok {
-                    octs_obs::event("rank.quarantine", i as f64, &format!("candidate {i}"));
-                }
-            }
-            ok
-        })
-        .collect()
+    par_chunked(candidates.len(), |i| {
+        let started = instrumented.then(std::time::Instant::now);
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            octs_fault::maybe_panic_compare(i);
+            let _ = tahc.embedding(&candidates[i]);
+        }))
+        .is_ok();
+        if let Some(t0) = started {
+            octs_obs::observe("rank.probe_us", t0.elapsed().as_micros() as f64);
+        }
+        if !ok {
+            // Observable mirror only: the authoritative quarantine record is
+            // the health vector itself, which flows into
+            // `RankOutcome::quarantined` whether or not a recorder is armed.
+            octs_obs::event("rank.quarantine", i as f64, &format!("candidate {i}"));
+        }
+        ok
+    })
 }
 
 /// Emits the ranking pass's comparator cache activity as counter deltas
@@ -67,12 +100,22 @@ fn record_cache_deltas(tahc: &Tahc, embed_before: CacheStats, task_before: Cache
     if !octs_obs::armed() {
         return;
     }
+    // `saturating_sub`: a cache invalidation (checkpoint restore, training)
+    // between the `before` snapshot and now resets the absolute stats, which
+    // would underflow — and panic in debug builds — with plain subtraction.
+    // A reset window reports a delta of 0 rather than a wrapped count.
     let embed = tahc.embed_cache_stats();
     let task = tahc.task_cache_stats();
-    octs_obs::counter("rank.embed_cache.hits", (embed.hits - embed_before.hits) as u64);
-    octs_obs::counter("rank.embed_cache.misses", (embed.misses - embed_before.misses) as u64);
-    octs_obs::counter("rank.task_cache.hits", (task.hits - task_before.hits) as u64);
-    octs_obs::counter("rank.task_cache.misses", (task.misses - task_before.misses) as u64);
+    octs_obs::counter("rank.embed_cache.hits", embed.hits.saturating_sub(embed_before.hits) as u64);
+    octs_obs::counter(
+        "rank.embed_cache.misses",
+        embed.misses.saturating_sub(embed_before.misses) as u64,
+    );
+    octs_obs::counter("rank.task_cache.hits", task.hits.saturating_sub(task_before.hits) as u64);
+    octs_obs::counter(
+        "rank.task_cache.misses",
+        task.misses.saturating_sub(task_before.misses) as u64,
+    );
 }
 
 /// Judges every `(i, j)` match in parallel; `Some(true)` means `i` won,
@@ -83,13 +126,10 @@ fn play_matches(
     candidates: &[ArchHyper],
     matches: &[(usize, usize)],
 ) -> Vec<Option<bool>> {
-    matches
-        .par_iter()
-        .map(|&(i, j)| {
-            catch_unwind(AssertUnwindSafe(|| tahc.compare(prelim, &candidates[i], &candidates[j])))
-                .ok()
-        })
-        .collect()
+    par_chunked(matches.len(), |m| {
+        let (i, j) = matches[m];
+        catch_unwind(AssertUnwindSafe(|| tahc.compare(prelim, &candidates[i], &candidates[j]))).ok()
+    })
 }
 
 /// Tallies wins and assembles the final [`RankOutcome`]: healthy candidates
@@ -111,6 +151,9 @@ fn assemble_outcome(
     let mut order: Vec<usize> = (0..healthy.len()).filter(|&i| healthy[i]).collect();
     order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
     let quarantined: Vec<usize> = (0..healthy.len()).filter(|&i| !healthy[i]).collect();
+    if !quarantined.is_empty() {
+        octs_obs::counter("rank.quarantined", quarantined.len() as u64);
+    }
     order.extend(&quarantined);
     RankOutcome { order, quarantined }
 }
@@ -299,6 +342,78 @@ mod tests {
         let out = assemble_outcome(&healthy, &matches, &outcomes);
         assert_eq!(out.order, vec![0, 1, 2, 3]);
         assert_eq!(out.quarantined, vec![3]);
+    }
+
+    #[test]
+    fn chunked_fanout_is_byte_identical_to_serial_above_chunk_size() {
+        // A pool large enough that probes (k > RANK_CHUNK) and the match
+        // schedule (k * rounds > RANK_CHUNK) both split into multiple chunks
+        // must still rank exactly as a serial run.
+        let (tahc, ahs) = untrained_fixture(RANK_CHUNK + 9);
+        let saved = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = tournament_rank(&tahc, None, &ahs, 3, 13);
+        for threads in ["2", "4", "8"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            tahc.invalidate_caches();
+            assert_eq!(
+                tournament_rank(&tahc, None, &ahs, 3, 13),
+                serial,
+                "chunked ranking diverged from serial at {threads} threads"
+            );
+        }
+        match saved {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+
+    #[test]
+    fn cache_delta_recording_survives_reset_between_snapshots() {
+        // Regression: a cache invalidation between the `before` snapshot and
+        // delta computation resets absolute stats below the snapshot, which
+        // underflowed (debug-build panic) before `saturating_sub`.
+        let (tahc, ahs) = untrained_fixture(4);
+        let _ = round_robin_rank(&tahc, None, &ahs); // generate cache traffic
+        let embed_before = tahc.embed_cache_stats();
+        let task_before = tahc.task_cache_stats();
+        assert!(embed_before.hits + embed_before.misses > 0, "fixture must touch the cache");
+        tahc.invalidate_caches(); // stats reset: now below the snapshot
+
+        let rec = octs_obs::Recorder::new();
+        let scope = octs_obs::ObsScope::activate(&rec);
+        record_cache_deltas(&tahc, embed_before, task_before);
+        drop(scope);
+        let summary = rec.summary();
+        assert_eq!(summary.counter("rank.embed_cache.hits"), 0, "reset window must clamp to 0");
+        assert_eq!(summary.counter("rank.embed_cache.misses"), 0);
+    }
+
+    #[test]
+    fn quarantine_is_counted_without_a_recorder_and_mirrored_with_one() {
+        // The authoritative quarantine signal must survive a recorder-less
+        // run (fault-injection harnesses rely on `RankOutcome` alone); the
+        // obs event/counter is only the observable mirror of that record.
+        let (tahc, ahs) = untrained_fixture(5);
+        let victim = 2usize;
+        let _scope = octs_fault::FaultScope::activate(
+            octs_fault::FaultPlan::new().compare_panic(victim as u64),
+        );
+
+        // No recorder armed: the outcome still carries the quarantine.
+        let unarmed = round_robin_rank_checked(&tahc, None, &ahs);
+        assert_eq!(unarmed.quarantined, vec![victim], "quarantine lost without a recorder");
+
+        // Recorder armed: same outcome, plus the observable mirror.
+        tahc.invalidate_caches();
+        let rec = octs_obs::Recorder::new();
+        let scope = octs_obs::ObsScope::activate(&rec);
+        let armed = round_robin_rank_checked(&tahc, None, &ahs);
+        drop(scope);
+        assert_eq!(armed.quarantined, unarmed.quarantined);
+        let summary = rec.summary();
+        assert_eq!(summary.counter("rank.quarantined"), 1);
+        assert_eq!(summary.events.get("rank.quarantine"), Some(&1));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Algorithm 2: zero-shot search for an unseen task — embed, rank, train
 //! the top-K, keep the validation winner.
 
+use crate::error::SearchError;
 use crate::evolve::{evolve_search, EvolveConfig};
-use octs_comparator::{Tahc, TaskEmbedder};
+use crate::fidelity::promote_by_score;
+use octs_comparator::{label_one, LabeledAh, Tahc, TaskEmbedder};
 use octs_data::ForecastTask;
 use octs_model::{train_forecaster, Forecaster, ModelDims, TrainConfig, TrainReport};
 use octs_space::{ArchHyper, JointSpace};
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Wall-clock breakdown of one zero-shot search (drives Fig. 7).
@@ -27,7 +30,7 @@ impl SearchTiming {
 }
 
 /// Outcome of a zero-shot search.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct SearchOutcome {
     /// The selected arch-hyper `ah*`.
     pub best: ArchHyper,
@@ -95,6 +98,106 @@ pub fn zero_shot_search(
     SearchOutcome { best, best_report, finalists, timing: SearchTiming { embed, rank, train } }
 }
 
+/// Finalist-promotion rung reused from the fidelity ladder: instead of
+/// fully training every comparator-ranked candidate, give each a cheap
+/// proxy first and fully train only the promoted survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinalistPromotion {
+    /// Epochs of the cheap proxy each ranked candidate gets.
+    pub proxy_epochs: usize,
+    /// How many proxy survivors get the full training budget.
+    pub finalists: usize,
+}
+
+impl FinalistPromotion {
+    /// Defaults: 1-epoch proxy, 2 full trainings.
+    pub fn test() -> Self {
+        Self { proxy_epochs: 1, finalists: 2 }
+    }
+}
+
+/// [`zero_shot_search`] with the fidelity ladder's promotion rung between
+/// ranking and final training: the comparator's `top_k` candidates are
+/// proxy-trained for `promotion.proxy_epochs` epochs, the best
+/// `promotion.finalists` by proxy score (deterministic
+/// [`promote_by_score`] order) get the full `train_cfg` budget, and the
+/// validation winner is kept. With `evolve_cfg.top_k` widened beyond what
+/// full training could afford, this explores more finalists for less cost.
+///
+/// Candidates whose proxy diverges or panics are quarantined; if every
+/// ranked candidate is quarantined the search reports
+/// [`SearchError::AllCandidatesQuarantined`].
+pub fn zero_shot_search_laddered(
+    tahc: &Tahc,
+    embedder: &mut TaskEmbedder,
+    task: &ForecastTask,
+    space: &JointSpace,
+    evolve_cfg: &EvolveConfig,
+    promotion: &FinalistPromotion,
+    train_cfg: &TrainConfig,
+) -> Result<SearchOutcome, SearchError> {
+    if promotion.finalists == 0 {
+        return Err(SearchError::ZeroBudget { what: "promotion.finalists" });
+    }
+    if promotion.proxy_epochs == 0 {
+        return Err(SearchError::ZeroBudget { what: "promotion.proxy_epochs" });
+    }
+    let t0 = Instant::now();
+    let obs_embed = octs_obs::span_detail("phase.embed", task.id().to_string());
+    let prelim = embedder.preliminary(task);
+    drop(obs_embed);
+    let embed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let obs_rank = octs_obs::span_detail("phase.rank", evolve_cfg.k_s.to_string());
+    let top = evolve_search(tahc, Some(&prelim), space, evolve_cfg);
+    drop(obs_rank);
+    let rank = t1.elapsed();
+
+    let t2 = Instant::now();
+    // Promotion rung: cheap proxies for every ranked candidate, full budget
+    // only for the promoted survivors. Unit ids follow ranking order (the
+    // ranked list is already deterministic for any thread count).
+    let obs_proxy = octs_obs::span_detail("phase.proxy", top.len().to_string());
+    let proxy_cfg = TrainConfig { epochs: promotion.proxy_epochs, ..train_cfg.clone() };
+    let idx: Vec<usize> = (0..top.len()).collect();
+    let proxied: Vec<LabeledAh> =
+        idx.par_iter().map(|&i| label_one(&top[i], task, i as u64, &proxy_cfg)).collect();
+    let proxy_refs: Vec<&LabeledAh> = proxied.iter().collect();
+    let promoted = promote_by_score(&proxy_refs, promotion.finalists);
+    drop(obs_proxy);
+    if promoted.is_empty() {
+        return Err(SearchError::AllCandidatesQuarantined);
+    }
+
+    let obs_final = octs_obs::span_detail("phase.final_train", promoted.len().to_string());
+    let dims = ModelDims::new(task.data.n(), task.data.f(), task.setting);
+    let mut finalists = Vec::with_capacity(promoted.len());
+    for (i, labeled) in promoted.into_iter().enumerate() {
+        let mut fc = Forecaster::new(
+            labeled.ah.clone(),
+            dims,
+            &task.data.adjacency,
+            train_cfg.seed ^ (i as u64 + 1),
+        );
+        let report = train_forecaster(&mut fc, task, train_cfg);
+        finalists.push((labeled.ah.clone(), report));
+    }
+    drop(obs_final);
+    let train = t2.elapsed();
+
+    let best_idx = finalists
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.1.best_val_mae.partial_cmp(&b.1.best_val_mae).expect("finite MAEs")
+        })
+        .map(|(i, _)| i)
+        .expect("finalists >= 1");
+    let (best, best_report) = finalists[best_idx].clone();
+    Ok(SearchOutcome { best, best_report, finalists, timing: SearchTiming { embed, rank, train } })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +225,70 @@ mod tests {
         assert_eq!(out.best_report.best_val_mae, min);
         assert!(out.timing.search() > Duration::ZERO);
         assert!(out.timing.train > Duration::ZERO);
+    }
+
+    #[test]
+    fn laddered_zero_shot_trains_only_promoted_finalists() {
+        let space = JointSpace::tiny();
+        let tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let mut embedder = TaskEmbedder::new(TaskEmbedConfig::test(), Ts2VecConfig::test(), 1);
+        let task = small_task();
+        // Rank wider than full training could afford, promote 2.
+        let evolve_cfg = EvolveConfig { k_s: 12, generations: 1, top_k: 4, ..EvolveConfig::test() };
+        let promotion = FinalistPromotion { proxy_epochs: 1, finalists: 2 };
+        let train_cfg = TrainConfig::test();
+        let out = zero_shot_search_laddered(
+            &tahc,
+            &mut embedder,
+            &task,
+            &space,
+            &evolve_cfg,
+            &promotion,
+            &train_cfg,
+        )
+        .unwrap();
+        assert_eq!(out.finalists.len(), 2, "only promoted survivors get full training");
+        assert!(out.best_report.best_val_mae.is_finite());
+        let min = out.finalists.iter().map(|(_, r)| r.best_val_mae).fold(f32::INFINITY, f32::min);
+        assert_eq!(out.best_report.best_val_mae, min);
+
+        // Deterministic: a rerun promotes and selects identically.
+        let tahc2 = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let mut embedder2 = TaskEmbedder::new(TaskEmbedConfig::test(), Ts2VecConfig::test(), 1);
+        let again = zero_shot_search_laddered(
+            &tahc2,
+            &mut embedder2,
+            &task,
+            &space,
+            &evolve_cfg,
+            &promotion,
+            &train_cfg,
+        )
+        .unwrap();
+        assert_eq!(again.best, out.best);
+        assert_eq!(
+            again.best_report.best_val_mae.to_bits(),
+            out.best_report.best_val_mae.to_bits()
+        );
+    }
+
+    #[test]
+    fn laddered_zero_shot_rejects_zero_budgets() {
+        let space = JointSpace::tiny();
+        let tahc = Tahc::new(TahcConfig::test(), space.hyper.clone(), 0);
+        let mut embedder = TaskEmbedder::new(TaskEmbedConfig::test(), Ts2VecConfig::test(), 1);
+        let task = small_task();
+        let evolve_cfg = EvolveConfig { k_s: 12, generations: 1, ..EvolveConfig::test() };
+        let err = zero_shot_search_laddered(
+            &tahc,
+            &mut embedder,
+            &task,
+            &space,
+            &evolve_cfg,
+            &FinalistPromotion { proxy_epochs: 1, finalists: 0 },
+            &TrainConfig::test(),
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::SearchError::ZeroBudget { what: "promotion.finalists" });
     }
 }

@@ -13,6 +13,7 @@
 
 use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
 use octs_fault::FaultPlan;
+use octs_search::LadderConfig;
 use octs_space::{ArchHyper, JointSpace};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -104,6 +105,23 @@ impl Gen {
         let q = self.usize_in(1, 3);
         let stride = self.usize_in(1, 2);
         ForecastTask::new(profile.generate(0), ForecastSetting::multi(p, q), 0.6, 0.2, stride)
+    }
+
+    /// A valid successive-halving ladder configuration: monotone quotas
+    /// (`pool ≥ stage1 ≥ stage2 ≥ 1`) over a small pool, cheap proxy budgets.
+    /// Always passes [`LadderConfig::validate`], so properties over generated
+    /// ladders exercise the search itself, not the validation error path.
+    pub fn ladder_config(&mut self) -> LadderConfig {
+        let pool = self.usize_in(6, 12);
+        let stage1 = self.usize_in(2, pool.min(6));
+        let stage2 = self.usize_in(1, stage1.min(3));
+        LadderConfig {
+            pool,
+            stage1,
+            stage2,
+            proxy_epochs: self.usize_in(1, 2),
+            screen_rounds: self.usize_in(1, 3),
+        }
     }
 
     /// A fault plan over a labelling phase of `n_units` units and a journal

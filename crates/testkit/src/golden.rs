@@ -18,7 +18,10 @@ use octs_comparator::{label_one, Tahc, TahcConfig, TaskEmbedConfig, TaskEmbedder
 use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
 use octs_model::TrainConfig;
 use octs_obs::{ObsScope, Recorder, Summary};
-use octs_search::{autocts_plus_search, zero_shot_search, AutoCtsPlusConfig, EvolveConfig};
+use octs_search::{
+    autocts_plus_search, fidelity_ladder_search, zero_shot_search, AutoCtsPlusConfig, EvolveConfig,
+    LadderConfig,
+};
 use octs_space::{render, JointSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -161,6 +164,73 @@ pub fn capture_zero_shot() -> GoldenRun {
     }
 }
 
+/// The deterministic snapshot of one golden fidelity-ladder search: the
+/// winner, the exact survivor set every rung promoted, and the bit-exact
+/// labels each fidelity paid for. Any change to screening order, promotion
+/// quotas, per-candidate RNG streams, or label training shows up as a named
+/// field diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldenLadderRun {
+    /// Bump when the snapshot layout changes (forces regeneration).
+    pub schema_version: u64,
+    /// Always `"fidelity_ladder"`.
+    pub scenario: String,
+    /// The seed the scenario ran under.
+    pub seed: u64,
+    /// Winner genotype, rendered via [`octs_space::render`].
+    pub winner_render: String,
+    /// Winner fingerprint (stable content hash of the genotype).
+    pub winner_fingerprint: u64,
+    /// Per-rung promoted-candidate fingerprints, in promotion order:
+    /// `[screen → stage 1, proxy → stage 2, full-label survivors]`.
+    pub stage_survivors: Vec<Vec<u64>>,
+    /// `f32::to_bits` of the healthy stage-1 proxy labels (cheap fidelity).
+    pub proxy_label_bits: Vec<u64>,
+    /// `f32::to_bits` of the healthy stage-2 full-fidelity labels.
+    pub full_label_bits: Vec<u64>,
+    /// `f32::to_bits` of the winner's best validation MAE.
+    pub best_val_mae_bits: u64,
+    /// Total label-training epochs the ladder paid.
+    pub label_epochs: u64,
+    /// Deterministic counter totals (cache hit/miss counters excluded).
+    pub counters: BTreeMap<String, u64>,
+    /// Span name → completed-span count (durations are never snapshotted).
+    pub span_counts: BTreeMap<String, u64>,
+}
+
+/// Runs the fixed-seed successive-halving scenario — [`LadderConfig::test`]
+/// over the same task and space as [`capture_autocts_plus`] — and snapshots
+/// everything deterministic about it.
+pub fn capture_fidelity_ladder() -> GoldenLadderRun {
+    let task = golden_autocts_task();
+    let space = JointSpace::tiny();
+    let cfg = AutoCtsPlusConfig::test();
+    let ladder = LadderConfig::test();
+
+    let recorder = Recorder::new();
+    let outcome = {
+        let _scope = ObsScope::activate(&recorder);
+        fidelity_ladder_search(&task, &space, &cfg, &ladder)
+            .expect("golden ladder scenario must succeed")
+    };
+    let (counters, span_counts) = stable_obs(&recorder.summary());
+
+    GoldenLadderRun {
+        schema_version: 1,
+        scenario: "fidelity_ladder".to_string(),
+        seed: cfg.seed,
+        winner_render: render(&outcome.best),
+        winner_fingerprint: outcome.best.fingerprint(),
+        stage_survivors: outcome.survivors.clone(),
+        proxy_label_bits: outcome.proxy_labeled.iter().map(|l| l.score.to_bits() as u64).collect(),
+        full_label_bits: outcome.full_labeled.iter().map(|l| l.score.to_bits() as u64).collect(),
+        best_val_mae_bits: outcome.best_report.best_val_mae.to_bits() as u64,
+        label_epochs: outcome.label_epochs as u64,
+        counters,
+        span_counts,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // structural diffing
 
@@ -232,7 +302,7 @@ pub fn diff_json(expected: &str, actual: &str) -> Vec<String> {
 /// returns `Ok`. Otherwise a missing fixture or any structural difference
 /// comes back as `Err` with one line per changed field and regeneration
 /// instructions.
-pub fn check_against_fixture(path: &Path, actual: &GoldenRun) -> Result<(), String> {
+pub fn check_against_fixture<T: Serialize>(path: &Path, actual: &T) -> Result<(), String> {
     let actual_json = serde_json::to_string(actual).map_err(|e| format!("serialize: {e}"))?;
     if std::env::var(UPDATE_GOLDEN_ENV).as_deref() == Ok("1") {
         if let Some(parent) = path.parent() {

@@ -36,6 +36,6 @@ pub mod golden;
 pub use conformance::{run_sweep, ConformanceReport, OpFamily, OpReport, OpSpec, Reproducer};
 pub use gen::{shrink, Gen};
 pub use golden::{
-    capture_autocts_plus, capture_autocts_plus_with, capture_zero_shot, check_against_fixture,
-    diff_json, GoldenRun, UPDATE_GOLDEN_ENV,
+    capture_autocts_plus, capture_autocts_plus_with, capture_fidelity_ladder, capture_zero_shot,
+    check_against_fixture, diff_json, GoldenLadderRun, GoldenRun, UPDATE_GOLDEN_ENV,
 };

@@ -1,8 +1,11 @@
 //! Search-determinism properties, driven by seeded testkit generators: the
-//! AutoCTS+ winner is invariant under candidate-pool permutation and under
-//! the Rayon thread count.
+//! AutoCTS+ winner (plain and successive-halving) is invariant under
+//! candidate-pool permutation and under the Rayon thread count, and generated
+//! ladder quotas are honored exactly on healthy runs.
 
-use octs_search::{autocts_plus_search_with_pool, AutoCtsPlusConfig};
+use octs_search::{
+    autocts_plus_search_with_pool, fidelity_ladder_search, AutoCtsPlusConfig, LadderConfig,
+};
 use octs_space::JointSpace;
 use octs_testkit::Gen;
 
@@ -61,5 +64,75 @@ fn winner_is_invariant_under_thread_count() {
     for (threads, fp, mae) in &outcomes[1..] {
         assert_eq!(*fp, fp0, "winner changed with RAYON_NUM_THREADS={threads}");
         assert_eq!(*mae, mae0, "val MAE not byte-identical with RAYON_NUM_THREADS={threads}");
+    }
+}
+
+/// The successive-halving ladder's entire decision trail — the winner, its
+/// byte-exact validation MAE, and the survivor set every rung promoted — is
+/// identical across thread counts. This covers both the chunked comparator
+/// fan-out (screen) and the parallel labelling of stages 1–2.
+#[test]
+fn ladder_winner_and_survivors_invariant_under_thread_count() {
+    let mut g = Gen::from_seed(0x1ADDE4);
+    let task = g.task("ladder-thread-invariance");
+    let space = JointSpace::tiny();
+    let cfg = AutoCtsPlusConfig::test();
+    let ladder = LadderConfig::test();
+
+    let mut outcomes = Vec::new();
+    for threads in ["1", "2", "8"] {
+        // The vendored rayon reads RAYON_NUM_THREADS per call.
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let out = fidelity_ladder_search(&task, &space, &cfg, &ladder)
+            .unwrap_or_else(|e| panic!("ladder with {threads} thread(s): {e}"));
+        outcomes.push((
+            threads,
+            out.best.fingerprint(),
+            out.best_report.best_val_mae.to_bits(),
+            out.survivors.clone(),
+        ));
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let (_, fp0, mae0, surv0) = outcomes[0].clone();
+    for (threads, fp, mae, surv) in &outcomes[1..] {
+        assert_eq!(*fp, fp0, "ladder winner changed with RAYON_NUM_THREADS={threads}");
+        assert_eq!(*mae, mae0, "val MAE not byte-identical with RAYON_NUM_THREADS={threads}");
+        assert_eq!(
+            *surv, surv0,
+            "per-stage survivor sets changed with RAYON_NUM_THREADS={threads}"
+        );
+    }
+}
+
+/// Generated (always-valid) ladder configs are honored exactly on healthy
+/// runs: each rung promotes exactly its quota and the paid label epochs match
+/// the nominal quota cost. Each generated case also replays deterministically.
+#[test]
+fn generated_ladder_quotas_are_honored_and_replayable() {
+    let mut g = Gen::from_seed(0x5CA1E);
+    let task = g.task("ladder-quotas");
+    let space = JointSpace::tiny();
+    let cfg = AutoCtsPlusConfig::test();
+
+    for case in 0..3u64 {
+        let ladder = g.fork(case).ladder_config();
+        ladder.validate().unwrap_or_else(|e| {
+            panic!("generated ladder must be valid (seed {}, case {case}): {e}", g.seed())
+        });
+        let out = fidelity_ladder_search(&task, &space, &cfg, &ladder)
+            .unwrap_or_else(|e| panic!("seed {}, case {case}: {e}", g.seed()));
+        assert_eq!(out.stages[0].evaluated, ladder.pool, "case {case}");
+        assert_eq!(out.stages[0].promoted, ladder.stage1, "case {case}");
+        assert_eq!(out.stages[1].promoted, ladder.stage2, "case {case}");
+        assert_eq!(
+            out.label_epochs,
+            ladder.label_epochs(cfg.label_cfg.epochs),
+            "case {case}: paid epochs must equal the nominal quota cost on a healthy run"
+        );
+        let replay = fidelity_ladder_search(&task, &space, &cfg, &ladder)
+            .unwrap_or_else(|e| panic!("seed {}, case {case} replay: {e}", g.seed()));
+        assert_eq!(replay.best, out.best, "case {case}: replay winner differs");
+        assert_eq!(replay.survivors, out.survivors, "case {case}: replay survivors differ");
     }
 }

@@ -54,6 +54,23 @@ def bench_digest(name, r):
                 )
         return (f"capacity {r.get('capacity_rps', 0):.0f} rps; " + "; ".join(parts)
                 + f"; 1x-load p99 baseline {r.get('baseline_p99_ms', 0):.1f}ms")
+    if name == "BENCH_search_fidelity.json":
+        runs = r.get("runs", [])
+        agree = sum(1 for row in runs if row.get("winner_identical"))
+        taus = [row.get("proxy_vs_full_kendall_tau", 0.0) for row in runs]
+        mean_tau = sum(taus) / len(taus) if taus else 0.0
+        return (f"{r.get('mode')} mode: label epochs {r.get('mean_label_epoch_ratio', 0):.1f}x "
+                f"cheaper, winner quality ratio {r.get('mean_quality_ratio', 0):.3f}, "
+                f"identical winner {agree}/{len(runs)}, proxy-vs-full tau {mean_tau:.2f}")
+    if name == "BENCH_search_parallel.json":
+        cores = r.get("available_cores", 0)
+        rows = r.get("tournament", [])
+        gated = [row for row in rows if row.get("gate_applied")]
+        sp = ", ".join(f"t={row['threads']}: {row['speedup_vs_serial']:.2f}x"
+                       for row in rows if row.get("threads", 1) > 1)
+        scope = (f"{len(gated)} gated rows" if gated
+                 else "no scaling claim (threads exceed cores)")
+        return f"{cores}-core host, {scope}; tournament {sp}"
     if name == "BENCH_search_trace.json":
         return (f"tracing overhead {r.get('overhead_pct', 0):+.2f}%, "
                 f"embed cache {r.get('embed_cache_hit_rate', 0):.1%}, "

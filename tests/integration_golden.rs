@@ -7,8 +7,8 @@
 
 use octs_search::AutoCtsPlusConfig;
 use octs_testkit::golden::{
-    capture_autocts_plus, capture_autocts_plus_with, capture_zero_shot, check_against_fixture,
-    diff_json, UPDATE_GOLDEN_ENV,
+    capture_autocts_plus, capture_autocts_plus_with, capture_fidelity_ladder, capture_zero_shot,
+    check_against_fixture, diff_json, UPDATE_GOLDEN_ENV,
 };
 use std::path::PathBuf;
 
@@ -20,6 +20,14 @@ fn fixture(name: &str) -> PathBuf {
 fn autocts_plus_matches_golden_fixture() {
     let run = capture_autocts_plus();
     if let Err(diff) = check_against_fixture(&fixture("autocts_plus.json"), &run) {
+        panic!("{diff}");
+    }
+}
+
+#[test]
+fn fidelity_ladder_matches_golden_fixture() {
+    let run = capture_fidelity_ladder();
+    if let Err(diff) = check_against_fixture(&fixture("fidelity_ladder.json"), &run) {
         panic!("{diff}");
     }
 }
