@@ -16,10 +16,11 @@
 //! cargo run --release --bin kernel_bench -- --quick # CI smoke, >=1x gate
 //! ```
 
-use octs_data::{DatasetProfile, Domain, ForecastSetting, ForecastTask};
-use octs_model::{train_forecaster, Forecaster, ModelDims, TrainConfig};
-use octs_space::JointSpace;
+use octs_data::{Adjacency, DatasetProfile, Domain, ForecastSetting, ForecastTask};
+use octs_model::{train_forecaster, Forecaster, FrozenForecaster, ModelDims, TrainConfig};
+use octs_space::{ArchDag, ArchHyper, HyperParams, JointSpace};
 use octs_tensor::ops::{conv, matmul};
+use octs_tensor::{Precision, Tensor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -64,12 +65,26 @@ struct TrainRow {
 }
 
 #[derive(Serialize)]
+struct InferRow {
+    batch: usize,
+    tape_ns: f64,
+    full_ns: f64,
+    fused_ns: f64,
+    int8_ns: f64,
+    frozen_speedup: f64,
+    int8_speedup: f64,
+    quantized_matmuls: usize,
+}
+
+#[derive(Serialize)]
 struct Report {
     quick: bool,
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
     train_step: TrainRow,
+    infer: Vec<InferRow>,
     min_matmul_speedup: f64,
+    min_frozen_speedup: f64,
     note: String,
 }
 
@@ -258,17 +273,79 @@ fn main() {
         train_step.pool_hit_rate
     );
 
-    // --- 4. Gates + report ------------------------------------------------
+    // --- 4. Frozen-forward inference: tape vs compiled plans ---------------
+    // The serving fixture shape: 3 ST-blocks at h=8 / i=16 (the output head
+    // crosses the int8 quantization threshold), 8 nodes, 12-step history.
+    let infer_dims = ModelDims { n: 8, f: 2, p: 12, out_steps: 3 };
+    let infer_adj = Adjacency::identity(infer_dims.n);
+    let infer_fixture = || {
+        let arch = ArchDag::sample_admissible(4, &mut ChaCha8Rng::seed_from_u64(7));
+        let hp = HyperParams { b: 3, c: 4, h: 8, i: 16, u: 0, delta: 0 };
+        let mut fc = Forecaster::new(ArchHyper::new(arch, hp), infer_dims, &infer_adj, 11);
+        fc.training = false;
+        fc
+    };
+    let mut infer_rows = Vec::new();
+    for &batch in &[1usize, 8] {
+        let shape = [batch, infer_dims.f, infer_dims.n, infer_dims.p];
+        let x = Tensor::new(shape.to_vec(), filled(shape.iter().product(), 1.0));
+
+        let mut tape_fc = infer_fixture();
+        let tape_ns = bench_ns(target, || {
+            tape_fc.predict(&x);
+        });
+        let mut tier_ns = Vec::new();
+        for tier in [Precision::Full, Precision::Fused, Precision::Int8] {
+            let mut frozen = FrozenForecaster::new(infer_fixture(), tier);
+            frozen.predict(&x); // compile outside the timed window
+            tier_ns.push(bench_ns(target, || {
+                frozen.predict(&x);
+            }));
+        }
+        let (g, xin, pred) = infer_fixture().forward_traced(&x);
+        let quantized = g.freeze(&xin, &pred, Precision::Int8).quantized_matmuls();
+
+        let row = InferRow {
+            batch,
+            tape_ns,
+            full_ns: tier_ns[0],
+            fused_ns: tier_ns[1],
+            int8_ns: tier_ns[2],
+            frozen_speedup: tape_ns / tier_ns[1],
+            int8_speedup: tape_ns / tier_ns[2],
+            quantized_matmuls: quantized,
+        };
+        eprintln!(
+            "[infer]  B={batch}  tape {:>8.0} ns  full {:>8.0} ns  fused {:>8.0} ns  int8 \
+             {:>8.0} ns  frozen {:>5.2}x  int8 {:>5.2}x  ({} quantized matmuls)",
+            row.tape_ns,
+            row.full_ns,
+            row.fused_ns,
+            row.int8_ns,
+            row.frozen_speedup,
+            row.int8_speedup,
+            row.quantized_matmuls
+        );
+        infer_rows.push(row);
+    }
+
+    // --- 5. Gates + report ------------------------------------------------
     let min_matmul_speedup = matmul_rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    let min_frozen_speedup =
+        infer_rows.iter().map(|r| r.frozen_speedup).fold(f64::INFINITY, f64::min);
     let report = Report {
         quick,
         matmul: matmul_rows,
         conv: conv_rows,
         train_step,
+        infer: infer_rows,
         min_matmul_speedup,
+        min_frozen_speedup,
         note: "naive = retained reference loops (ops::matmul::naive, ops::conv::direct); \
                fast = register-blocked packed matmul + im2col conv1d; train row is one \
-               full train_forecaster run divided by optimizer steps"
+               full train_forecaster run divided by optimizer steps; infer rows time one \
+               predict on a 3-block h=8/i=16 forecaster — tape engine vs compiled frozen \
+               plans at each precision tier"
             .to_string(),
     };
     let json = serde_json::to_string(&report).expect("report serializes");
@@ -281,10 +358,28 @@ fn main() {
     for r in &report.conv {
         assert!(r.speedup >= 1.0, "fast conv1d slower than naive at {}: {:.2}x", r.name, r.speedup);
     }
+    for r in &report.infer {
+        assert!(
+            r.frozen_speedup >= 1.0,
+            "frozen forward slower than tape at B={}: {:.2}x",
+            r.batch,
+            r.frozen_speedup
+        );
+        assert!(
+            r.quantized_matmuls >= 1,
+            "int8 inference fixture quantized nothing at B={} — threshold drift?",
+            r.batch
+        );
+    }
     if !quick {
         assert!(
             min_matmul_speedup >= 3.0,
             "matmul speedup at GIN/ST-block shapes must be >= 3x, got {min_matmul_speedup:.2}x"
+        );
+        assert!(
+            min_frozen_speedup >= 1.5,
+            "frozen-vs-tape speedup must be >= 1.5x on the inference fixture, got \
+             {min_frozen_speedup:.2}x"
         );
     }
 }

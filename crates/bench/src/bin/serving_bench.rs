@@ -15,8 +15,8 @@
 
 use octs_data::Adjacency;
 use octs_model::{Forecaster, ModelDims};
-use octs_serve::{BatchPolicy, ForecastServer, ModelRegistry, ServableCheckpoint};
-use octs_space::JointSpace;
+use octs_serve::{BatchPolicy, ForecastServer, ModelRegistry, Precision, ServableCheckpoint};
+use octs_space::{ArchDag, ArchHyper, HyperParams, JointSpace};
 use octs_tensor::Tensor;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +29,7 @@ const F: usize = 2;
 const P: usize = 8;
 const OUT: usize = 3;
 const TASK: &str = "bench";
+const TASK_DEEP: &str = "bench_deep";
 
 #[derive(Serialize)]
 struct LatencyStats {
@@ -44,7 +45,11 @@ struct LevelRow {
     concurrency: usize,
     unbatched: LatencyStats,
     batched: LatencyStats,
+    frozen: LatencyStats,
+    int8: LatencyStats,
     throughput_ratio: f64,
+    frozen_ratio: f64,
+    int8_ratio: f64,
     batched_mean_batch_size: f64,
 }
 
@@ -53,9 +58,11 @@ struct Report {
     quick: bool,
     requests_per_client: usize,
     model_params: usize,
+    deep_model_params: usize,
     levels: Vec<LevelRow>,
     best_ratio: f64,
     ratio_at_max_concurrency: f64,
+    frozen_ratio_at_max_concurrency: f64,
     note: String,
 }
 
@@ -95,6 +102,7 @@ fn stats(mut lat_us: Vec<f64>, wall: Duration) -> LatencyStats {
 /// batch size the worker actually formed.
 fn run_load(
     registry_root: &std::path::Path,
+    task: &'static str,
     policy: BatchPolicy,
     clients: usize,
     requests: usize,
@@ -103,11 +111,11 @@ fn run_load(
     let rec = octs_obs::Recorder::new();
     let obs = octs_obs::ObsScope::activate(&rec);
     let server = Arc::new(ForecastServer::new(registry, policy));
-    server.serve_task(TASK).expect("serve bench task");
+    server.serve_task(task).expect("serve bench task");
 
     // Warm the pool and the kernel paths outside the timed window.
     for w in 0..8u64 {
-        server.submit(TASK, request_input(w)).expect("warmup");
+        server.submit(task, request_input(w)).expect("warmup");
     }
 
     let t0 = Instant::now();
@@ -119,7 +127,7 @@ fn run_load(
                 let mut lat = Vec::with_capacity(requests);
                 for _ in 0..requests {
                     let t = Instant::now();
-                    let fc = server.submit(TASK, input.clone()).expect("forecast");
+                    let fc = server.submit(task, input.clone()).expect("forecast");
                     lat.push(t.elapsed().as_micros() as f64);
                     assert!(fc.values.all_finite());
                 }
@@ -144,8 +152,12 @@ fn main() {
     let levels: &[usize] = if quick { &[1, 4, 8] } else { &[1, 4, 8, 16] };
     let requests = if quick { 60 } else { 250 };
 
-    // Build and publish the served model: sampled arch, materialized
-    // (randomly initialized) weights — serving cost only depends on shapes.
+    // Two fixtures, one per study. The batching rows keep the seed's sampled
+    // tiny model, so the micro-batching ratio stays comparable across
+    // releases. The engine rows use a deeper model (3 ST-blocks, h=8 / i=16
+    // so the output head crosses the int8 quantization threshold): the
+    // frozen backend's advantage is per-op scheduling overhead, which a
+    // one-block model is too shallow to expose.
     let space = JointSpace::tiny();
     let ah = space.sample(&mut ChaCha8Rng::seed_from_u64(7));
     let adj = Adjacency::identity(N);
@@ -155,11 +167,20 @@ fn main() {
     fc.predict(&Tensor::zeros([1, F, N, P]));
     let model_params = fc.num_params();
 
+    let deep_arch = ArchDag::sample_admissible(4, &mut ChaCha8Rng::seed_from_u64(7));
+    let deep_hp = HyperParams { b: 3, c: 4, h: 8, i: 16, u: 0, delta: 0 };
+    let mut deep_fc = Forecaster::new(ArchHyper::new(deep_arch, deep_hp), dims, &adj, 1);
+    deep_fc.training = false;
+    deep_fc.predict(&Tensor::zeros([1, F, N, P]));
+    let deep_model_params = deep_fc.num_params();
+
     let root = std::env::temp_dir().join(format!("octs_serving_bench_{}", std::process::id()));
     std::fs::remove_dir_all(&root).ok();
     let registry = ModelRegistry::open(&root).expect("open registry");
     let mut ckpt = ServableCheckpoint::new(TASK, &fc, &adj, 1);
     registry.publish(&mut ckpt).expect("publish bench model");
+    let mut deep_ckpt = ServableCheckpoint::new(TASK_DEEP, &deep_fc, &adj, 1);
+    registry.publish(&mut deep_ckpt).expect("publish deep bench model");
     drop(registry);
 
     // Pure queue-pressure batching: under closed-loop load, requests pile up
@@ -167,21 +188,40 @@ fn main() {
     // with zero added latency; a delay window would only idle the core.
     let batched_policy = BatchPolicy { max_delay: Duration::ZERO, ..BatchPolicy::default() };
 
+    // The batching study runs on the tape engine: micro-batching exists to
+    // amortize per-forward fixed cost, and the tape's rebuild-the-graph cost
+    // is that fixed cost at its worst (this also keeps the row comparable
+    // across releases). The engine study then holds the coalescing policy
+    // fixed and swaps the engine: tape -> frozen Fused -> frozen Int8.
+    let tape_unbatched = BatchPolicy { precision: None, ..BatchPolicy::unbatched() };
+    let tape_batched = BatchPolicy { precision: None, ..batched_policy };
+    let int8_policy = BatchPolicy { precision: Some(Precision::Int8), ..batched_policy };
+
     let mut rows = Vec::new();
     for &clients in levels {
-        let (unbatched, _) = run_load(&root, BatchPolicy::unbatched(), clients, requests);
-        let (batched, mean_bs) = run_load(&root, batched_policy, clients, requests);
+        let (unbatched, _) = run_load(&root, TASK, tape_unbatched, clients, requests);
+        let (batched, mean_bs) = run_load(&root, TASK, tape_batched, clients, requests);
+        let (deep_tape, _) = run_load(&root, TASK_DEEP, tape_batched, clients, requests);
+        let (frozen, _) = run_load(&root, TASK_DEEP, batched_policy, clients, requests);
+        let (int8, _) = run_load(&root, TASK_DEEP, int8_policy, clients, requests);
         let ratio = batched.rps / unbatched.rps;
+        let frozen_ratio = frozen.rps / deep_tape.rps;
+        let int8_ratio = int8.rps / deep_tape.rps;
         eprintln!(
-            "[c={clients:>2}] unbatched {:>7.0} rps p99 {:>7.0}us | batched {:>7.0} rps \
-             p99 {:>7.0}us (mean batch {:.1}) | ratio {:.2}x",
-            unbatched.rps, unbatched.p99_us, batched.rps, batched.p99_us, mean_bs, ratio
+            "[c={clients:>2}] tape unbatched {:>7.0} rps | tape batched {:>7.0} rps \
+             p99 {:>7.0}us (mean batch {:.1}) | ratio {:.2}x | frozen {:>7.0} rps \
+             {frozen_ratio:.2}x | int8 {:>7.0} rps {int8_ratio:.2}x",
+            unbatched.rps, batched.rps, batched.p99_us, mean_bs, ratio, frozen.rps, int8.rps
         );
         rows.push(LevelRow {
             concurrency: clients,
             unbatched,
             batched,
+            frozen,
+            int8,
             throughput_ratio: ratio,
+            frozen_ratio,
+            int8_ratio,
             batched_mean_batch_size: mean_bs,
         });
     }
@@ -189,6 +229,7 @@ fn main() {
 
     let best_ratio = rows.iter().map(|r| r.throughput_ratio).fold(f64::NEG_INFINITY, f64::max);
     let ratio_at_max = rows.last().map(|r| r.throughput_ratio).unwrap_or(0.0);
+    let frozen_at_max = rows.last().map(|r| r.frozen_ratio).unwrap_or(0.0);
     let worst_p99 = rows
         .iter()
         .flat_map(|r| [r.unbatched.p99_us, r.batched.p99_us])
@@ -198,11 +239,16 @@ fn main() {
         quick,
         requests_per_client: requests,
         model_params,
+        deep_model_params,
         levels: rows,
         best_ratio,
         ratio_at_max_concurrency: ratio_at_max,
-        note: "closed-loop clients against one task lane; unbatched = max_batch 1, batched = \
-               max_batch 32 / max_delay 0 (queue-pressure batching); latencies are client-observed submit-to-response"
+        frozen_ratio_at_max_concurrency: frozen_at_max,
+        note: "closed-loop clients against one task lane; unbatched/batched rows run the tape \
+               engine (precision: None) on the seed's tiny model at max_batch 1 vs 32 / \
+               max_delay 0 (queue-pressure batching); frozen/int8 rows run a deeper 3-block \
+               h=8/i=16 model under the same batched policy, ratioed against that model's tape \
+               run; latencies are client-observed submit-to-response"
             .to_string(),
     };
     let json = serde_json::to_string(&report).expect("report serializes");
@@ -220,6 +266,19 @@ fn main() {
             row.throughput_ratio >= min_ratio,
             "micro-batching ratio {:.2}x at concurrency {} is below the {min_ratio:.1}x gate",
             row.throughput_ratio,
+            row.concurrency
+        );
+    }
+
+    // The frozen-engine gate: at high concurrency the compiled plan must
+    // beat the tape engine's rebuild-the-graph-per-batch forward. Quick mode
+    // (shared CI runners) only requires it to not lose.
+    let (min_frozen, at) = if quick { (1.0, 8) } else { (1.5, 8) };
+    for row in report.levels.iter().filter(|r| r.concurrency >= at) {
+        assert!(
+            row.frozen_ratio >= min_frozen,
+            "frozen-vs-tape ratio {:.2}x at concurrency {} is below the {min_frozen:.1}x gate",
+            row.frozen_ratio,
             row.concurrency
         );
     }

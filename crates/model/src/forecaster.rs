@@ -83,6 +83,14 @@ impl Forecaster {
     /// Runs the model on `x` (`[B, F, N, P]`), returning the prediction var
     /// (`[B, out_steps, N]`) and its graph for backprop.
     pub fn forward(&mut self, x: &Tensor) -> (Graph, Var) {
+        let (g, _, pred) = self.forward_traced(x);
+        (g, pred)
+    }
+
+    /// [`Forecaster::forward`] that also returns the input leaf var, so the
+    /// trace can be compiled by [`octs_tensor::Graph::freeze`] (which needs
+    /// to know which leaf is the runtime argument).
+    pub fn forward_traced(&mut self, x: &Tensor) -> (Graph, Var, Var) {
         let s = x.shape().to_vec();
         assert_eq!(&s[1..], &[self.dims.f, self.dims.n, self.dims.p], "input shape {s:?}");
         let hp = self.ah.hyper;
@@ -123,7 +131,7 @@ impl Forecaster {
         let o2 = crate::layers::linear(&mut self.ps, &g, "out/fc2", &o1, hp.i, self.dims.out_steps);
         // [B,N,out] -> [B,out,N]
         let pred = o2.permute(&[0, 2, 1]);
-        (g, pred)
+        (g, xin, pred)
     }
 
     /// Convenience: evaluation-mode prediction values.

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod forecaster;
+pub mod freeze;
 pub mod layers;
 pub mod model_trait;
 pub mod operators;
@@ -16,6 +17,7 @@ pub mod stblock;
 pub mod trainer;
 
 pub use forecaster::{Forecaster, ModelDims};
+pub use freeze::FrozenForecaster;
 pub use layers::{
     gru_cell, layer_norm, linear, linear_no_bias, mlp2, multi_head_attention, self_attention,
 };

@@ -76,6 +76,13 @@ pub struct SpanAgg {
 }
 
 /// Aggregate of all [`observe`] samples sharing one name.
+///
+/// Quantiles are computed from the raw samples at summary time and do not
+/// compose: there is no correct way to combine two `HistAgg`s' p99 values
+/// into the p99 of the union stream (averaging them is wrong whenever the
+/// tails differ). To aggregate across recorders — e.g. per-lane latency
+/// recorders into one serving view — merge the *samples* with
+/// [`Recorder::absorb`] and summarize once.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistAgg {
     /// Histogram name.
@@ -194,6 +201,38 @@ impl Recorder {
             out.push('\n');
         }
         out
+    }
+
+    /// Merges everything `other` recorded into this recorder, at the
+    /// raw-sample level: trace lines are appended, counters summed and
+    /// histogram *samples* concatenated — so a later [`Recorder::summary`]
+    /// reports exactly the quantiles of the union stream, not some lossy
+    /// combination of per-recorder aggregates. `other` keeps its recording
+    /// (absorb copies). Trace-line timestamps stay relative to the clock of
+    /// the recorder that captured them.
+    pub fn absorb(&self, other: &Recorder) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return; // same shared buffer: absorbing would double everything
+        }
+        {
+            let theirs = other.inner.lines.lock().unwrap_or_else(|e| e.into_inner());
+            let mut ours = self.inner.lines.lock().unwrap_or_else(|e| e.into_inner());
+            ours.extend(theirs.iter().cloned());
+        }
+        {
+            let theirs = other.inner.counters.lock().unwrap_or_else(|e| e.into_inner());
+            let mut ours = self.inner.counters.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, v) in theirs.iter() {
+                *ours.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+        {
+            let theirs = other.inner.hists.lock().unwrap_or_else(|e| e.into_inner());
+            let mut ours = self.inner.hists.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, samples) in theirs.iter() {
+                ours.entry(name.clone()).or_default().extend_from_slice(samples);
+            }
+        }
     }
 
     /// Aggregates the recording into a [`Summary`].
@@ -491,6 +530,61 @@ mod tests {
         assert_eq!(h.p95, 95.0);
         assert_eq!(h.p99, 99.0);
         assert_eq!(h.count, 100);
+    }
+
+    #[test]
+    fn absorbed_histograms_report_union_stream_quantiles() {
+        // Two lane-local recorders with very different tails: lane A holds
+        // the bulk (1..=99), lane B the extreme tail (901..=999). Any
+        // aggregate-level merge (e.g. averaging per-lane p99s) misreports
+        // the union tail; absorbing raw samples must not.
+        let a = Recorder::new();
+        {
+            let _scope = ObsScope::activate(&a);
+            for v in 1..=99 {
+                observe("e2e_us", v as f64);
+            }
+            counter("requests", 99);
+        }
+        let b = Recorder::new();
+        {
+            let _scope = ObsScope::activate(&b);
+            for v in 901..=999 {
+                observe("e2e_us", v as f64);
+            }
+            counter("requests", 99);
+        }
+
+        // Ground truth: one recorder observing the union stream.
+        let union = Recorder::new();
+        {
+            let _scope = ObsScope::activate(&union);
+            for v in (1..=99).chain(901..=999) {
+                observe("e2e_us", v as f64);
+            }
+        }
+        let want = union.summary().histogram("e2e_us").unwrap().clone();
+
+        let pa = a.summary().histogram("e2e_us").unwrap().p99;
+        let pb = b.summary().histogram("e2e_us").unwrap().p99;
+        assert_ne!((pa + pb) / 2.0, want.p99, "averaged per-lane p99s misreport the union");
+
+        a.absorb(&b);
+        let merged = a.summary();
+        let h = merged.histogram("e2e_us").unwrap();
+        assert_eq!(h.count, want.count);
+        assert_eq!(h.min, want.min);
+        assert_eq!(h.max, want.max);
+        assert_eq!(h.mean, want.mean);
+        assert_eq!(h.p50, want.p50);
+        assert_eq!(h.p95, want.p95);
+        assert_eq!(h.p99, want.p99, "merged histogram must report the union-stream p99");
+        assert_eq!(merged.counter("requests"), 198, "counters sum");
+
+        // `b` is untouched, and self-absorb is a no-op.
+        assert_eq!(b.summary().histogram("e2e_us").unwrap().count, 99);
+        a.absorb(&a);
+        assert_eq!(a.summary().histogram("e2e_us").unwrap().count, want.count);
     }
 
     #[test]

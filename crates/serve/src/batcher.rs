@@ -83,6 +83,11 @@ pub struct BatchPolicy {
     pub reload_retries: usize,
     /// First wait between heal reload attempts.
     pub reload_backoff: Duration,
+    /// Precision policy models are loaded at: `None` serves from the tape
+    /// engine (the benchmark baseline); `Some(tier)` serves compiled frozen
+    /// plans, with [`octs_tensor::Precision::Int8`] subject to the load-time
+    /// conformance probe (see [`crate::ServableModel::from_checkpoint_with`]).
+    pub precision: Option<octs_tensor::Precision>,
 }
 
 impl Default for BatchPolicy {
@@ -97,6 +102,7 @@ impl Default for BatchPolicy {
             breaker_max_backoff: Duration::from_secs(2),
             reload_retries: 3,
             reload_backoff: Duration::from_millis(10),
+            precision: Some(octs_tensor::Precision::Fused),
         }
     }
 }

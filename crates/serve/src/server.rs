@@ -39,7 +39,10 @@ impl ForecastServer {
         if let Some(lane) = lanes.get(task) {
             return Ok(lane.version());
         }
-        let model = ServableModel::from_checkpoint(self.registry.load_latest(task)?)?;
+        let model = ServableModel::from_checkpoint_with(
+            self.registry.load_latest(task)?,
+            self.policy.precision,
+        )?;
         let version = model.version;
         let reloader = self.reloader(task);
         lanes.insert(
@@ -56,10 +59,11 @@ impl ForecastServer {
         let task = task.to_string();
         let attempts = self.policy.reload_retries;
         let backoff = self.policy.reload_backoff;
+        let precision = self.policy.precision;
         Arc::new(move || {
             registry
                 .load_latest_retry(&task, attempts, backoff)
-                .and_then(ServableModel::from_checkpoint)
+                .and_then(|ckpt| ServableModel::from_checkpoint_with(ckpt, precision))
         })
     }
 
@@ -91,12 +95,13 @@ impl ForecastServer {
     /// and the error is returned for the operator to act on.
     pub fn reload(&self, task: &str) -> Result<u32, ServeError> {
         let lane = self.lane_or_err(task)?;
-        let model =
-            self.registry.load_latest(task).and_then(ServableModel::from_checkpoint).inspect_err(
-                |e| {
-                    octs_obs::event("serve.swap_failed", lane.version() as f64, &e.to_string());
-                },
-            )?;
+        let model = self
+            .registry
+            .load_latest(task)
+            .and_then(|ckpt| ServableModel::from_checkpoint_with(ckpt, self.policy.precision))
+            .inspect_err(|e| {
+                octs_obs::event("serve.swap_failed", lane.version() as f64, &e.to_string());
+            })?;
         let version = model.version;
         lane.swap(model);
         Ok(version)

@@ -1,0 +1,159 @@
+//! Golden fixture for the frozen serving path: a fixed-seed checkpoint
+//! published to a registry, loaded at every precision policy, and forecast
+//! on a fixed probe — snapshotted bit-for-bit to
+//! `tests/golden/frozen_serving.json`.
+//!
+//! The fixture pins, per tier: the effective precision after the load-time
+//! conformance probe, whether the probe demoted the policy, and the exact
+//! forecast bytes. Any change to freezing, fusion, quantization, the probe
+//! budget, or the registry load path shows up as a structural diff naming
+//! the drifted field. Regenerate deliberately with `UPDATE_GOLDEN=1 cargo
+//! test -p octs-serve --test frozen_golden` and commit the fixture diff.
+
+use octs_data::Adjacency;
+use octs_model::{Forecaster, ModelDims};
+use octs_serve::{ModelRegistry, Precision, ServableCheckpoint, ServableModel, INT8_PROBE_BUDGET};
+use octs_space::{ArchDag, ArchHyper, HyperParams};
+use octs_tensor::Tensor;
+use octs_testkit::golden::check_against_fixture;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::path::PathBuf;
+
+const N: usize = 4;
+const F: usize = 2;
+const P: usize = 12;
+const WEIGHT_SEED: u64 = 3;
+
+/// One precision tier's end-to-end outcome on the golden checkpoint.
+#[derive(Serialize)]
+struct TierSnapshot {
+    /// Requested [`BatchPolicy::precision`] policy (`"tape"` for `None`).
+    policy: String,
+    /// Effective precision after the load-time probe.
+    effective: String,
+    /// Whether the probe demoted the policy (int8 over budget).
+    fell_back: bool,
+    /// `f32::to_bits` of the forecast on the fixed probe input.
+    forecast_bits: Vec<u64>,
+}
+
+/// The committed snapshot: registry-load → frozen-forward per tier.
+#[derive(Serialize)]
+struct FrozenServingRun {
+    /// Bump when the snapshot layout changes (forces regeneration).
+    schema_version: u64,
+    /// Registry version the checkpoint published as.
+    version: u64,
+    /// Weight seed of the fixture forecaster.
+    weight_seed: u64,
+    /// Per-policy outcomes, in `[tape, full, fused, int8]` order.
+    tiers: Vec<TierSnapshot>,
+    /// `f32::to_bits` of the worst int8-vs-tape deviation, normalized the
+    /// same way as the load-time probe.
+    int8_max_err_bits: u64,
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// The same quantizing shape as the chaos quant fixture: `h = 8`, `i = 16`
+/// puts the output head's weight over the int8 minimum-size threshold.
+fn publish_fixture(reg: &ModelRegistry, task: &str) -> u32 {
+    let arch = ArchDag::sample_admissible(3, &mut ChaCha8Rng::seed_from_u64(7));
+    let hp = HyperParams { b: 1, c: 3, h: 8, i: 16, u: 0, delta: 0 };
+    let adj = Adjacency::identity(N);
+    let dims = ModelDims { n: N, f: F, p: P, out_steps: 3 };
+    let mut fc = Forecaster::new(ArchHyper::new(arch, hp), dims, &adj, WEIGHT_SEED);
+    fc.training = false;
+    fc.predict(&Tensor::zeros([1, F, N, P]));
+    let mut ckpt = ServableCheckpoint::new(task, &fc, &adj, WEIGHT_SEED);
+    reg.publish(&mut ckpt).unwrap()
+}
+
+fn probe_input() -> Tensor {
+    let len = F * N * P;
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 33) % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect();
+    Tensor::new([F, N, P], data)
+}
+
+fn tier_name(p: Option<Precision>) -> String {
+    match p {
+        None => "tape".to_string(),
+        Some(Precision::Full) => "full".to_string(),
+        Some(Precision::Fused) => "fused".to_string(),
+        Some(Precision::Int8) => "int8".to_string(),
+    }
+}
+
+fn capture() -> FrozenServingRun {
+    let dir = std::env::temp_dir().join(format!("octs_frozen_golden_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let reg = ModelRegistry::open(&dir).unwrap();
+    let version = publish_fixture(&reg, "golden");
+    let x = probe_input();
+
+    let mut tiers = Vec::new();
+    let mut forecasts = Vec::new();
+    for policy in [None, Some(Precision::Full), Some(Precision::Fused), Some(Precision::Int8)] {
+        let mut m = ServableModel::from_checkpoint_with(reg.load_latest("golden").unwrap(), policy)
+            .unwrap();
+        let forecast = m.predict_batch(&[&x]).remove(0);
+        tiers.push(TierSnapshot {
+            policy: tier_name(policy),
+            effective: tier_name(m.precision()),
+            fell_back: policy.is_some() && m.precision() != policy,
+            forecast_bits: forecast.data().iter().map(|v| v.to_bits() as u64).collect(),
+        });
+        forecasts.push(forecast);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let tape = forecasts[0].data().to_vec();
+    let int8 = forecasts[3].data();
+    let scale = tape.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+    let int8_err = int8.iter().zip(&tape).fold(0.0f32, |m, (a, b)| m.max((a - b).abs())) / scale;
+
+    FrozenServingRun {
+        schema_version: 1,
+        version: version as u64,
+        weight_seed: WEIGHT_SEED,
+        tiers,
+        int8_max_err_bits: int8_err.to_bits() as u64,
+    }
+}
+
+#[test]
+fn frozen_serving_matches_golden_fixture() {
+    let run = capture();
+
+    // Structural invariants the snapshot must satisfy regardless of the
+    // committed bytes: full and fused tiers are byte-identical to the tape,
+    // int8 serves without demotion and stays within the probe budget.
+    assert_eq!(run.tiers[1].forecast_bits, run.tiers[0].forecast_bits, "full != tape");
+    assert_eq!(run.tiers[2].forecast_bits, run.tiers[0].forecast_bits, "fused != tape");
+    for t in &run.tiers {
+        assert_eq!(t.effective, t.policy, "clean loads must not demote ({})", t.policy);
+        assert!(!t.fell_back, "clean loads must not fall back ({})", t.policy);
+    }
+    assert_ne!(
+        run.tiers[3].forecast_bits, run.tiers[0].forecast_bits,
+        "the golden fixture must actually quantize"
+    );
+    let int8_err = f32::from_bits(run.int8_max_err_bits as u32);
+    assert!(
+        int8_err <= INT8_PROBE_BUDGET,
+        "int8 golden forecast deviates {int8_err:.3e}, over the probe budget {INT8_PROBE_BUDGET:.1e}"
+    );
+
+    if let Err(diff) = check_against_fixture(&fixture("frozen_serving.json"), &run) {
+        panic!("{diff}");
+    }
+}

@@ -30,7 +30,7 @@ enum Op {
     Mul(Id, Id),
     Div(Id, Id),
     AddBias(Id, Id),
-    AddScalar(Id),
+    AddScalar(Id, f32),
     MulScalar(Id, f32),
     Neg(Id),
     Matmul {
@@ -59,6 +59,7 @@ enum Op {
         gamma: Id,
         beta: Id,
         d: usize,
+        eps: f32,
         saved: LayerNormSaved,
     },
     Conv1d {
@@ -216,6 +217,102 @@ impl Graph {
     pub fn grad_of(&self, v: &Var) -> Option<Tensor> {
         self.tape.borrow().nodes[v.id].grad.clone()
     }
+
+    /// Compiles the recorded forward pass into a tape-free
+    /// [`crate::infer::FrozenGraph`] specialized to `input`'s shape.
+    ///
+    /// Every non-`input` leaf is baked in as a constant (parameters,
+    /// adjacency matrices, dropout masks), so the frozen graph replays the
+    /// exact forward with a single tensor argument. Loss ops
+    /// (`bce_with_logits`) are not servable and panic here.
+    ///
+    /// # Panics
+    /// Panics if `input` or `output` belong to another graph, or if the tape
+    /// contains a loss op.
+    pub fn freeze(
+        &self,
+        input: &Var,
+        output: &Var,
+        precision: crate::infer::Precision,
+    ) -> crate::infer::FrozenGraph {
+        use crate::infer::{Act, FrozenOp};
+        assert!(Rc::ptr_eq(&self.tape, &input.graph.tape), "input from another graph");
+        assert!(Rc::ptr_eq(&self.tape, &output.graph.tape), "output from another graph");
+        let tape = self.tape.borrow();
+        let steps: Vec<FrozenOp> = tape
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, node)| match &node.op {
+                Op::Leaf => {
+                    if id == input.id {
+                        FrozenOp::Input
+                    } else {
+                        FrozenOp::Const(node.value.clone())
+                    }
+                }
+                Op::Add(a, b) => FrozenOp::Add(*a, *b),
+                Op::Sub(a, b) => FrozenOp::Sub(*a, *b),
+                Op::Mul(a, b) => FrozenOp::Mul(*a, *b),
+                Op::Div(a, b) => FrozenOp::Div(*a, *b),
+                Op::AddBias(x, bias) => FrozenOp::AddBias { x: *x, bias: *bias },
+                Op::AddScalar(x, s) => FrozenOp::AddScalar { x: *x, s: *s },
+                Op::MulScalar(x, s) => FrozenOp::MulScalar { x: *x, s: *s },
+                Op::Neg(x) => FrozenOp::Neg(*x),
+                Op::Matmul { a, b, kind, batch, m, k, n } => FrozenOp::Matmul {
+                    a: *a,
+                    b: *b,
+                    kind: *kind,
+                    batch: *batch,
+                    m: *m,
+                    k: *k,
+                    n: *n,
+                    out_shape: node.value.shape().to_vec(),
+                },
+                Op::Relu(x) => FrozenOp::Unary { x: *x, act: Act::Relu },
+                Op::LeakyRelu(x, alpha) => FrozenOp::Unary { x: *x, act: Act::LeakyRelu(*alpha) },
+                Op::Sigmoid(x) => FrozenOp::Unary { x: *x, act: Act::Sigmoid },
+                Op::Tanh(x) => FrozenOp::Unary { x: *x, act: Act::Tanh },
+                Op::Gelu(x) => FrozenOp::Unary { x: *x, act: Act::Gelu },
+                Op::Abs(x) => FrozenOp::Unary { x: *x, act: Act::Abs },
+                Op::Sqrt(x) => FrozenOp::Unary { x: *x, act: Act::Sqrt },
+                Op::Ln(x) => FrozenOp::Unary { x: *x, act: Act::Ln },
+                Op::Softmax { x, d } => FrozenOp::Softmax { x: *x, d: *d },
+                Op::LayerNorm { x, gamma, beta, d, eps, saved: _ } => {
+                    FrozenOp::LayerNorm { x: *x, gamma: *gamma, beta: *beta, d: *d, eps: *eps }
+                }
+                Op::Conv1d { x, w, bias, b, c_in, c_out, l, k, dilation } => FrozenOp::Conv1d {
+                    x: *x,
+                    w: *w,
+                    bias: *bias,
+                    b: *b,
+                    c_in: *c_in,
+                    c_out: *c_out,
+                    l: *l,
+                    k: *k,
+                    dilation: *dilation,
+                    act: None,
+                },
+                Op::Reshape(x) => FrozenOp::Reshape { x: *x, shape: node.value.shape().to_vec() },
+                Op::Permute { x, axes } => FrozenOp::Permute { x: *x, axes: axes.clone() },
+                Op::Concat { xs, axis } => FrozenOp::Concat { xs: xs.clone(), axis: *axis },
+                Op::SliceAxis { x, axis, start, len } => {
+                    FrozenOp::SliceAxis { x: *x, axis: *axis, start: *start, len: *len }
+                }
+                Op::SumAll(x) => FrozenOp::SumAll(*x),
+                Op::MeanAll(x) => FrozenOp::MeanAll(*x),
+                Op::SumAxis { x, axis } => FrozenOp::SumAxis { x: *x, axis: *axis },
+                Op::MeanAxis { x, axis } => FrozenOp::MeanAxis { x: *x, axis: *axis },
+                Op::Dropout { x, mask } => FrozenOp::MulConst { x: *x, c: (**mask).clone() },
+                Op::GatherRows { x, idx } => FrozenOp::GatherRows { x: *x, idx: (**idx).clone() },
+                Op::BceWithLogits { .. } => {
+                    panic!("freeze: loss op bce_with_logits is not servable")
+                }
+            })
+            .collect();
+        let input_shape = tape.nodes[input.id].value.shape().to_vec();
+        crate::infer::FrozenGraph::compile(steps, input.id, output.id, input_shape, precision)
+    }
 }
 
 fn accumulate(nodes: &mut [Node], id: Id, delta: &Tensor) {
@@ -285,7 +382,7 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
                 }
             });
         }
-        Op::AddScalar(x) => accumulate(nodes, *x, dout),
+        Op::AddScalar(x, _) => accumulate(nodes, *x, dout),
         Op::MulScalar(x, s) => {
             let dx = dout.map(|v| v * s);
             accumulate(nodes, *x, &dx);
@@ -360,7 +457,7 @@ fn backprop_one(nodes: &mut [Node], i: Id, op: &Op, dout: &Tensor) {
                 softmax::softmax_backward(y.data(), dout.data(), dx, *d);
             });
         }
-        Op::LayerNorm { x, gamma, beta, d, saved } => {
+        Op::LayerNorm { x, gamma, beta, d, eps: _, saved } => {
             let xv = nodes[*x].value.clone();
             let gv = nodes[*gamma].value.clone();
             let mut dx = crate::pool::take(xv.len());
@@ -591,7 +688,7 @@ impl Var {
     /// Adds a scalar constant.
     pub fn add_scalar(&self, s: f32) -> Var {
         let v = self.value().map(|x| x + s);
-        self.unary(v, Op::AddScalar(self.id))
+        self.unary(v, Op::AddScalar(self.id, s))
     }
 
     /// Multiplies by a scalar constant.
@@ -703,7 +800,7 @@ impl Var {
         let req = self.requires() || gamma.requires() || beta.requires();
         self.graph.push(
             out,
-            Op::LayerNorm { x: self.id, gamma: gamma.id, beta: beta.id, d, saved },
+            Op::LayerNorm { x: self.id, gamma: gamma.id, beta: beta.id, d, eps, saved },
             req,
             None,
         )

@@ -30,6 +30,7 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
 pub mod init;
 pub mod optim;
 pub mod param;
@@ -43,6 +44,7 @@ pub mod ops {
     pub mod elementwise;
     pub mod matmul;
     pub mod norm;
+    pub mod qgemm;
     pub mod reduce;
     pub mod shapeops;
     pub mod softmax;
@@ -50,6 +52,7 @@ pub mod ops {
 
 pub use gradcheck::{check_gradient, check_gradient_report, normalized_deviation, GradReport};
 pub use graph::{Graph, Var};
+pub use infer::{Act, FrozenGraph, FrozenOp, Precision};
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use param::{Init, ParamStore};
 pub use pool::PoolStats;

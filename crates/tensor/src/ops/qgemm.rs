@@ -1,0 +1,267 @@
+//! Int8 dynamic-quantized GEMM for the frozen inference backend.
+//!
+//! The weight side (RHS) is quantized **once at freeze time**: each output
+//! column gets its own symmetric scale (`max|w| / 127`) and the column is
+//! packed column-major as `i8`, so the inner product over `k` walks both
+//! operands contiguously. The activation side (LHS) is quantized **per row
+//! per call** with the same symmetric scheme — per-row dynamic quantization —
+//! into a thread-local scratch buffer, so serving steady state allocates
+//! nothing.
+//!
+//! Accumulation is exact `i32` (the `i8 × i8` products and their sums fit
+//! with huge margin at model sizes), and the epilogue dequantizes with
+//! `scale_a[row] * scale_b[col]`. Because integer accumulation has no
+//! rounding, the result is bit-deterministic regardless of thread count or
+//! summation order — the only approximation is the two quantization
+//! roundings, which the testkit's tolerance-budget conformance sweep gates
+//! per operator.
+
+use std::cell::RefCell;
+
+/// Minimum `k × n` element count for a weight matrix to be worth quantizing.
+/// Below this the quantize/dequantize overhead beats the GEMM saving, and
+/// tiny matrices contribute most of the relative error.
+pub const QUANT_MIN_ELEMS: usize = 64;
+
+thread_local! {
+    static ROW_SCRATCH: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
+    static SATURATE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Arms (or disarms) saturation injection on this thread: while armed, the
+/// activation scale is computed as if the row maximum were 16× larger than
+/// it is, clamping most quantized activations to ±127 and producing
+/// deterministic garbage. The fault harness uses this to prove the int8
+/// load-time probe trips the precision fallback instead of serving silently
+/// wrong forecasts.
+pub fn set_saturation_injection(on: bool) {
+    SATURATE.with(|s| s.set(on));
+}
+
+/// True while [`set_saturation_injection`] is armed on this thread.
+pub fn saturation_injection() -> bool {
+    SATURATE.with(std::cell::Cell::get)
+}
+
+/// A weight matrix quantized and packed at freeze time: per-output-column
+/// symmetric `i8` with `f32` scales, stored column-major.
+#[derive(Debug, Clone)]
+pub struct QuantizedRhs {
+    /// Inner (reduction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Packed weights, column-major: `q[j * k + t]` is `B[t, j]`.
+    q: Vec<i8>,
+    /// Per-column dequantization scales (`max|col| / 127`; 1.0 for all-zero
+    /// columns so dequantization never divides by zero).
+    scales: Vec<f32>,
+}
+
+impl QuantizedRhs {
+    /// Quantizes a row-major `[k, n]` f32 matrix.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != k * n`.
+    pub fn quantize(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "quantize: expected {k}x{n} matrix");
+        let mut q = vec![0i8; k * n];
+        let mut scales = vec![1.0f32; n];
+        for j in 0..n {
+            let mut amax = 0.0f32;
+            for t in 0..k {
+                amax = amax.max(b[t * n + j].abs());
+            }
+            if amax > 0.0 {
+                let scale = amax / 127.0;
+                scales[j] = scale;
+                let inv = 127.0 / amax;
+                for t in 0..k {
+                    q[j * k + t] = (b[t * n + j] * inv).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        Self { k, n, q, scales }
+    }
+
+    /// Per-column dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the row-major f32 matrix (test/debug aid).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.k * self.n];
+        for j in 0..self.n {
+            let s = self.scales[j];
+            for t in 0..self.k {
+                out[t * self.n + j] = f32::from(self.q[j * self.k + t]) * s;
+            }
+        }
+        out
+    }
+}
+
+/// `out[rows, n] = A[rows, k] × rhs`, with per-row dynamic activation
+/// quantization, exact `i32` accumulation, and an f32 dequantizing epilogue.
+///
+/// All-zero activation rows produce exactly-zero output rows (no scale is
+/// derived from them), so padded batch slots stay clean.
+///
+/// # Panics
+/// Panics if the slice lengths disagree with `rows`/`rhs`.
+pub fn qgemm(a: &[f32], rows: usize, rhs: &QuantizedRhs, out: &mut [f32]) {
+    let (k, n) = (rhs.k, rhs.n);
+    assert_eq!(a.len(), rows * k, "qgemm: lhs must be {rows}x{k}");
+    assert_eq!(out.len(), rows * n, "qgemm: out must be {rows}x{n}");
+    let saturate = saturation_injection();
+    ROW_SCRATCH.with(|scratch| {
+        let mut qa = scratch.borrow_mut();
+        qa.resize(k, 0);
+        for i in 0..rows {
+            let row = &a[i * k..(i + 1) * k];
+            let mut amax = 0.0f32;
+            for &v in row {
+                amax = amax.max(v.abs());
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            if amax == 0.0 || !amax.is_finite() {
+                out_row.fill(if amax == 0.0 { 0.0 } else { f32::NAN });
+                continue;
+            }
+            // Saturation injection shrinks the representable range 16×, so
+            // most activations clamp at ±127: deterministic, very wrong.
+            let eff_max = if saturate { amax / 16.0 } else { amax };
+            let scale_a = eff_max / 127.0;
+            let inv = 127.0 / eff_max;
+            for (qv, &v) in qa.iter_mut().zip(row) {
+                *qv = (v * inv).round().clamp(-127.0, 127.0) as i8;
+            }
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let col = &rhs.q[j * k..(j + 1) * k];
+                let mut acc: i32 = 0;
+                for (&x, &w) in qa.iter().zip(col) {
+                    acc += i32::from(x) * i32::from(w);
+                }
+                *o = acc as f32 * scale_a * rhs.scales[j];
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for t in 0..k {
+                    acc += a[i * k + t] * b[t * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn pseudo(seed: u64, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = ((s >> 40) as f32) / ((1u64 << 24) as f32);
+                lo + u * (hi - lo)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_round_trips_within_half_step() {
+        let (k, n) = (16, 8);
+        let b = pseudo(3, k * n, -2.0, 2.0);
+        let rhs = QuantizedRhs::quantize(&b, k, n);
+        let back = rhs.dequantize();
+        for j in 0..n {
+            let amax = (0..k).map(|t| b[t * n + j].abs()).fold(0.0f32, f32::max);
+            let step = amax / 127.0;
+            for t in 0..k {
+                let err = (b[t * n + j] - back[t * n + j]).abs();
+                assert!(err <= 0.5 * step + 1e-7, "col {j} row {t}: err {err} > step/2 {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn qgemm_tracks_reference_within_budget() {
+        let (m, k, n) = (5, 48, 32);
+        let a = pseudo(1, m * k, -1.5, 1.5);
+        let b = pseudo(2, k * n, -1.0, 1.0);
+        let rhs = QuantizedRhs::quantize(&b, k, n);
+        let mut got = vec![0.0f32; m * n];
+        qgemm(&a, m, &rhs, &mut got);
+        let want = reference_gemm(&a, &b, m, k, n);
+        let ref_max = want.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() / ref_max.max(1.0) < 2e-2, "got {g} want {w}");
+        }
+    }
+
+    #[test]
+    fn qgemm_is_deterministic() {
+        let (m, k, n) = (4, 32, 16);
+        let a = pseudo(9, m * k, -1.0, 1.0);
+        let b = pseudo(10, k * n, -1.0, 1.0);
+        let rhs = QuantizedRhs::quantize(&b, k, n);
+        let mut r1 = vec![0.0f32; m * n];
+        let mut r2 = vec![0.0f32; m * n];
+        qgemm(&a, m, &rhs, &mut r1);
+        qgemm(&a, m, &rhs, &mut r2);
+        assert_eq!(
+            r1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            r2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_rows_stay_exactly_zero() {
+        let (k, n) = (8, 4);
+        let b = pseudo(5, k * n, -1.0, 1.0);
+        let rhs = QuantizedRhs::quantize(&b, k, n);
+        let a = vec![0.0f32; 2 * k];
+        let mut out = vec![1.0f32; 2 * n];
+        qgemm(&a, 2, &rhs, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn saturation_injection_corrupts_deterministically() {
+        let (m, k, n) = (2, 32, 16);
+        let a = pseudo(11, m * k, -1.0, 1.0);
+        let b = pseudo(12, k * n, -1.0, 1.0);
+        let rhs = QuantizedRhs::quantize(&b, k, n);
+        let mut clean = vec![0.0f32; m * n];
+        qgemm(&a, m, &rhs, &mut clean);
+        set_saturation_injection(true);
+        let mut bad1 = vec![0.0f32; m * n];
+        let mut bad2 = vec![0.0f32; m * n];
+        qgemm(&a, m, &rhs, &mut bad1);
+        qgemm(&a, m, &rhs, &mut bad2);
+        set_saturation_injection(false);
+        assert_ne!(clean, bad1, "saturation must corrupt the output");
+        assert_eq!(
+            bad1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            bad2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "corruption must be deterministic"
+        );
+        let mut clean_again = vec![0.0f32; m * n];
+        qgemm(&a, m, &rhs, &mut clean_again);
+        assert_eq!(
+            clean.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            clean_again.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "disarming must fully restore the clean path"
+        );
+    }
+}

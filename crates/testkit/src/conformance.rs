@@ -49,7 +49,7 @@ impl std::fmt::Display for OpFamily {
 /// well-defined: kinked ops never sample within finite-difference reach of
 /// the kink, domain-restricted ops stay strictly inside their domain.
 #[derive(Debug, Clone, Copy)]
-enum InputKind {
+pub(crate) enum InputKind {
     /// Uniform in `(-1.5, 1.5)` — for smooth everywhere ops.
     Smooth,
     /// Magnitude in `(0.3, 1.2)`, random sign — for `relu`/`abs`-style kinks.
@@ -206,11 +206,11 @@ impl ConformanceReport {
 // ---------------------------------------------------------------------------
 // deterministic value derivation
 
-fn mix(seed: u64, salt: u64) -> u64 {
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ salt
 }
 
-fn shape_salt(shape: &[usize]) -> u64 {
+pub(crate) fn shape_salt(shape: &[usize]) -> u64 {
     shape.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &d| {
         (h ^ (d as u64 + 1)).wrapping_mul(0x0000_0100_0000_01b3)
     })
@@ -231,7 +231,7 @@ fn draw(kind: InputKind, rng: &mut ChaCha8Rng) -> f32 {
     }
 }
 
-fn tensor_of(kind: InputKind, shape: &[usize], seed: u64, salt: u64) -> Tensor {
+pub(crate) fn tensor_of(kind: InputKind, shape: &[usize], seed: u64, salt: u64) -> Tensor {
     let mut rng = ChaCha8Rng::seed_from_u64(mix(seed, shape_salt(shape) ^ salt));
     let numel: usize = shape.iter().product();
     Tensor::new(shape.to_vec(), (0..numel).map(|_| draw(kind, &mut rng)).collect())
@@ -250,7 +250,7 @@ fn readout(seed: u64, g: &Graph, y: &Var) -> Var {
     y.mul(&cst(seed, 0x5EAD, g, &shape, InputKind::AwayFromZero)).sum_all()
 }
 
-fn path_adjacency(n: usize) -> (Tensor, Tensor) {
+pub(crate) fn path_adjacency(n: usize) -> (Tensor, Tensor) {
     let mut adj = Adjacency::identity(n);
     for i in 0..n.saturating_sub(1) {
         *adj.weight_mut(i, i + 1) = 1.0;

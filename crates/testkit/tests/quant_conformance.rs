@@ -1,0 +1,98 @@
+//! The quantized-inference conformance sweep, run as a test, plus the
+//! coverage contract pinning the enumerated op list to the gradient sweep's.
+//!
+//! `OCTS_CONFORMANCE_WIDE=1` (the nightly CI profile) widens the shape set.
+
+use octs_space::OpKind;
+use octs_testkit::qconform::{all_quant_specs, run_quant_sweep};
+
+/// Fixed sweep seed — the gradient sweep's, so a reported failure replays
+/// from `(op, seed, shape)` alone and both sweeps exercise the same inputs.
+const SWEEP_SEED: u64 = 0x0C75_2024;
+
+fn wide() -> bool {
+    std::env::var("OCTS_CONFORMANCE_WIDE").as_deref() == Ok("1")
+}
+
+#[test]
+fn quantized_conformance_sweep_is_green() {
+    let report = run_quant_sweep(SWEEP_SEED, wide());
+    report.assert_green();
+}
+
+/// The model-layer contract: the exact op list the gradient sweep pins
+/// (see `tests/conformance_sweep.rs`), plus the full forecaster stack —
+/// what the serving layer actually freezes.
+const QUANT_OPS: &[&str] = &[
+    "model/gdcc",
+    "model/inf_t",
+    "model/dgcn",
+    "model/inf_s",
+    "model/identity",
+    "model/st_block",
+    "model/adaptive_adjacency",
+    "model/residual_norm",
+    "model/channel_projection",
+    "model/linear",
+    "model/linear_no_bias",
+    "model/mlp2",
+    "model/layer_norm",
+    "model/self_attention",
+    "model/multi_head_attention",
+    "model/gru_cell",
+    "model/forecaster",
+];
+
+#[test]
+fn quant_sweep_covers_every_model_operator() {
+    let specs = all_quant_specs();
+    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    for op in QUANT_OPS {
+        assert!(names.contains(op), "model op {op} has no quantized conformance spec");
+    }
+    for name in &names {
+        assert!(
+            QUANT_OPS.contains(name),
+            "spec {name} is not in the enumerated quantized op list — update the contract"
+        );
+    }
+    // Every operator kind of the search space maps to a registered spec, so
+    // a new OpKind cannot ship without a quantized-serving budget.
+    for op in OpKind::ALL {
+        let expected = match op {
+            OpKind::Gdcc => "model/gdcc",
+            OpKind::InfT => "model/inf_t",
+            OpKind::Dgcn => "model/dgcn",
+            OpKind::InfS => "model/inf_s",
+            OpKind::Identity => "model/identity",
+        };
+        assert!(names.contains(&expected), "OpKind::{op:?} has no quantized spec");
+    }
+}
+
+/// Ops with quantization-eligible weight matrices must declare
+/// `expect_quant` — the sweep then fails if the int8 freeze stops engaging
+/// the quantized GEMM, so coverage cannot silently rot into an f32-only
+/// sweep that proves nothing about quantization.
+#[test]
+fn quant_sweep_expects_quantization_where_matmuls_exist() {
+    let quantizing: Vec<&str> =
+        all_quant_specs().iter().filter(|s| s.expect_quant).map(|s| s.name).collect();
+    for op in [
+        "model/inf_t",
+        "model/dgcn",
+        "model/inf_s",
+        "model/st_block",
+        "model/adaptive_adjacency",
+        "model/channel_projection",
+        "model/linear",
+        "model/linear_no_bias",
+        "model/mlp2",
+        "model/self_attention",
+        "model/multi_head_attention",
+        "model/gru_cell",
+        "model/forecaster",
+    ] {
+        assert!(quantizing.contains(&op), "{op} should require quantized coverage");
+    }
+}
