@@ -17,6 +17,7 @@ pub mod ahc;
 pub mod calibration;
 pub mod gin;
 pub mod pretrain;
+pub mod stream;
 pub mod task_embed;
 pub mod ts2vec;
 
@@ -25,9 +26,11 @@ pub use calibration::{calibrate, ranking_fidelity, CalibrationReport};
 pub use gin::{gin_encode, materialize_gin, GinConfig};
 pub use pretrain::{
     assemble_samples, collect_bank, collect_labels, dynamic_pairs, embed_tasks, label_one,
-    label_units, pretrain_tahc, LabelUnit, LabeledAh, PretrainBank, PretrainConfig, PretrainReport,
-    TahcTrainer, TahcTrainerState, TaskSamples,
+    label_units, pretrain_tahc, pretrain_tahc_labeled, shared_pool, task_label_units, LabelUnit,
+    LabeledAh, LabeledBank, PretrainBank, PretrainConfig, PretrainReport, TahcTrainer,
+    TahcTrainerState, TaskSamples,
 };
+pub use stream::{collect_labeled_bank, label_task};
 pub use task_embed::{
     materialize_pool_task, pma, pool_task, EmbedKind, PoolKind, TaskEmbedConfig, TaskEmbedder,
 };

@@ -51,6 +51,31 @@ pub struct PretrainBank {
     pub samples: Vec<TaskSamples>,
 }
 
+/// The task-free residue of a [`PretrainBank`]: exactly what the training
+/// loop reads. The datasets themselves are ~99% of a bank's bytes and the
+/// trainer never touches them, so streaming pipelines label each task as it
+/// flows past, keep its `(prelim, samples)` pair here, and drop the task —
+/// peak memory stays O(prefetch window), not O(bank).
+#[derive(Default)]
+pub struct LabeledBank {
+    /// Frozen preliminary embeddings, one `[W, S, F']` tensor per task.
+    pub prelims: Vec<Tensor>,
+    /// Labelled samples per task.
+    pub samples: Vec<TaskSamples>,
+}
+
+impl LabeledBank {
+    /// Number of tasks represented.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no task has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
 /// Pre-training knobs.
 ///
 /// Serializable so crash-safe pipelines can fingerprint a run's
@@ -137,33 +162,59 @@ pub fn label_units(
     space: &JointSpace,
     cfg: &PretrainConfig,
 ) -> Vec<LabelUnit> {
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let shared_pool = space.sample_distinct(cfg.l_shared.max(1), &mut rng);
-    let shared_pool = &shared_pool[..cfg.l_shared];
-    let stride = (cfg.l_shared + cfg.l_random) as u64;
-    let mut units = Vec::with_capacity(tasks.len() * stride as usize);
+    let pool = shared_pool(space, cfg);
+    let stride = cfg.l_shared + cfg.l_random;
+    let mut units = Vec::with_capacity(tasks.len() * stride);
     for ti in 0..tasks.len() {
-        let mut trng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (ti as u64 + 1) << 8);
-        let randoms = space.sample_distinct(cfg.l_random, &mut trng);
-        let base = ti as u64 * stride;
-        for (i, ah) in shared_pool.iter().enumerate() {
-            units.push(LabelUnit {
-                unit: base + i as u64,
-                task_idx: ti,
-                shared: true,
-                slot: i,
-                ah: ah.clone(),
-            });
-        }
-        for (i, ah) in randoms.into_iter().enumerate() {
-            units.push(LabelUnit {
-                unit: base + (cfg.l_shared + i) as u64,
-                task_idx: ti,
-                shared: false,
-                slot: i,
-                ah,
-            });
-        }
+        units.extend(task_label_units(ti, &pool, space, cfg));
+    }
+    units
+}
+
+/// Samples the `L` arch-hypers shared across every pre-training task, from
+/// the master seed alone. Workers on disjoint shard subsets call this
+/// independently and land on the same pool.
+pub fn shared_pool(space: &JointSpace, cfg: &PretrainConfig) -> Vec<ArchHyper> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut pool = space.sample_distinct(cfg.l_shared.max(1), &mut rng);
+    pool.truncate(cfg.l_shared);
+    pool
+}
+
+/// Enumerates the labelling units of a single task: the shared pool in its
+/// per-task replica slots, plus the task's own random samples drawn from an
+/// independent per-task RNG substream. Depends only on `(ti, space, cfg)` —
+/// *not* on which worker runs it or which tasks surround it — so any
+/// shard→worker assignment reproduces the exact unit list of the in-memory
+/// [`label_units`] enumeration.
+pub fn task_label_units(
+    ti: usize,
+    shared: &[ArchHyper],
+    space: &JointSpace,
+    cfg: &PretrainConfig,
+) -> Vec<LabelUnit> {
+    let stride = (cfg.l_shared + cfg.l_random) as u64;
+    let mut trng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (ti as u64 + 1) << 8);
+    let randoms = space.sample_distinct(cfg.l_random, &mut trng);
+    let base = ti as u64 * stride;
+    let mut units = Vec::with_capacity(stride as usize);
+    for (i, ah) in shared.iter().enumerate() {
+        units.push(LabelUnit {
+            unit: base + i as u64,
+            task_idx: ti,
+            shared: true,
+            slot: i,
+            ah: ah.clone(),
+        });
+    }
+    for (i, ah) in randoms.into_iter().enumerate() {
+        units.push(LabelUnit {
+            unit: base + (cfg.l_shared + i) as u64,
+            task_idx: ti,
+            shared: false,
+            slot: i,
+            ah,
+        });
     }
     units
 }
@@ -405,6 +456,20 @@ impl TahcTrainer {
     /// [`PRETRAIN_MAX_RETRIES`] failed attempts the loss is recorded as-is
     /// and training moves on (downstream holdout accuracy exposes the wreck).
     pub fn run_epoch(&mut self, tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> f32 {
+        self.run_epoch_on(tahc, &bank.prelims, &bank.samples, cfg)
+    }
+
+    /// [`TahcTrainer::run_epoch`] over the task-free residue of a bank — the
+    /// entry point for streamed pre-training, where no [`PretrainBank`] (with
+    /// its resident datasets) ever exists. Byte-identical to `run_epoch` on
+    /// the equivalent in-memory bank.
+    pub fn run_epoch_on(
+        &mut self,
+        tahc: &mut Tahc,
+        prelims: &[Tensor],
+        samples: &[TaskSamples],
+        cfg: &PretrainConfig,
+    ) -> f32 {
         let _obs = octs_obs::span_detail("pretrain.epoch", self.epoch.to_string());
         let mut attempts = 0usize;
         loop {
@@ -412,7 +477,7 @@ impl TahcTrainer {
             let snap_opt = self.opt.clone();
             let snap_rng = self.rng.clone();
             let inject = octs_fault::armed() && octs_fault::pretrain_nan(self.epoch);
-            let (mut loss, batches) = self.epoch_pass(tahc, bank, cfg);
+            let (mut loss, batches) = self.epoch_pass(tahc, prelims, samples, cfg);
             if inject {
                 loss = f32::NAN;
             }
@@ -445,13 +510,14 @@ impl TahcTrainer {
     fn epoch_pass(
         &mut self,
         tahc: &mut Tahc,
-        bank: &PretrainBank,
+        prelims: &[Tensor],
+        samples: &[TaskSamples],
         cfg: &PretrainConfig,
     ) -> (f32, usize) {
         let use_task = tahc.cfg.task_aware;
         // Gather this epoch's pairs across all tasks (curriculum C_t).
         let mut all: Vec<(usize, &ArchHyper, &ArchHyper, f32)> = Vec::new();
-        for (ti, s) in bank.samples.iter().enumerate() {
+        for (ti, s) in samples.iter().enumerate() {
             let mut pool: Vec<LabeledAh> =
                 s.shared.iter().filter(|l| !l.quarantined).cloned().collect();
             pool.extend(s.random.iter().take(self.delta).filter(|l| !l.quarantined).cloned());
@@ -484,7 +550,7 @@ impl TahcTrainer {
             let batch: Vec<_> = chunk
                 .iter()
                 .map(|(ti, a, b, y)| {
-                    let prelim = if use_task { Some(&bank.prelims[*ti]) } else { None };
+                    let prelim = if use_task { Some(&prelims[*ti]) } else { None };
                     (prelim, *a, *b, *y)
                 })
                 .collect();
@@ -501,10 +567,22 @@ impl TahcTrainer {
     /// Hold-out evaluation over fresh pairings of the full (non-quarantined)
     /// pools, closing out the run as a [`PretrainReport`].
     pub fn finish(&self, tahc: &Tahc, bank: &PretrainBank, cfg: &PretrainConfig) -> PretrainReport {
+        self.finish_on(tahc, &bank.prelims, &bank.samples, cfg)
+    }
+
+    /// [`TahcTrainer::finish`] over the task-free residue of a bank; the
+    /// streamed counterpart, byte-identical to `finish`.
+    pub fn finish_on(
+        &self,
+        tahc: &Tahc,
+        prelims: &[Tensor],
+        samples: &[TaskSamples],
+        cfg: &PretrainConfig,
+    ) -> PretrainReport {
         let use_task = tahc.cfg.task_aware;
         let mut eval_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE7A1);
         let mut eval: Vec<(Option<&Tensor>, &ArchHyper, &ArchHyper, f32)> = Vec::new();
-        for (ti, s) in bank.samples.iter().enumerate() {
+        for (ti, s) in samples.iter().enumerate() {
             let pool: Vec<&LabeledAh> =
                 s.shared.iter().chain(s.random.iter()).filter(|l| !l.quarantined).collect();
             let mut idx: Vec<usize> = (0..pool.len()).collect();
@@ -515,7 +593,7 @@ impl TahcTrainer {
                     continue;
                 }
                 let y = if a.score < b.score { 1.0 } else { 0.0 };
-                let prelim = if use_task { Some(&bank.prelims[ti]) } else { None };
+                let prelim = if use_task { Some(&prelims[ti]) } else { None };
                 eval.push((prelim, &a.ah, &b.ah, y));
             }
         }
@@ -537,6 +615,21 @@ pub fn pretrain_tahc(tahc: &mut Tahc, bank: &PretrainBank, cfg: &PretrainConfig)
         trainer.run_epoch(tahc, bank, cfg);
     }
     trainer.finish(tahc, bank, cfg)
+}
+
+/// [`pretrain_tahc`] over a [`LabeledBank`] — the streamed pipeline's loop,
+/// byte-identical to the in-memory one on an equivalent bank.
+pub fn pretrain_tahc_labeled(
+    tahc: &mut Tahc,
+    bank: &LabeledBank,
+    cfg: &PretrainConfig,
+) -> PretrainReport {
+    let _obs = octs_obs::span("phase.pretrain");
+    let mut trainer = TahcTrainer::new(cfg);
+    while !trainer.is_done(cfg) {
+        trainer.run_epoch_on(tahc, &bank.prelims, &bank.samples, cfg);
+    }
+    trainer.finish_on(tahc, &bank.prelims, &bank.samples, cfg)
 }
 
 #[cfg(test)]

@@ -1,0 +1,170 @@
+//! Streamed bank collection: label tasks one at a time as they flow out of a
+//! shard cursor, keeping only the task-free residue the trainer reads.
+//!
+//! The in-memory pipeline ([`crate::pretrain::collect_bank`]) holds every
+//! [`ForecastTask`] — dataset included — for the whole run. At thousands of
+//! tasks that is gigabytes of resident data the training loop never touches:
+//! [`crate::pretrain::TahcTrainer`] reads only the preliminary embeddings and
+//! the labelled samples. The functions here exploit that split. Each task is
+//! embedded and labelled the moment it arrives, its `(prelim, samples)` pair
+//! is appended to a [`LabeledBank`], and the task (with its dataset) is
+//! dropped — peak memory is the streaming window, not the bank.
+//!
+//! Determinism contract: [`label_task`] depends only on `(task, ti, space,
+//! cfg)` — the shared pool comes from the master seed, the task's random
+//! samples from the per-task RNG substream — so any partition of tasks
+//! across workers, any arrival order and any prefetch window reproduces the
+//! in-memory pipeline's labels byte for byte.
+
+use crate::pretrain::{label_one, task_label_units, LabeledBank, PretrainConfig, TaskSamples};
+use crate::task_embed::TaskEmbedder;
+use octs_data::ForecastTask;
+use octs_space::{ArchHyper, JointSpace};
+use rayon::prelude::*;
+
+/// Labels a single task against the shared pool and its own random samples
+/// (parallel over the task's units). Equivalent to the task's slice of
+/// [`crate::pretrain::collect_labels`].
+pub fn label_task(
+    task: &ForecastTask,
+    ti: usize,
+    shared: &[ArchHyper],
+    space: &JointSpace,
+    cfg: &PretrainConfig,
+) -> TaskSamples {
+    let units = task_label_units(ti, shared, space, cfg);
+    let labeled: Vec<_> =
+        units.par_iter().map(|u| label_one(&u.ah, task, u.unit, &cfg.label_cfg)).collect();
+    let mut shared_l = Vec::with_capacity(cfg.l_shared);
+    let mut random_l = Vec::with_capacity(cfg.l_random);
+    for (u, l) in units.iter().zip(labeled) {
+        if u.shared {
+            shared_l.push(l);
+        } else {
+            random_l.push(l);
+        }
+    }
+    TaskSamples { shared: shared_l, random: random_l }
+}
+
+/// Streams `(task_idx, task)` pairs through embed + label, dropping each
+/// task as soon as its residue is banked. The stream must be densely ordered
+/// (task 0, 1, 2, …) — the single-consumer shape; sharded workers use
+/// [`label_task`] directly with their own index bookkeeping.
+///
+/// Byte-identical to [`crate::pretrain::collect_bank`] on the same task
+/// list: the embedder is frozen (no RNG consumed per task) and every label
+/// derives from per-task substreams.
+pub fn collect_labeled_bank<I>(
+    stream: I,
+    embedder: &mut TaskEmbedder,
+    space: &JointSpace,
+    cfg: &PretrainConfig,
+) -> LabeledBank
+where
+    I: IntoIterator<Item = (usize, ForecastTask)>,
+{
+    let _obs = octs_obs::span("phase.label_stream");
+    let shared = crate::pretrain::shared_pool(space, cfg);
+    let mut bank = LabeledBank::default();
+    for (ti, task) in stream {
+        assert_eq!(ti, bank.len(), "stream must be densely ordered from task 0");
+        bank.prelims.push(embedder.preliminary(&task));
+        bank.samples.push(label_task(&task, ti, &shared, space, cfg));
+        // `task` drops here; its dataset never outlives this iteration.
+    }
+    octs_obs::counter("label_stream.tasks", bank.len() as u64);
+    bank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretrain::{collect_bank, shared_pool};
+    use crate::task_embed::TaskEmbedConfig;
+    use crate::ts2vec::Ts2VecConfig;
+    use octs_data::{DatasetProfile, Domain, ForecastSetting};
+
+    fn tiny_tasks(n: usize) -> Vec<ForecastTask> {
+        (0..n)
+            .map(|i| {
+                let p = DatasetProfile::custom(
+                    &format!("st{i}"),
+                    if i % 2 == 0 { Domain::Traffic } else { Domain::Energy },
+                    3,
+                    200,
+                    24,
+                    0.3,
+                    0.1,
+                    10.0,
+                    70 + i as u64,
+                );
+                ForecastTask::new(p.generate(0), ForecastSetting::multi(4, 2), 0.6, 0.2, 2)
+            })
+            .collect()
+    }
+
+    fn tiny_embedder() -> TaskEmbedder {
+        TaskEmbedder::new(TaskEmbedConfig::test(), Ts2VecConfig::test(), 1)
+    }
+
+    #[test]
+    fn streamed_bank_matches_in_memory_byte_for_byte() {
+        let tasks = tiny_tasks(3);
+        let space = JointSpace::tiny();
+        let cfg = PretrainConfig { l_shared: 3, l_random: 3, ..PretrainConfig::test() };
+
+        let mut emb_a = tiny_embedder();
+        let in_memory = collect_bank(tasks.clone(), &mut emb_a, &space, &cfg);
+
+        let mut emb_b = tiny_embedder();
+        let streamed =
+            collect_labeled_bank(tasks.into_iter().enumerate(), &mut emb_b, &space, &cfg);
+
+        assert_eq!(streamed.len(), in_memory.tasks.len());
+        for (a, b) in streamed.prelims.iter().zip(&in_memory.prelims) {
+            assert_eq!(a.data(), b.data(), "prelims must be byte-identical");
+        }
+        for (a, b) in streamed.samples.iter().zip(&in_memory.samples) {
+            for (x, y) in a.shared.iter().chain(&a.random).zip(b.shared.iter().chain(&b.random)) {
+                assert_eq!(x.ah, y.ah);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+                assert_eq!(x.quarantined, y.quarantined);
+            }
+        }
+    }
+
+    #[test]
+    fn label_task_is_partition_independent() {
+        // Labelling task 2 alone must equal labelling it amid the full bank:
+        // the per-task substream makes the unit list context-free.
+        let tasks = tiny_tasks(3);
+        let space = JointSpace::tiny();
+        let cfg = PretrainConfig { l_shared: 2, l_random: 2, ..PretrainConfig::test() };
+        let pool = shared_pool(&space, &cfg);
+
+        let alone = label_task(&tasks[2], 2, &pool, &space, &cfg);
+        let mut emb = tiny_embedder();
+        let full = collect_bank(tasks, &mut emb, &space, &cfg);
+        for (x, y) in alone
+            .shared
+            .iter()
+            .chain(&alone.random)
+            .zip(full.samples[2].shared.iter().chain(&full.samples[2].random))
+        {
+            assert_eq!(x.ah, y.ah);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "densely ordered")]
+    fn out_of_order_stream_is_rejected() {
+        let tasks = tiny_tasks(2);
+        let space = JointSpace::tiny();
+        let cfg = PretrainConfig::test();
+        let mut emb = tiny_embedder();
+        let reversed = tasks.into_iter().enumerate().rev();
+        collect_labeled_bank(reversed, &mut emb, &space, &cfg);
+    }
+}

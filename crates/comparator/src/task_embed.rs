@@ -77,6 +77,12 @@ impl TaskEmbedConfig {
 /// Produces *frozen* preliminary task embeddings: samples `W` windows of span
 /// `P + Q` from the task's training region, encodes them (Eq. 9) and averages
 /// over the `N` series (Eq. 10), yielding `[W, S, F']`.
+///
+/// `Clone` exists for the sharded pre-training workers: after
+/// [`TaskEmbedder::pretrain_encoder`] the embedder is frozen
+/// ([`TaskEmbedder::preliminary`] consumes no RNG), so cloned copies produce
+/// byte-identical embeddings.
+#[derive(Clone)]
 pub struct TaskEmbedder {
     /// Configuration.
     pub cfg: TaskEmbedConfig,

@@ -50,6 +50,10 @@ impl Ts2VecConfig {
 
 /// The encoder: owns its parameters; [`Ts2Vec::pretrain`] fits them once,
 /// after which [`Ts2Vec::encode`] is a frozen feature extractor.
+///
+/// `Clone` exists for the sharded pre-training workers: a trained encoder is
+/// frozen (encoding consumes no RNG), so cloned copies embed identically.
+#[derive(Clone)]
 pub struct Ts2Vec {
     /// Configuration.
     pub cfg: Ts2VecConfig,

@@ -1,0 +1,411 @@
+//! Sharded, streaming, crash-safe pre-training over a disk-resident task
+//! bank: the scale-out counterpart of [`crate::pipeline`].
+//!
+//! Where [`AutoCts::pretrain_journaled`] holds every [`octs_data::ForecastTask`]
+//! in memory for the whole run, this pipeline streams tasks out of a bank
+//! written by [`octs_data::write_bank`] and keeps only the task-free residue
+//! the trainer reads (preliminary embeddings + labelled samples), so peak
+//! memory is O(prefetch window + residue) instead of O(bank).
+//!
+//! ```text
+//! run_dir/
+//!   progress.journal           fingerprint, encoder, per-shard, per-epoch records
+//!   encoder.ckpt               task-encoder parameters
+//!   shard_labels_00000.ckpt    one labelled-shard sidecar per bank shard
+//!   ...
+//!   epoch_0001.ckpt            TahcTrainerState at each comparator epoch
+//!   pretrained.ckpt            the final pre-trained T-AHC artifact
+//! ```
+//!
+//! Determinism contract:
+//! - shard `s` is owned by worker `s % workers`
+//!   ([`octs_data::BankManifest::shards_for_worker`]), but every label is a
+//!   pure function of `(task, task_idx, space, cfg)` — per-task RNG
+//!   substreams, a master-seeded shared pool, and a frozen cloned embedder —
+//!   so the merged result is **byte-identical for any worker count and any
+//!   prefetch window**;
+//! - the journal records progress at shard granularity; a run killed at any
+//!   shard boundary (or anywhere else) resumes from completed sidecars and
+//!   finishes bit-for-bit identical to an uninterrupted run;
+//! - the run fingerprint covers the system + pre-training configuration and
+//!   the bank's content fingerprint, *not* `workers`/`prefetch` — those are
+//!   execution geometry, free to change across resumes.
+
+use crate::error::CoreError;
+use crate::facade::AutoCts;
+use crate::journal::{Journal, Record};
+use crate::persist;
+use octs_comparator::{
+    label_task, shared_pool, LabeledAh, LabeledBank, PretrainConfig, PretrainReport, TahcTrainer,
+    TahcTrainerState, TaskSamples,
+};
+use octs_data::bank::MANIFEST_FILE;
+use octs_data::{BankManifest, BankStream, ShardError};
+use octs_space::ArchHyper;
+use octs_tensor::{ParamStore, Tensor};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Schema version of the sidecar envelopes written by the bank pipeline.
+pub const BANKRUN_VERSION: u32 = 1;
+
+/// File name of the pre-trained T-AHC artifact inside a run directory.
+pub const ARTIFACT_FILE: &str = "pretrained.ckpt";
+
+/// Execution geometry of a bank run. Deliberately *excluded* from the run
+/// fingerprint: the pre-trained artifact is byte-identical for any values
+/// here, so a run may be killed under one geometry and resumed under
+/// another.
+#[derive(Debug, Clone, Copy)]
+pub struct BankRunOptions {
+    /// Labelling worker threads; shard `s` is owned by worker `s % workers`.
+    pub workers: usize,
+    /// Prefetch window of each worker's shard cursor (tasks in flight).
+    pub prefetch: usize,
+}
+
+impl Default for BankRunOptions {
+    fn default() -> Self {
+        Self { workers: 1, prefetch: 2 }
+    }
+}
+
+/// Serialized labelling outcome of one shard: per-task preliminary
+/// embeddings and labelled samples, scores as raw `f32` bits (the journal
+/// convention that makes resume equality exact rather than approximate).
+#[derive(Serialize, Deserialize)]
+struct ShardLabels {
+    shard: u64,
+    start: usize,
+    prelims: Vec<Tensor>,
+    samples: Vec<SampleRec>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SampleRec {
+    shared: Vec<(ArchHyper, u32, bool)>,
+    random: Vec<(ArchHyper, u32, bool)>,
+}
+
+impl SampleRec {
+    fn of(s: &TaskSamples) -> Self {
+        let pack = |l: &LabeledAh| (l.ah.clone(), l.score.to_bits(), l.quarantined);
+        Self {
+            shared: s.shared.iter().map(pack).collect(),
+            random: s.random.iter().map(pack).collect(),
+        }
+    }
+
+    fn unpack(self) -> TaskSamples {
+        let open = |(ah, bits, quarantined): (ArchHyper, u32, bool)| LabeledAh {
+            ah,
+            score: f32::from_bits(bits),
+            quarantined,
+        };
+        TaskSamples {
+            shared: self.shared.into_iter().map(open).collect(),
+            random: self.random.into_iter().map(open).collect(),
+        }
+    }
+}
+
+/// Lifts a bank/shard error into the core error vocabulary, preserving the
+/// torn-frame location (record index + byte offset) in the detail.
+fn lift(e: ShardError) -> CoreError {
+    match e {
+        ShardError::Io { path, op, source } => CoreError::Io { path, op, source },
+        ShardError::Torn { path, record, offset, detail } => CoreError::Corrupt {
+            path,
+            detail: format!("record {record} at byte offset {offset}: {detail}"),
+        },
+    }
+}
+
+fn sidecar_name(shard: usize) -> String {
+    format!("shard_labels_{shard:05}.ckpt")
+}
+
+impl AutoCts {
+    /// Pre-trains from a task bank on disk, streaming shards through
+    /// labelling workers under a progress journal in `run_dir`.
+    ///
+    /// Equivalent to [`AutoCts::pretrain`] on the bank's materialized task
+    /// list when the bank fits one shard (the task encoder trains on shard
+    /// 0's datasets); killed runs resume byte-identically; `opts` may change
+    /// between resumes. See the module docs for the full contract.
+    pub fn pretrain_bank_journaled(
+        &mut self,
+        bank_dir: impl AsRef<Path>,
+        cfg: &PretrainConfig,
+        run_dir: impl AsRef<Path>,
+        opts: &BankRunOptions,
+    ) -> Result<PretrainReport, CoreError> {
+        let bank_dir = bank_dir.as_ref();
+        let run_dir = run_dir.as_ref();
+        assert!(opts.workers > 0, "need at least one worker");
+        let manifest = BankManifest::load(bank_dir).map_err(lift)?;
+        assert!(manifest.n_tasks > 0, "pretraining needs at least one task");
+        std::fs::create_dir_all(run_dir).map_err(|e| CoreError::io(run_dir, "create_dir", e))?;
+        let journal_path = run_dir.join(crate::pipeline::JOURNAL_FILE);
+        let (mut journal, records) = Journal::open(&journal_path)?;
+
+        // Phase 0: fingerprint — system + pretrain config + bank contents.
+        let fingerprint = self.bank_fingerprint(cfg, &manifest)?;
+        match records.iter().find(|r| r.kind == "fingerprint") {
+            Some(r) if r.detail == fingerprint => {}
+            Some(r) => {
+                return Err(CoreError::Mismatch {
+                    path: journal_path,
+                    detail: format!(
+                        "journal fingerprint {} != this run's {fingerprint} \
+                         (configuration or bank changed between runs?)",
+                        r.detail
+                    ),
+                });
+            }
+            None => {
+                let mut rec = Record::of_kind("fingerprint");
+                rec.detail = fingerprint;
+                journal.append(&rec)?;
+            }
+        }
+
+        // Phase 1: task encoder, self-supervised on shard 0's datasets (the
+        // whole bank when it fits one shard, which is what pins streamed
+        // equality to the in-memory path). Restored from its sidecar on
+        // resume.
+        let obs_encoder = octs_obs::span("phase.encoder");
+        let encoder_ckpt = run_dir.join("encoder.ckpt");
+        if records.iter().any(|r| r.kind == "encoder") {
+            let payload = persist::read_envelope(&encoder_ckpt, BANKRUN_VERSION)?;
+            let ps: ParamStore = serde_json::from_str(&payload).map_err(|e| {
+                CoreError::corrupt(&encoder_ckpt, format!("unparseable encoder params: {e}"))
+            })?;
+            self.embedder.encoder_mut().ps = ps;
+            self.embedder.encoder_mut().mark_trained();
+        } else {
+            let tasks: Vec<octs_data::ForecastTask> =
+                BankStream::open(bank_dir, &manifest, &[0], opts.prefetch)
+                    .map(|r| r.map(|(_, t)| t))
+                    .collect::<Result<_, _>>()
+                    .map_err(lift)?;
+            let datasets: Vec<&octs_data::CtsData> = tasks.iter().map(|t| &t.data).collect();
+            self.embedder.pretrain_encoder(&datasets);
+            drop(tasks);
+            let json = serde_json::to_string(&self.embedder.encoder().ps).map_err(|e| {
+                CoreError::corrupt(&encoder_ckpt, format!("encoder serialization: {e}"))
+            })?;
+            persist::write_envelope(&encoder_ckpt, BANKRUN_VERSION, &json)?;
+            let mut rec = Record::of_kind("encoder");
+            rec.detail = "encoder.ckpt".to_string();
+            journal.append(&rec)?;
+            octs_obs::event("pipeline.checkpoint", journal.seq() as f64, "encoder.ckpt");
+        }
+        drop(obs_encoder);
+
+        // Phase 2: shard labelling. Completed shards replay from their
+        // sidecars; the rest are streamed by the workers, each shard's
+        // labels journaled the moment its sidecar lands.
+        let obs_label = octs_obs::span("phase.label");
+        let done: std::collections::BTreeSet<u64> =
+            records.iter().filter(|r| r.kind == "shard").map(|r| r.unit).collect();
+        octs_obs::counter("bankrun.shards_replayed", done.len() as u64);
+        octs_obs::counter("bankrun.shards_fresh", (manifest.shards.len() - done.len()) as u64);
+        let todo_per_worker: Vec<Vec<usize>> = (0..opts.workers)
+            .map(|w| {
+                manifest
+                    .shards_for_worker(w, opts.workers)
+                    .into_iter()
+                    .filter(|s| !done.contains(&(*s as u64)))
+                    .collect()
+            })
+            .collect();
+        if todo_per_worker.iter().any(|t| !t.is_empty()) {
+            let pool = shared_pool(&self.cfg.space, cfg);
+            let journal_mx = Mutex::new(&mut journal);
+            let failure: Mutex<Option<CoreError>> = Mutex::new(None);
+            let embedder = &self.embedder;
+            let space = &self.cfg.space;
+            std::thread::scope(|scope| {
+                for shards in &todo_per_worker {
+                    let (pool, journal_mx, failure) = (&pool, &journal_mx, &failure);
+                    let manifest = &manifest;
+                    scope.spawn(move || {
+                        let mut embedder = embedder.clone();
+                        for &s in shards {
+                            if failure.lock().unwrap().is_some() {
+                                return; // another worker already failed: stop
+                            }
+                            let stream = BankStream::open(bank_dir, manifest, &[s], opts.prefetch);
+                            let info = &manifest.shards[s];
+                            let mut labels = ShardLabels {
+                                shard: s as u64,
+                                start: info.start,
+                                prelims: Vec::with_capacity(info.tasks),
+                                samples: Vec::with_capacity(info.tasks),
+                            };
+                            for item in stream {
+                                let (ti, task) = match item {
+                                    Ok(x) => x,
+                                    Err(e) => {
+                                        failure.lock().unwrap().get_or_insert(lift(e));
+                                        return;
+                                    }
+                                };
+                                labels.prelims.push(embedder.preliminary(&task));
+                                labels
+                                    .samples
+                                    .push(SampleRec::of(&label_task(&task, ti, pool, space, cfg)));
+                                // task drops here: the dataset never outlives
+                                // its labelling.
+                            }
+                            let name = sidecar_name(s);
+                            let path = run_dir.join(&name);
+                            let outcome = serde_json::to_string(&labels)
+                                .map_err(|e| {
+                                    CoreError::corrupt(
+                                        &path,
+                                        format!("shard labels serialization: {e}"),
+                                    )
+                                })
+                                .and_then(|json| {
+                                    persist::write_envelope(&path, BANKRUN_VERSION, &json)
+                                })
+                                .and_then(|()| {
+                                    let mut rec = Record::of_kind("shard");
+                                    rec.unit = s as u64;
+                                    rec.detail = name;
+                                    journal_mx.lock().unwrap().append(&rec)
+                                });
+                            if let Err(e) = outcome {
+                                failure.lock().unwrap().get_or_insert(e);
+                                return;
+                            }
+                            octs_obs::event("bankrun.shard_done", s as f64, &sidecar_name(s));
+                        }
+                    });
+                }
+            });
+            if let Some(e) = failure.into_inner().unwrap() {
+                return Err(e);
+            }
+        }
+        drop(obs_label);
+
+        // Phase 2b: merge sidecars in shard order into the task-free
+        // residue. Shards cover contiguous index ranges, so shard order is
+        // task order — no re-sort needed, just a start-offset audit.
+        let mut bank = LabeledBank::default();
+        for s in 0..manifest.shards.len() {
+            let path = run_dir.join(sidecar_name(s));
+            let payload = persist::read_envelope(&path, BANKRUN_VERSION)?;
+            let labels: ShardLabels = serde_json::from_str(&payload)
+                .map_err(|e| CoreError::corrupt(&path, format!("unparseable shard labels: {e}")))?;
+            if labels.shard != s as u64 || labels.start != bank.len() {
+                return Err(CoreError::Corrupt {
+                    path,
+                    detail: format!(
+                        "sidecar covers shard {} from task {}, expected shard {s} from task {}",
+                        labels.shard,
+                        labels.start,
+                        bank.len()
+                    ),
+                });
+            }
+            bank.prelims.extend(labels.prelims);
+            bank.samples.extend(labels.samples.into_iter().map(SampleRec::unpack));
+        }
+        if bank.len() != manifest.n_tasks {
+            return Err(CoreError::Corrupt {
+                path: bank_dir.join(MANIFEST_FILE),
+                detail: format!(
+                    "merged {} labelled tasks, manifest promises {}",
+                    bank.len(),
+                    manifest.n_tasks
+                ),
+            });
+        }
+
+        // Phase 3: comparator epochs over the residue — identical to the
+        // in-memory pipeline, sidecar per epoch, resume from the newest.
+        let obs_pretrain = octs_obs::span("phase.pretrain");
+        let done_epochs = records.iter().filter(|r| r.kind == "epoch").count();
+        let mut trainer = if done_epochs > 0 {
+            let ckpt = run_dir.join(format!("epoch_{done_epochs:04}.ckpt"));
+            let payload = persist::read_envelope(&ckpt, BANKRUN_VERSION)?;
+            let state: TahcTrainerState = serde_json::from_str(&payload).map_err(|e| {
+                CoreError::corrupt(&ckpt, format!("unparseable trainer state: {e}"))
+            })?;
+            TahcTrainer::from_state(state, &mut self.tahc)
+        } else {
+            TahcTrainer::new(cfg)
+        };
+        while !trainer.is_done(cfg) {
+            trainer.run_epoch_on(&mut self.tahc, &bank.prelims, &bank.samples, cfg);
+            let ckpt_name = format!("epoch_{:04}.ckpt", trainer.epoch());
+            let json = serde_json::to_string(&trainer.export_state(&self.tahc)).map_err(|e| {
+                CoreError::corrupt(run_dir.join(&ckpt_name), format!("state serialization: {e}"))
+            })?;
+            persist::write_envelope(&run_dir.join(&ckpt_name), BANKRUN_VERSION, &json)?;
+            let mut rec = Record::of_kind("epoch");
+            rec.epoch = trainer.epoch() as u64;
+            rec.detail = ckpt_name;
+            journal.append(&rec)?;
+            octs_obs::event("pipeline.checkpoint", trainer.epoch() as f64, &rec.detail);
+        }
+        drop(obs_pretrain);
+
+        let report = trainer.finish_on(&self.tahc, &bank.prelims, &bank.samples, cfg);
+        self.mark_pretrained();
+        // Phase 4: the pre-trained artifact. Saving is byte-stable for an
+        // unchanged system, so a resumed-after-done run rewrites it
+        // identically.
+        self.save(run_dir.join(ARTIFACT_FILE))?;
+        if !records.iter().any(|r| r.kind == "done") {
+            let mut rec = Record::of_kind("done");
+            rec.detail = ARTIFACT_FILE.to_string();
+            journal.append(&rec)?;
+        }
+        Ok(report)
+    }
+
+    /// Builds a fresh system and drives [`AutoCts::pretrain_bank_journaled`]
+    /// against an existing run directory — the "restart a killed bank run"
+    /// entry point, possibly under different execution geometry.
+    pub fn resume_bank(
+        cfg: crate::facade::AutoCtsConfig,
+        bank_dir: impl AsRef<Path>,
+        pre_cfg: &PretrainConfig,
+        run_dir: impl AsRef<Path>,
+        opts: &BankRunOptions,
+    ) -> Result<(Self, PretrainReport), CoreError> {
+        let mut sys = AutoCts::new(cfg);
+        let report = sys.pretrain_bank_journaled(bank_dir, pre_cfg, run_dir, opts)?;
+        Ok((sys, report))
+    }
+
+    /// Restores a pre-trained system from a bank run directory's artifact —
+    /// the consumer-side entry point for sub-second zero-shot ranking via
+    /// [`AutoCts::rank`].
+    pub fn load_artifact(run_dir: impl AsRef<Path>) -> Result<Self, CoreError> {
+        Self::load(run_dir.as_ref().join(ARTIFACT_FILE))
+    }
+
+    /// Hex fingerprint over system + pre-training configuration + bank
+    /// contents. Excludes execution geometry (workers, prefetch) by design.
+    fn bank_fingerprint(
+        &self,
+        cfg: &PretrainConfig,
+        manifest: &BankManifest,
+    ) -> Result<String, CoreError> {
+        let sys = serde_json::to_string(&self.cfg).map_err(|e| {
+            CoreError::corrupt("<config>", format!("system config serialization: {e}"))
+        })?;
+        let pre = serde_json::to_string(cfg).map_err(|e| {
+            CoreError::corrupt("<config>", format!("pretrain config serialization: {e}"))
+        })?;
+        let bank = &manifest.fingerprint;
+        Ok(format!("{:016x}", persist::fnv64(format!("{sys}\n{pre}\n{bank}").as_bytes())))
+    }
+}

@@ -6,7 +6,10 @@ use octs_comparator::{
 };
 use octs_data::ForecastTask;
 use octs_model::TrainConfig;
-use octs_search::{zero_shot_search, EvolveConfig, SearchOutcome};
+use octs_search::{
+    fidelity_ladder_search_with_pool, zero_shot_rank, zero_shot_search, AutoCtsPlusConfig,
+    EvolveConfig, LadderConfig, LadderOutcome, SearchError, SearchOutcome, ZeroShotRank,
+};
 use octs_space::JointSpace;
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +110,38 @@ impl AutoCts {
             &self.cfg.space,
             evolve_cfg,
             train_cfg,
+        )
+    }
+
+    /// The rank-only prefix of Algorithm 2: embeds the unseen task and
+    /// returns the comparator-ranked shortlist without training anything.
+    /// This is the sub-second operation a pre-trained artifact
+    /// ([`AutoCts::load_artifact`]) exists to serve.
+    pub fn rank(&mut self, task: &ForecastTask, evolve_cfg: &EvolveConfig) -> ZeroShotRank {
+        zero_shot_rank(&self.tahc, &mut self.embedder, task, &self.cfg.space, evolve_cfg)
+    }
+
+    /// Zero-shot search through the successive-halving fidelity ladder, with
+    /// this system's pre-trained T-AHC (plus the task's preliminary
+    /// embedding) as the stage-0 screener — the ladder's cheapest rung costs
+    /// no training at all when a pre-trained comparator is available.
+    pub fn search_laddered(
+        &mut self,
+        task: &ForecastTask,
+        plus_cfg: &AutoCtsPlusConfig,
+        ladder: &LadderConfig,
+    ) -> Result<LadderOutcome, SearchError> {
+        use rand::SeedableRng;
+        let prelim = self.embedder.preliminary(task);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(plus_cfg.seed);
+        let pool = self.cfg.space.sample_distinct(ladder.pool, &mut rng);
+        fidelity_ladder_search_with_pool(
+            task,
+            &self.cfg.space,
+            plus_cfg,
+            ladder,
+            pool,
+            Some((&self.tahc, Some(&prelim))),
         )
     }
 }

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bankrun;
 pub mod checkpoint;
 pub mod error;
 pub mod facade;
@@ -43,6 +44,7 @@ pub mod journal;
 pub mod persist;
 pub mod pipeline;
 
+pub use bankrun::{BankRunOptions, ARTIFACT_FILE, BANKRUN_VERSION};
 pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use error::CoreError;
 pub use facade::{AutoCts, AutoCtsConfig};

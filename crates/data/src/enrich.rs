@@ -17,9 +17,13 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Controls subset creation.
-#[derive(Debug, Clone)]
+///
+/// Serializable so the task bank can fingerprint the enrichment axes a bank
+/// was generated under.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EnrichConfig {
     /// How many subsets to derive per source dataset.
     pub subsets_per_dataset: usize,

@@ -1,13 +1,29 @@
-//! CSV import/export for CTS datasets — the adoption path for real data.
+//! CSV import/export for CTS datasets — the adoption path for real data —
+//! plus the record-framed **shard** format backing the disk-resident task
+//! bank ([`crate::bank`]).
 //!
-//! Format: a wide CSV with one row per time step and one column per series
-//! (feature 0 only; a header row is optional). Adjacency is either supplied
-//! separately as an `N×N` CSV of weights, or learned downstream via the
-//! models' adaptive adjacency.
+//! CSV format: a wide CSV with one row per time step and one column per
+//! series (feature 0 only; a header row is optional). Adjacency is either
+//! supplied separately as an `N×N` CSV of weights, or learned downstream via
+//! the models' adaptive adjacency.
+//!
+//! Shard format (reuses the `core/persist` envelope + fnv64 checksum
+//! conventions, one line per record so readers stream without ever holding a
+//! whole shard):
+//! ```text
+//! {"magic":"OCTS-SHARD","version":1,"kind":"task-bank","records":N}
+//! <fnv64 hex> <len> <payload>
+//! ...            (N record lines)
+//! ```
+//! Shards are published atomically (temp sibling + rename), so a torn or
+//! checksum-failing shard can only arise through external damage — it is
+//! surfaced as a typed [`ShardError::Torn`] naming the path, record index
+//! and byte offset, never silently skipped.
 
 use crate::cts::{Adjacency, CtsData};
+use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, BufReader, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// An `InvalidData` error locating the problem: file, line, byte offset.
 fn parse_err(path: &Path, lineno: usize, offset: u64, msg: impl std::fmt::Display) -> io::Error {
@@ -127,6 +143,301 @@ pub fn with_adjacency(mut data: CtsData, adjacency: Adjacency) -> CtsData {
     data
 }
 
+// ---------------------------------------------------------------------------
+// Record-framed shards
+// ---------------------------------------------------------------------------
+
+/// Magic string of shard headers — distinguishes shards from `core/persist`
+/// envelopes (`"OCTS"`) while keeping the same header-line discipline.
+pub const SHARD_MAGIC: &str = "OCTS-SHARD";
+
+/// Schema version of the shard format this build reads and writes.
+pub const SHARD_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the same checksum convention the `core/persist`
+/// envelopes and the progress journal use (duplicated here because the data
+/// crate sits below the core crate in the dependency order).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What went wrong while writing or streaming a shard.
+#[derive(Debug)]
+pub enum ShardError {
+    /// An OS-level IO failure.
+    Io {
+        /// The shard file involved.
+        path: PathBuf,
+        /// The operation that failed (`"open"`, `"read"`, `"rename"`, …).
+        op: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The shard's bytes are not what the format promises — truncation, a
+    /// failed checksum, a malformed header or record frame. The location is
+    /// pinned down to the record and byte offset where validation failed.
+    Torn {
+        /// The shard file involved.
+        path: PathBuf,
+        /// Zero-based index of the record being read (0 also covers header
+        /// failures; `detail` disambiguates).
+        record: usize,
+        /// Byte offset of the failing line's start within the file.
+        offset: u64,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io { path, op, source } => {
+                write!(f, "{op} failed for {}: {source}", path.display())
+            }
+            ShardError::Torn { path, record, offset, detail } => write!(
+                f,
+                "{} is torn at record {record} (byte offset {offset}): {detail}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ShardError {
+    fn io(path: &Path, op: &'static str, source: io::Error) -> Self {
+        ShardError::Io { path: path.to_path_buf(), op, source }
+    }
+
+    fn torn(path: &Path, record: usize, offset: u64, detail: impl Into<String>) -> Self {
+        ShardError::Torn { path: path.to_path_buf(), record, offset, detail: detail.into() }
+    }
+}
+
+/// First line of every shard file.
+#[derive(Serialize, Deserialize)]
+struct ShardHeader {
+    magic: String,
+    version: u32,
+    kind: String,
+    records: u64,
+}
+
+/// Writes one shard: header first, then exactly the promised number of
+/// checksummed record lines, finished with an fsync + atomic rename. A crash
+/// mid-write leaves only the `.tmp` sibling — readers never observe a
+/// half-written shard under the real name.
+pub struct ShardWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    file: std::io::BufWriter<std::fs::File>,
+    promised: u64,
+    written: u64,
+}
+
+impl ShardWriter {
+    /// Creates a shard that will hold exactly `records` record lines of the
+    /// given `kind`.
+    pub fn create(path: impl AsRef<Path>, kind: &str, records: u64) -> Result<Self, ShardError> {
+        let path = path.as_ref().to_path_buf();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let header = ShardHeader {
+            magic: SHARD_MAGIC.to_string(),
+            version: SHARD_VERSION,
+            kind: kind.to_string(),
+            records,
+        };
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| ShardError::torn(&path, 0, 0, format!("header serialization: {e}")))?;
+        let file = std::fs::File::create(&tmp).map_err(|e| ShardError::io(&tmp, "create", e))?;
+        let mut file = std::io::BufWriter::new(file);
+        file.write_all(header_json.as_bytes())
+            .and_then(|_| file.write_all(b"\n"))
+            .map_err(|e| ShardError::io(&tmp, "write", e))?;
+        Ok(Self { path, tmp, file, promised: records, written: 0 })
+    }
+
+    /// Appends one record payload. Payloads are line-framed, so they must not
+    /// contain raw newlines (JSON payloads never do — serializers escape
+    /// them).
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), ShardError> {
+        assert!(
+            !payload.contains(&b'\n'),
+            "shard records are line-framed; payload must not contain raw newlines"
+        );
+        assert!(
+            self.written < self.promised,
+            "shard {} promised {} records",
+            self.path.display(),
+            self.promised
+        );
+        let line = format!("{:016x} {} ", fnv64(payload), payload.len());
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.write_all(payload))
+            .and_then(|_| self.file.write_all(b"\n"))
+            .map_err(|e| ShardError::io(&self.tmp, "write", e))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes, fsyncs and atomically publishes the shard under its real
+    /// name. Panics if fewer records than promised were appended — that is a
+    /// caller bug, not an IO condition.
+    pub fn finish(mut self) -> Result<(), ShardError> {
+        assert_eq!(
+            self.written,
+            self.promised,
+            "shard {} promised {} records, got {}",
+            self.path.display(),
+            self.promised,
+            self.written
+        );
+        self.file.flush().map_err(|e| ShardError::io(&self.tmp, "flush", e))?;
+        self.file.get_ref().sync_all().map_err(|e| ShardError::io(&self.tmp, "sync", e))?;
+        std::fs::rename(&self.tmp, &self.path).map_err(|e| ShardError::io(&self.path, "rename", e))
+    }
+}
+
+/// Streams one shard record-by-record through a [`BufReader`] — peak memory
+/// is one record line, never the whole shard. Every frame is validated
+/// (length, checksum, record count) and any mismatch is a typed
+/// [`ShardError::Torn`] carrying the record index and byte offset.
+#[derive(Debug)]
+pub struct ShardReader {
+    path: PathBuf,
+    reader: BufReader<std::fs::File>,
+    records: u64,
+    next: u64,
+    offset: u64,
+    buf: String,
+}
+
+impl ShardReader {
+    /// Opens a shard, validating its header (magic, version, kind).
+    pub fn open(path: impl AsRef<Path>, kind: &str) -> Result<Self, ShardError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::open(&path).map_err(|e| ShardError::io(&path, "open", e))?;
+        let mut reader = BufReader::new(file);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| ShardError::io(&path, "read", e))?;
+        let Some(header_json) = line.strip_suffix('\n') else {
+            return Err(ShardError::torn(&path, 0, 0, "header line truncated"));
+        };
+        let header: ShardHeader = serde_json::from_str(header_json)
+            .map_err(|e| ShardError::torn(&path, 0, 0, format!("unparseable header: {e}")))?;
+        if header.magic != SHARD_MAGIC {
+            return Err(ShardError::torn(&path, 0, 0, format!("bad magic {:?}", header.magic)));
+        }
+        if header.version != SHARD_VERSION {
+            return Err(ShardError::torn(
+                &path,
+                0,
+                0,
+                format!("shard version {} != supported {SHARD_VERSION}", header.version),
+            ));
+        }
+        if header.kind != kind {
+            return Err(ShardError::torn(
+                &path,
+                0,
+                0,
+                format!("shard kind {:?} != expected {kind:?}", header.kind),
+            ));
+        }
+        let offset = line.len() as u64;
+        Ok(Self { path, reader, records: header.records, next: 0, offset, buf: String::new() })
+    }
+
+    /// Number of records the header promises.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Reads the next record payload; `Ok(None)` at a clean end (exactly the
+    /// promised record count, no trailing bytes).
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>, ShardError> {
+        let record = self.next as usize;
+        let offset = self.offset;
+        self.buf.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.buf)
+            .map_err(|e| ShardError::io(&self.path, "read", e))?;
+        if self.next >= self.records {
+            return if n == 0 {
+                Ok(None)
+            } else {
+                Err(ShardError::torn(
+                    &self.path,
+                    record,
+                    offset,
+                    format!("trailing bytes after the {} promised records", self.records),
+                ))
+            };
+        }
+        if n == 0 {
+            return Err(ShardError::torn(
+                &self.path,
+                record,
+                offset,
+                format!("shard ends after {record} records, header promises {}", self.records),
+            ));
+        }
+        let Some(line) = self.buf.strip_suffix('\n') else {
+            return Err(ShardError::torn(&self.path, record, offset, "record line truncated"));
+        };
+        let torn = |detail: String| ShardError::torn(&self.path, record, offset, detail);
+        let (sum_hex, rest) =
+            line.split_once(' ').ok_or_else(|| torn("record frame missing checksum".into()))?;
+        let (len_str, payload) =
+            rest.split_once(' ').ok_or_else(|| torn("record frame missing length".into()))?;
+        let want_sum = u64::from_str_radix(sum_hex, 16)
+            .map_err(|e| torn(format!("bad checksum field {sum_hex:?}: {e}")))?;
+        let want_len: usize =
+            len_str.parse().map_err(|e| torn(format!("bad length field {len_str:?}: {e}")))?;
+        if payload.len() != want_len {
+            return Err(torn(format!(
+                "payload is {} bytes, frame promises {want_len} (truncated record?)",
+                payload.len()
+            )));
+        }
+        let got_sum = fnv64(payload.as_bytes());
+        if got_sum != want_sum {
+            return Err(torn(format!(
+                "payload checksum {got_sum:016x} != frame {want_sum:016x} (bit rot?)"
+            )));
+        }
+        self.next += 1;
+        self.offset += self.buf.len() as u64;
+        Ok(Some(payload.as_bytes().to_vec()))
+    }
+}
+
+impl Iterator for ShardReader {
+    type Item = Result<Vec<u8>, ShardError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +517,133 @@ mod tests {
         let err = read_csv(&missing, "m").unwrap_err().to_string();
         assert!(err.contains(&missing.display().to_string()), "{err}");
         std::fs::remove_file(path).ok();
+    }
+
+    fn write_shard(path: &std::path::Path, payloads: &[&[u8]]) {
+        let mut w = ShardWriter::create(path, "test-kind", payloads.len() as u64).unwrap();
+        for p in payloads {
+            w.append(p).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn shard_roundtrip_streams_payloads_back() {
+        let path = tmp("shard_roundtrip");
+        let payloads: Vec<Vec<u8>> =
+            (0..5).map(|i| format!("{{\"i\":{i}}}").into_bytes()).collect();
+        write_shard(&path, &payloads.iter().map(|p| p.as_slice()).collect::<Vec<_>>());
+        let mut r = ShardReader::open(&path, "test-kind").unwrap();
+        assert_eq!(r.records(), 5);
+        for want in &payloads {
+            assert_eq!(&r.next_record().unwrap().unwrap(), want);
+        }
+        assert!(r.next_record().unwrap().is_none());
+        assert!(r.next_record().unwrap().is_none(), "clean end is stable");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_rejects_wrong_kind_and_version() {
+        let path = tmp("shard_kind");
+        write_shard(&path, &[b"{}"]);
+        match ShardReader::open(&path, "other-kind") {
+            Err(ShardError::Torn { detail, .. }) => assert!(detail.contains("kind"), "{detail}"),
+            other => panic!("want Torn, got {other:?}"),
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("\"version\":1", "\"version\":9", 1)).unwrap();
+        match ShardReader::open(&path, "test-kind") {
+            Err(ShardError::Torn { detail, .. }) => assert!(detail.contains("version"), "{detail}"),
+            other => panic!("want Torn, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_truncation_at_every_prefix_is_a_typed_error() {
+        // The shard twin of the journal's torn-tail sweep: a shard is
+        // published atomically, so *every* strict prefix must surface a
+        // ShardError::Torn naming the path — never parse as a valid shard,
+        // never panic.
+        let path = tmp("shard_prefix");
+        let payloads: Vec<Vec<u8>> =
+            (0..3).map(|i| format!("{{\"task\":{i},\"x\":[1,2,3]}}").into_bytes()).collect();
+        write_shard(&path, &payloads.iter().map(|p| p.as_slice()).collect::<Vec<_>>());
+        let full = std::fs::read(&path).unwrap();
+
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let outcome = (|| -> Result<u64, ShardError> {
+                let mut r = ShardReader::open(&path, "test-kind")?;
+                let mut n = 0;
+                while r.next_record()?.is_some() {
+                    n += 1;
+                }
+                Ok(n)
+            })();
+            match outcome {
+                Err(ShardError::Torn { path: p, .. }) => {
+                    assert_eq!(p, path, "cut at byte {cut}");
+                }
+                other => panic!("cut at byte {cut}: want Torn error, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_errors_name_record_index_and_byte_offset() {
+        let path = tmp("shard_located");
+        let payloads: Vec<Vec<u8>> =
+            (0..3).map(|i| format!("{{\"i\":{i}}}").into_bytes()).collect();
+        write_shard(&path, &payloads.iter().map(|p| p.as_slice()).collect::<Vec<_>>());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+
+        // Flip one payload byte of record 1: its checksum must fail with the
+        // record index and the byte offset of that line's start.
+        let record1_offset: usize = lines[..2].iter().map(|l| l.len()).sum();
+        let mut bytes = text.clone().into_bytes();
+        let payload_pos = record1_offset + lines[2].len() - 3;
+        bytes[payload_pos] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = ShardReader::open(&path, "test-kind").unwrap();
+        assert_eq!(r.next_record().unwrap().unwrap(), payloads[0]);
+        match r.next_record() {
+            Err(ShardError::Torn { record, offset, detail, .. }) => {
+                assert_eq!(record, 1);
+                assert_eq!(offset, record1_offset as u64);
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("want Torn at record 1, got {other:?}"),
+        }
+
+        // A shard cut at a record boundary reports the missing record index.
+        let two_records: usize = lines[..3].iter().map(|l| l.len()).sum();
+        std::fs::write(&path, &text.as_bytes()[..two_records]).unwrap();
+        let mut r = ShardReader::open(&path, "test-kind").unwrap();
+        assert!(r.next_record().unwrap().is_some());
+        assert!(r.next_record().unwrap().is_some());
+        match r.next_record() {
+            Err(ShardError::Torn { record, offset, detail, .. }) => {
+                assert_eq!(record, 2);
+                assert_eq!(offset, two_records as u64);
+                assert!(detail.contains("promises 3"), "{detail}");
+            }
+            other => panic!("want Torn at record 2, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_write_is_atomic_with_no_tmp_residue() {
+        let path = tmp("shard_atomic");
+        write_shard(&path, &[b"{\"a\":1}", b"{\"b\":2}"]);
+        let mut t = path.as_os_str().to_owned();
+        t.push(".tmp");
+        assert!(!std::path::PathBuf::from(t).exists(), "no temp residue");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod cts;
 pub mod enrich;
 pub mod io;
@@ -20,7 +21,10 @@ pub mod stats;
 pub mod synth;
 pub mod task;
 
+pub use bank::{write_bank, BankConfig, BankManifest, BankStream, ShardInfo, BANK_KIND};
 pub use cts::{Adjacency, CtsData};
 pub use enrich::{enrich_tasks, EnrichConfig};
+pub use io::{ShardError, ShardReader, ShardWriter};
+pub use stats::Welford;
 pub use synth::{profile_by_name, source_profiles, target_profiles, DatasetProfile, Domain};
 pub use task::{Batch, ForecastSetting, ForecastTask, Mode, Scaler, Split};

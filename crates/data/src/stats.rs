@@ -7,6 +7,101 @@
 //! choosing forecasting settings.
 
 use crate::cts::CtsData;
+use serde::{Deserialize, Serialize};
+
+/// Incremental, mergeable mean/std accumulator (Welford's online algorithm
+/// with the Chan et al. parallel merge).
+///
+/// This is the streaming counterpart of the batch [`crate::metrics::MeanStd`]:
+/// shard-streamed normalization pushes values as they arrive — or merges one
+/// accumulator per shard — and lands on the same moments a one-pass batch
+/// computation over the concatenated data would produce (up to float
+/// rounding; the accumulator runs in `f64` precisely so that shard order
+/// cannot drift the result).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0 }
+    }
+
+    /// Batch constructor, for parity checks against streamed accumulation.
+    pub fn of(xs: &[f32]) -> Self {
+        let mut w = Self::new();
+        for &x in xs {
+            w.push(x);
+        }
+        w
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f32) {
+        let x = f64::from(x);
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges two accumulators: the result is equivalent to having pushed
+    /// both streams into one accumulator, which is what lets per-shard
+    /// statistics combine into bank-wide ones without a second pass.
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / count as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / count as f64;
+        Self { count, mean, m2 }
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Population standard deviation (÷n; 0 when empty), matching
+    /// [`crate::metrics::MeanStd::population`].
+    pub fn population_std(&self) -> f32 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.m2 / self.count as f64).sqrt() as f32
+    }
+
+    /// Sample standard deviation (Bessel-corrected ÷(n−1); 0 for n ≤ 1),
+    /// matching [`crate::metrics::MeanStd::of`].
+    pub fn sample_std(&self) -> f32 {
+        if self.count <= 1 {
+            return 0.0;
+        }
+        (self.m2 / (self.count - 1) as f64).sqrt() as f32
+    }
+}
 
 /// Sample autocorrelation of `series` at `lag` (0 for degenerate input).
 pub fn autocorrelation(series: &[f32], lag: usize) -> f32 {
@@ -128,6 +223,29 @@ pub fn summarize(data: &CtsData) -> DatasetSummary {
 mod tests {
     use super::*;
     use crate::synth::{DatasetProfile, Domain};
+
+    #[test]
+    fn welford_degenerate_inputs() {
+        let w = Welford::new();
+        assert_eq!((w.count(), w.mean(), w.population_std(), w.sample_std()), (0, 0.0, 0.0, 0.0));
+        let one = Welford::of(&[5.0]);
+        assert_eq!(one.mean(), 5.0);
+        assert_eq!(one.sample_std(), 0.0);
+        assert_eq!(one.population_std(), 0.0);
+        assert_eq!(w.merge(&one), one);
+        assert_eq!(one.merge(&w), one);
+    }
+
+    #[test]
+    fn welford_matches_batch_meanstd() {
+        let xs: Vec<f32> = (0..64).map(|i| ((i * 37) % 11) as f32 * 0.7 - 2.0).collect();
+        let batch = crate::metrics::MeanStd::of(&xs);
+        let pop = crate::metrics::MeanStd::population(&xs);
+        let w = Welford::of(&xs);
+        assert!((w.mean() - batch.mean).abs() < 1e-5, "{} vs {}", w.mean(), batch.mean);
+        assert!((w.sample_std() - batch.std).abs() < 1e-5);
+        assert!((w.population_std() - pop.std).abs() < 1e-5);
+    }
 
     #[test]
     fn autocorrelation_of_sine_peaks_at_period() {

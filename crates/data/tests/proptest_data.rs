@@ -2,6 +2,7 @@
 //! and metric invariants over randomized datasets.
 
 use octs_data::enrich::{derive_subset, EnrichConfig};
+use octs_data::stats::Welford;
 use octs_data::{metrics, DatasetProfile, Domain, ForecastSetting, ForecastTask, Split};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -119,6 +120,44 @@ proptest! {
                 prop_assert!(p.at(&[r, c]) >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn welford_incremental_equals_batch(xs in proptest::collection::vec(-100.0f32..100.0, 0..80)) {
+        // Incremental accumulation must agree with the one-pass batch form.
+        let w = Welford::of(&xs);
+        let batch = metrics::MeanStd::of(&xs);
+        let pop = metrics::MeanStd::population(&xs);
+        prop_assert_eq!(w.count() as usize, xs.len());
+        prop_assert!((w.mean() - batch.mean).abs() < 1e-3, "mean {} vs {}", w.mean(), batch.mean);
+        prop_assert!((w.sample_std() - batch.std).abs() < 1e-3, "std {} vs {}", w.sample_std(), batch.std);
+        prop_assert!((w.population_std() - pop.std).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welford_merge_equals_one_stream(
+        xs in proptest::collection::vec(-100.0f32..100.0, 0..60),
+        ys in proptest::collection::vec(-100.0f32..100.0, 0..60),
+        parts in 1usize..5,
+    ) {
+        // Shard-wise accumulation + merge must equal pushing the whole
+        // stream through one accumulator — the property that makes
+        // shard-streamed normalization order-insensitive.
+        let all: Vec<f32> = xs.iter().chain(&ys).copied().collect();
+        let whole = Welford::of(&all);
+        let merged = Welford::of(&xs).merge(&Welford::of(&ys));
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-3);
+        prop_assert!((merged.sample_std() - whole.sample_std()).abs() < 1e-3);
+
+        // Arbitrary chunking folds to the same moments.
+        let chunked = all
+            .chunks(all.len().max(1).div_ceil(parts))
+            .map(Welford::of)
+            .fold(Welford::new(), |acc, w| acc.merge(&w));
+        prop_assert_eq!(chunked.count(), whole.count());
+        prop_assert!((chunked.mean() - whole.mean()).abs() < 1e-3);
+        prop_assert!((chunked.population_std() - whole.population_std()).abs() < 1e-3);
     }
 
     #[test]

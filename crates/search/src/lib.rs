@@ -32,5 +32,6 @@ pub use rank::{
     tournament_rank_checked, RankOutcome,
 };
 pub use zeroshot::{
-    zero_shot_search, zero_shot_search_laddered, FinalistPromotion, SearchOutcome, SearchTiming,
+    zero_shot_rank, zero_shot_search, zero_shot_search_laddered, FinalistPromotion, SearchOutcome,
+    SearchTiming, ZeroShotRank,
 };

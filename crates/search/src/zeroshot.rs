@@ -98,6 +98,45 @@ pub fn zero_shot_search(
     SearchOutcome { best, best_report, finalists, timing: SearchTiming { embed, rank, train } }
 }
 
+/// Outcome of a rank-only zero-shot pass ([`zero_shot_rank`]): the
+/// comparator-ranked candidates and the embed/rank wall-clock, with no
+/// training performed.
+#[derive(Clone, Debug)]
+pub struct ZeroShotRank {
+    /// Candidates in comparator-rank order (best first).
+    pub ranked: Vec<ArchHyper>,
+    /// Wall-clock breakdown (`train` is always zero).
+    pub timing: SearchTiming,
+}
+
+/// The embed + rank prefix of Algorithm 2, stopping before any training:
+/// embeds the unseen task with the frozen encoder and ranks candidates
+/// zero-shot with the pre-trained comparator. This is the paper's "search in
+/// seconds" claim in isolation — the pretrained-artifact benches gate on its
+/// latency — and the cheapest way to get a candidate shortlist for an
+/// external training budget.
+pub fn zero_shot_rank(
+    tahc: &Tahc,
+    embedder: &mut TaskEmbedder,
+    task: &ForecastTask,
+    space: &JointSpace,
+    evolve_cfg: &EvolveConfig,
+) -> ZeroShotRank {
+    let t0 = Instant::now();
+    let obs_embed = octs_obs::span_detail("phase.embed", task.id().to_string());
+    let prelim = embedder.preliminary(task);
+    drop(obs_embed);
+    let embed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let obs_rank = octs_obs::span_detail("phase.rank", evolve_cfg.k_s.to_string());
+    let ranked = evolve_search(tahc, Some(&prelim), space, evolve_cfg);
+    drop(obs_rank);
+    let rank = t1.elapsed();
+
+    ZeroShotRank { ranked, timing: SearchTiming { embed, rank, train: Duration::ZERO } }
+}
+
 /// Finalist-promotion rung reused from the fidelity ladder: instead of
 /// fully training every comparator-ranked candidate, give each a cheap
 /// proxy first and fully train only the promoted survivors.

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 /// which initializes the weight; subsequent passes reuse the stored value.
 /// The store owns an internal RNG so that a given seed fully determines all
 /// initializations regardless of call order *within one construction order*.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct ParamStore {
     params: BTreeMap<String, Tensor>,
     rng: ChaCha8Rng,

@@ -107,6 +107,31 @@ impl Gen {
         ForecastTask::new(profile.generate(0), ForecastSetting::multi(p, q), 0.6, 0.2, stride)
     }
 
+    /// A small task-bank configuration: 2–3 generated profiles, 4–10 tasks,
+    /// 1–4 tasks per shard (so multi-shard layouts are the common case), and
+    /// short admissible settings so every derived subset pairs cheaply.
+    pub fn task_bank(&mut self, name: &str) -> octs_data::bank::BankConfig {
+        let profiles: Vec<DatasetProfile> = (0..self.usize_in(2, 3))
+            .map(|i| self.dataset_profile(&format!("{name}-p{i}")))
+            .collect();
+        let enrich = octs_data::EnrichConfig {
+            subsets_per_dataset: 1,
+            time_frac: (0.6, 0.9),
+            series_frac: (0.7, 1.0),
+            settings: vec![ForecastSetting::multi(4, 2), ForecastSetting::multi(6, 2)],
+            min_spans: 8,
+            stride: 2,
+            seed: self.rng.gen(),
+        };
+        octs_data::bank::BankConfig {
+            n_tasks: self.usize_in(4, 10),
+            shard_tasks: self.usize_in(1, 4),
+            profiles,
+            enrich,
+            seed: self.rng.gen(),
+        }
+    }
+
     /// A valid successive-halving ladder configuration: monotone quotas
     /// (`pool ≥ stage1 ≥ stage2 ≥ 1`) over a small pool, cheap proxy budgets.
     /// Always passes [`LadderConfig::validate`], so properties over generated

@@ -71,6 +71,17 @@ def bench_digest(name, r):
         scope = (f"{len(gated)} gated rows" if gated
                  else "no scaling claim (threads exceed cores)")
         return f"{cores}-core host, {scope}; tournament {sp}"
+    if name == "BENCH_pretrain_scale.json":
+        tps = ", ".join(f"w={row['workers']}: {row['tasks_per_sec']:.0f}/s"
+                        for row in r.get("worker_runs", []))
+        return (f"{r.get('mode')} mode: {r.get('bank_tasks', 0)} tasks / "
+                f"{r.get('n_shards', 0)} shards; label {tps} "
+                f"(bit-identical={r.get('workers_bit_identical')}); streamed rss "
+                f"{r.get('streamed_rss_growth', 0):.2f}x vs in-memory "
+                f"{r.get('inmemory_rss_growth', 0):.2f}x while bank grew "
+                f"{r.get('bank_growth', 0):.1f}x; rank cold "
+                f"{r.get('rank_cold_secs', 0)*1000:.0f}ms, embed cache "
+                f"{r.get('embed_cache', {}).get('hit_rate', 0):.1%}")
     if name == "BENCH_search_trace.json":
         return (f"tracing overhead {r.get('overhead_pct', 0):+.2f}%, "
                 f"embed cache {r.get('embed_cache_hit_rate', 0):.1%}, "
